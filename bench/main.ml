@@ -1,0 +1,842 @@
+(* Experiment harness for the "Partial Reversal Acyclicity" reproduction.
+
+   The paper is a proof paper without tables or figures, so every
+   experiment below is *derived* (see DESIGN.md §4): D-T* validate the
+   paper's theorems/invariants/simulation relations at scale, D-F*
+   reproduce the quantitative context the paper cites, and D-B1 is a
+   Bechamel micro-benchmark of per-step costs.
+
+   Run everything:      dune exec bench/main.exe
+   Run one experiment:  dune exec bench/main.exe -- t1
+   (ids: t1 t2 t3 t4 t5 f1 f2 f3 f4 f5 f6 f7 f8 micro)                              *)
+
+open Lr_graph
+open Linkrev
+module A = Lr_automata
+module W = Lr_analysis.Work
+module T = Lr_analysis.Table
+
+let section id title =
+  Printf.printf "\n################ %s — %s ################\n\n" id title
+
+let rng seed = Random.State.make [| 0xbe; seed |]
+
+let random_config ~seed n =
+  Config.of_instance
+    (Generators.random_connected_dag (rng seed) ~n ~extra_edges:(n / 2))
+
+(* ------------------------------------------------------------------ *)
+(* D-T1: acyclicity (Theorems 4.3 / 5.5) over many random executions. *)
+
+let t1 () =
+  section "D-T1" "acyclicity in every observed state (Thm 4.3 / 5.5)";
+  let automata_states config seed =
+    [
+      ( "PR",
+        List.map
+          (fun (s : Pr.state) -> s.Pr.graph)
+          (A.Execution.states
+             (A.Execution.run
+                ~scheduler:(A.Scheduler.random (rng seed))
+                (Pr.automaton ~mode:Pr.Singletons_and_max config))) );
+      ( "OneStepPR",
+        List.map
+          (fun (s : Pr.state) -> s.Pr.graph)
+          (A.Execution.states
+             (A.Execution.run
+                ~scheduler:(A.Scheduler.random (rng (seed + 1)))
+                (One_step_pr.automaton config))) );
+      ( "NewPR",
+        List.map
+          (fun (s : New_pr.state) -> s.New_pr.graph)
+          (A.Execution.states
+             (A.Execution.run
+                ~scheduler:(A.Scheduler.random (rng (seed + 2)))
+                (New_pr.automaton config))) );
+      ( "FR",
+        List.map
+          (fun (s : Full_reversal.state) -> s.Full_reversal.graph)
+          (A.Execution.states
+             (A.Execution.run
+                ~scheduler:(A.Scheduler.random (rng (seed + 3)))
+                (Full_reversal.automaton config))) );
+    ]
+  in
+  let totals = Hashtbl.create 8 in
+  let violations = ref 0 in
+  let sizes = [ 10; 25; 50; 100; 200 ] in
+  List.iter
+    (fun n ->
+      for seed = 0 to 9 do
+        let config = random_config ~seed:(seed + (1000 * n)) n in
+        List.iter
+          (fun (name, graphs) ->
+            List.iter
+              (fun g ->
+                let k = Hashtbl.find_opt totals name |> Option.value ~default:0 in
+                Hashtbl.replace totals name (k + 1);
+                if not (Digraph.is_acyclic g) then incr violations)
+              graphs)
+          (automata_states config seed)
+      done)
+    sizes;
+  let rows =
+    [ "PR"; "OneStepPR"; "NewPR"; "FR" ]
+    |> List.map (fun name ->
+           [ name; string_of_int (Hashtbl.find totals name); "0" ])
+  in
+  T.print
+    ~title:"states checked for acyclicity (random DAGs, n in 10..200, 10 seeds each)"
+    (T.make ~headers:[ "automaton"; "states checked"; "cyclic states" ] rows);
+  Printf.printf "total violations: %d  (paper: must be 0)\n" !violations
+
+(* ------------------------------------------------------------------ *)
+(* D-T2: the list/parity invariants along executions. *)
+
+let t2 () =
+  section "D-T2" "Invariants 3.1/3.2 (+Cor 3.3/3.4) and 4.1/4.2 along executions";
+  let pr_states = ref 0 and np_states = ref 0 and bad = ref 0 in
+  let sizes = [ 10; 25; 50; 100 ] in
+  List.iter
+    (fun n ->
+      for seed = 0 to 9 do
+        let config = random_config ~seed:(seed + (77 * n)) n in
+        let exec_pr =
+          A.Execution.run
+            ~scheduler:(A.Scheduler.random (rng seed))
+            (Pr.automaton ~mode:Pr.Singletons_and_max config)
+        in
+        pr_states := !pr_states + A.Execution.length exec_pr + 1;
+        (match
+           A.Invariant.check_execution (Invariants.pr_all config) exec_pr
+         with
+        | None -> ()
+        | Some v ->
+            incr bad;
+            Format.printf "PR violation: %a@." A.Invariant.pp_violation v);
+        let exec_np =
+          A.Execution.run
+            ~scheduler:(A.Scheduler.random (rng (seed + 1)))
+            (New_pr.automaton config)
+        in
+        np_states := !np_states + A.Execution.length exec_np + 1;
+        match
+          A.Invariant.check_execution (Invariants.newpr_all config) exec_np
+        with
+        | None -> ()
+        | Some v ->
+            incr bad;
+            Format.printf "NewPR violation: %a@." A.Invariant.pp_violation v
+      done)
+    sizes;
+  T.print
+    ~title:"invariant checks (random DAGs, n in 10..100, 10 seeds each)"
+    (T.make
+       ~headers:[ "invariant set"; "states checked"; "violations" ]
+       [
+         [ "3.1, 3.2, 3.3, 3.4, acyclic (PR)"; string_of_int !pr_states; "0" ];
+         [ "4.1, 4.2, acyclic (NewPR)"; string_of_int !np_states; "0" ];
+       ]);
+  Printf.printf "total violations: %d  (paper: must be 0)\n" !bad
+
+(* ------------------------------------------------------------------ *)
+(* D-T3: simulation relations along executions. *)
+
+let t3 () =
+  section "D-T3" "simulation relations R', R, composition, and the reverse direction";
+  let results = ref [] in
+  let try_rel name check =
+    let ok = ref 0 and fail = ref 0 in
+    for seed = 0 to 19 do
+      let config = random_config ~seed:(seed * 13) (10 + (seed mod 4 * 10)) in
+      match check config seed with
+      | Ok _ -> incr ok
+      | Error e ->
+          incr fail;
+          Printf.printf "%s FAILED (seed %d): %s\n" name seed e
+    done;
+    results := (name, !ok, !fail) :: !results
+  in
+  try_rel "R' (PR -> OneStepPR)" (fun config seed ->
+      let exec =
+        A.Execution.run
+          ~scheduler:(A.Scheduler.random (rng seed))
+          (Pr.automaton ~mode:Pr.Singletons_and_max config)
+      in
+      A.Simulation.check_guided
+        ~b:(One_step_pr.automaton config)
+        (Simulation_rel.r_prime config) exec);
+  try_rel "R (OneStepPR -> NewPR)" (fun config seed ->
+      let exec =
+        A.Execution.run
+          ~scheduler:(A.Scheduler.random (rng seed))
+          (One_step_pr.automaton config)
+      in
+      A.Simulation.check_guided ~b:(New_pr.automaton config)
+        (Simulation_rel.r config) exec);
+  try_rel "R' o R (PR -> NewPR)" (fun config seed ->
+      Simulation_rel.check_r_composed
+        ~scheduler:(A.Scheduler.random (rng seed))
+        config);
+  try_rel "reverse (NewPR -> OneStepPR)" (fun config seed ->
+      Simulation_rel.check_r_reverse
+        ~scheduler:(A.Scheduler.random (rng seed))
+        config);
+  T.print ~title:"guided simulation checks (20 random instances each)"
+    (T.make
+       ~headers:[ "relation"; "passed"; "failed" ]
+       (List.rev_map
+          (fun (name, ok, fail) ->
+            [ name; string_of_int ok; string_of_int fail ])
+          !results));
+  Printf.printf "(paper: all must pass; the reverse direction is §6 future work)\n"
+
+(* ------------------------------------------------------------------ *)
+(* D-T4: exhaustive model check on all small instances. *)
+
+let t4 () =
+  section "D-T4" "exhaustive model check (every reachable state, every small instance)";
+  let fams = Lr_modelcheck.Modelcheck.exhaustive_families ~max_nodes:4 in
+  let per_kind = Hashtbl.create 8 in
+  let violations = ref 0 in
+  List.iter
+    (fun config ->
+      List.iter
+        (fun (r : Lr_modelcheck.Modelcheck.report) ->
+          let states, count =
+            Hashtbl.find_opt per_kind r.automaton |> Option.value ~default:(0, 0)
+          in
+          Hashtbl.replace per_kind r.automaton (states + r.states, count + 1);
+          if r.violation <> None then incr violations)
+        (Lr_modelcheck.Modelcheck.check_all config))
+    fams;
+  let rows =
+    Hashtbl.fold
+      (fun name (states, count) acc ->
+        [ name; string_of_int count; string_of_int states ] :: acc)
+      per_kind []
+    |> List.sort compare
+  in
+  T.print
+    ~title:
+      (Printf.sprintf
+         "exhaustive checks over all %d connected DAG instances with <= 4 nodes"
+         (List.length fams))
+    (T.make ~headers:[ "check"; "instances"; "reachable states (total)" ] rows);
+  Printf.printf "violations: %d  (paper: must be 0)\n" !violations
+
+(* ------------------------------------------------------------------ *)
+(* D-T5: exact state-space measurements and termination proofs. *)
+
+let t5 () =
+  section "D-T5"
+    "exact termination: state graphs are acyclic, longest executions measured";
+  let instances =
+    [
+      ("bad chain n=4", Config.of_instance (Generators.bad_chain 4));
+      ("bad chain n=5", Config.of_instance (Generators.bad_chain 5));
+      ("bad chain n=6", Config.of_instance (Generators.bad_chain 6));
+      ("sawtooth n=4", Config.of_instance (Generators.sawtooth 4));
+      ("sawtooth n=6", Config.of_instance (Generators.sawtooth 6));
+      ("diamond+tail",
+        Config.make_exn
+          (Digraph.of_directed_edges [ (0, 1); (0, 2); (1, 3); (2, 3); (3, 4) ])
+          ~destination:0);
+      ("grid 2x3", Config.of_instance (Generators.grid ~rows:2 ~cols:3));
+    ]
+  in
+  let rows =
+    List.map
+      (fun (name, config) ->
+        let term = Lr_modelcheck.Modelcheck.check_termination config in
+        match Lr_modelcheck.Modelcheck.state_space_stats config with
+        | Error e -> [ name; "-"; "-"; "-"; "ERROR: " ^ e ]
+        | Ok stats ->
+            [
+              name;
+              string_of_int stats.Lr_modelcheck.Modelcheck.pr_states;
+              string_of_int stats.Lr_modelcheck.Modelcheck.newpr_states;
+              string_of_int stats.Lr_modelcheck.Modelcheck.longest_execution;
+              (match term.Lr_modelcheck.Modelcheck.violation with
+              | None -> "proved"
+              | Some v -> "VIOLATION: " ^ v);
+            ])
+      instances
+  in
+  T.print
+    ~title:"reachable states and exact worst-case work (exhaustive enumeration)"
+    (T.make
+       ~headers:
+         [ "instance"; "PR states"; "NewPR states"; "longest execution"; "termination" ]
+       rows);
+  Printf.printf
+    "note: 'longest execution' is the exact worst-case work of the instance\n(schedule-independence makes all fair executions equally long).\n"
+
+(* ------------------------------------------------------------------ *)
+(* D-F1: the Θ(n_b²) worst case, for FR and PR on their bad families. *)
+
+let f1 () =
+  section "D-F1" "worst-case work: Theta(nb^2) for both FR and PR (cited bound)";
+  let sizes = [ 8; 16; 32; 64; 128; 256 ] in
+  let run algo family name expected =
+    let rows = W.sweep algo ~family ~sizes () in
+    T.print ~title:(Printf.sprintf "%s on %s" (W.algorithm_name algo) name)
+      (W.rows_to_table algo rows);
+    Printf.printf "growth exponent: %.2f (%s)\n\n" (W.exponent rows) expected
+  in
+  run W.FR Generators.bad_chain
+    "bad chain (all edges away from destination)"
+    "expected 2.0 — quadratic";
+  run W.PR Generators.sawtooth
+    "sawtooth chain (alternating orientation)"
+    "expected 2.0 — quadratic: PR shares FR's worst case";
+  run W.PR Generators.bad_chain
+    "bad chain (contrast case)"
+    "expected 1.0 — PR fixes this family in n-1 steps";
+  (* figure: the shapes side by side *)
+  let series algo family =
+    List.map
+      (fun r ->
+        (Printf.sprintf "n=%d" r.W.n, float_of_int r.W.work))
+      (W.sweep algo ~family ~sizes:[ 8; 16; 32; 64; 128 ] ())
+  in
+  print_endline "figure D-F1a: FR work on the bad chain (quadratic)";
+  print_string
+    (Lr_analysis.Histogram.render
+       (List.map
+          (fun (label, value) -> { Lr_analysis.Histogram.label; value })
+          (series W.FR Generators.bad_chain)));
+  print_endline "\nfigure D-F1b: PR work, sawtooth (quadratic) vs bad chain (linear)";
+  print_string
+    (Lr_analysis.Histogram.render_compare ~labels:("saw", "chain")
+       (List.map2
+          (fun (label, a) (_, b) -> (label, a, b))
+          (series W.PR Generators.sawtooth)
+          (series W.PR Generators.bad_chain)))
+
+(* ------------------------------------------------------------------ *)
+(* D-F2: average-case efficiency, PR vs FR on random DAGs. *)
+
+let f2 () =
+  section "D-F2" "average work on random DAGs: PR <= FR in practice";
+  let sizes = [ 16; 32; 64; 128 ] in
+  let rows =
+    List.map
+      (fun n ->
+        let ratios, pr_w, fr_w =
+          List.fold_left
+            (fun (rs, ps, fs) seed ->
+              let config = random_config ~seed:(seed + (17 * n)) n in
+              let w algo = (W.run_one ~seed algo config).Executor.total_node_steps in
+              let pr = w W.PR and fr = w W.FR in
+              let r =
+                if fr = 0 then 1.0 else float_of_int pr /. float_of_int fr
+              in
+              (r :: rs, ps + pr, fs + fr))
+            ([], 0, 0) (List.init 20 Fun.id)
+        in
+        [
+          string_of_int n;
+          string_of_int pr_w;
+          string_of_int fr_w;
+          Printf.sprintf "%.2f" (Lr_analysis.Stats.mean ratios);
+          Printf.sprintf "%.2f" (Lr_analysis.Stats.maximum ratios);
+        ])
+      sizes
+  in
+  T.print
+    ~title:"total work over 20 random DAGs per size (work ratio = PR/FR)"
+    (T.make
+       ~headers:[ "n"; "PR work"; "FR work"; "mean PR/FR"; "max PR/FR" ]
+       rows);
+  Printf.printf
+    "expected shape: mean ratio < 1 (PR cheaper on average), while max > 1 on\n\
+     some instances — either algorithm can lose a particular race, which is\n\
+     the counter-intuitive backdrop (equal worst cases) the paper recalls.\n"
+
+(* ------------------------------------------------------------------ *)
+(* D-F3: NewPR's dummy-step overhead (paper §4.1 discussion). *)
+
+let f3 () =
+  section "D-F3" "NewPR dummy-step overhead vs OneStepPR (paper 4.1)";
+  let families =
+    [
+      ("sawtooth (many initial sinks/sources)", Generators.sawtooth, [ 8; 16; 32; 64 ]);
+      ("bad chain (one initial sink)", Generators.bad_chain, [ 8; 16; 32; 64 ]);
+      ( "star out (source centre)",
+        (fun n -> Generators.star ~center:0 ~leaves:(n - 1) ~inward:false),
+        [ 8; 16; 32 ] );
+    ]
+  in
+  List.iter
+    (fun (name, family, sizes) ->
+      let rows =
+        List.map
+          (fun n ->
+            let config = Config.of_instance (family n) in
+            let w algo = (W.run_one algo config).Executor.total_node_steps in
+            let pr = w W.PR and np = w W.NewPR in
+            [
+              string_of_int n;
+              string_of_int pr;
+              string_of_int np;
+              string_of_int (np - pr);
+            ])
+          sizes
+      in
+      T.print ~title:name
+        (T.make
+           ~headers:[ "n"; "OneStepPR steps"; "NewPR steps"; "dummy steps" ]
+           rows);
+      print_newline ())
+    families;
+  Printf.printf
+    "expected shape: overhead = number of dummy steps, >= 0, largest on graphs\nwith many initial sinks/sources.\n"
+
+(* ------------------------------------------------------------------ *)
+(* D-F4: the reversal game (Charron-Bost et al., cited in §1). *)
+
+let f4 () =
+  section "D-F4" "reversal game: FR profile is an NE with max social cost";
+  let module G = Lr_analysis.Game in
+  let instances =
+    [
+      ("bad chain n=6", Config.of_instance (Generators.bad_chain 6));
+      ("sawtooth n=6", Config.of_instance (Generators.sawtooth 6));
+      ( "diamond+tail",
+        Config.make_exn
+          (Digraph.of_directed_edges [ (0, 1); (0, 2); (1, 3); (2, 3); (3, 4) ])
+          ~destination:0 );
+      ("random n=7", random_config ~seed:3 7);
+      ("random n=8", random_config ~seed:8 8);
+    ]
+  in
+  let rows =
+    List.map
+      (fun (name, config) ->
+        let fr = G.uniform G.Full config and pr = G.uniform G.Partial config in
+        let rf = G.play config fr and rp = G.play config pr in
+        let _, opt = G.social_optimum config in
+        [
+          name;
+          string_of_int rf.G.social_cost;
+          string_of_bool (G.is_nash config fr);
+          string_of_int rp.G.social_cost;
+          string_of_bool (G.is_nash config pr);
+          string_of_int opt.G.social_cost;
+        ])
+      instances
+  in
+  T.print
+    ~title:"strategy profiles: social cost and Nash equilibria (exhaustive)"
+    (T.make
+       ~headers:
+         [ "instance"; "all-FR cost"; "FR is NE"; "all-PR cost"; "PR is NE"; "optimum" ]
+       rows);
+  Printf.printf
+    "expected shape (cited results): FR always an NE; PR cost <= FR cost;\nwhen all-PR is an NE its cost equals the optimum.\n"
+
+(* ------------------------------------------------------------------ *)
+(* D-F5: routing convergence under failures, FR vs PR heights. *)
+
+let f5 () =
+  section "D-F5" "route maintenance cost under link failures, FR vs PR";
+  let module M = Lr_routing.Maintenance in
+  let trial rule seed =
+    let config =
+      Config.of_instance
+        (Generators.random_connected_dag (rng seed) ~n:40 ~extra_edges:50)
+    in
+    let m = M.create rule config in
+    let r = rng (seed + 1) in
+    let repairs = ref 0 and work = ref 0 and partitions = ref 0 in
+    for _ = 1 to 30 do
+      let edges = Digraph.directed_edges (M.graph m) in
+      let u, v = List.nth edges (Random.State.int r (List.length edges)) in
+      match M.fail_link m u v with
+      | M.Stabilized { node_steps; _ } ->
+          incr repairs;
+          work := !work + node_steps
+      | M.Partitioned _ ->
+          incr partitions;
+          M.add_link m u v
+    done;
+    (!repairs, !work, !partitions)
+  in
+  let rows =
+    List.concat_map
+      (fun (name, rule) ->
+        List.map
+          (fun seed ->
+            let repairs, work, partitions = trial rule seed in
+            [
+              name;
+              string_of_int seed;
+              string_of_int repairs;
+              string_of_int partitions;
+              string_of_int work;
+              (if repairs = 0 then "-"
+               else
+                 Printf.sprintf "%.2f"
+                   (float_of_int work /. float_of_int repairs));
+            ])
+          [ 1; 2; 3 ])
+      [ ("PR", M.Partial_reversal); ("FR", M.Full_reversal) ]
+  in
+  T.print
+    ~title:"30 random link failures on 40-node networks (3 seeds per rule)"
+    (T.make
+       ~headers:[ "rule"; "seed"; "repairs"; "partitions"; "total work"; "work/repair" ]
+       rows);
+  Printf.printf
+    "expected shape: most single-link failures repaired with little work;\nPR's average repair cost <= FR's.\n";
+  let module HP = Lr_routing.Height_protocol in
+  let rows =
+    List.concat_map
+      (fun (fname, family) ->
+        List.map
+          (fun n ->
+            let config = Config.of_instance (family n) in
+            let p = HP.run ~mode:HP.Partial config in
+            let f = HP.run ~mode:HP.Full config in
+            [
+              fname;
+              string_of_int n;
+              string_of_int p.HP.total_raises;
+              string_of_int p.HP.stats.Lr_sim.Network.sent;
+              string_of_int f.HP.total_raises;
+              string_of_int f.HP.stats.Lr_sim.Network.sent;
+            ])
+          [ 20; 40; 80 ])
+      [
+        ( "random DAG",
+          fun n -> Generators.random_connected_dag (rng (n * 3)) ~n ~extra_edges:n );
+        ( "unit disk",
+          fun n -> Generators.unit_disk (rng (n * 7)) ~n ~radius:(2.0 /. sqrt (float_of_int n)) );
+      ]
+  in
+  print_newline ();
+  T.print
+    ~title:
+      "asynchronous height protocol (message-passing simulation; unit disk = radio model)"
+    (T.make
+       ~headers:[ "topology"; "n"; "PR raises"; "PR msgs"; "FR raises"; "FR msgs" ]
+       rows)
+
+(* ------------------------------------------------------------------ *)
+(* D-F6: schedule independence — the ablation behind all work numbers. *)
+
+let f6 () =
+  section "D-F6"
+    "ablation: per-node work is schedule independent (Gafni-Bertsekas)";
+  let schedulers () =
+    [
+      ("first (deterministic adversary)", A.Scheduler.first ());
+      ("last", A.Scheduler.last ());
+      ("round-robin", A.Scheduler.round_robin ~index:(fun (One_step_pr.Reverse u) -> u) ());
+      ("random seed 1", A.Scheduler.random (rng 1));
+      ("random seed 2", A.Scheduler.random (rng 2));
+    ]
+  in
+  let rows = ref [] in
+  let mismatches = ref 0 in
+  List.iter
+    (fun (fname, family) ->
+      List.iter
+        (fun n ->
+          let config = Config.of_instance (family n) in
+          let works =
+            List.map
+              (fun (sname, sched) ->
+                let out =
+                  Executor.run ~scheduler:sched
+                    ~destination:config.Config.destination
+                    (One_step_pr.algo config)
+                in
+                (sname, out.Executor.total_node_steps, out.Executor.node_steps))
+              (schedulers ())
+          in
+          let _, w0, per0 = List.hd works in
+          let all_equal =
+            List.for_all
+              (fun (_, w, per) -> w = w0 && Node.Map.equal Int.equal per per0)
+              works
+          in
+          if not all_equal then incr mismatches;
+          rows :=
+            [ fname; string_of_int n; string_of_int w0;
+              string_of_bool all_equal ]
+            :: !rows)
+        [ 16; 32; 64 ])
+    [ ("sawtooth", Generators.sawtooth);
+      ("bad chain", Generators.bad_chain);
+      ("random", fun n -> Generators.random_connected_dag (rng n) ~n ~extra_edges:(n / 2)) ];
+  T.print
+    ~title:"PR work under 5 schedulers (equal = identical per-node counts)"
+    (T.make
+       ~headers:[ "family"; "n"; "work"; "all 5 schedulers equal" ]
+       (List.rev !rows));
+  Printf.printf "mismatches: %d  (theory: 0 — reversal work is schedule independent)\n"
+    !mismatches
+
+(* ------------------------------------------------------------------ *)
+(* D-F7: TORA under a failure storm. *)
+
+let f7 () =
+  section "D-F7" "TORA: failure storm on 30-node networks";
+  let trial seed =
+    let config =
+      Config.of_instance
+        (Generators.random_connected_dag_dest (rng seed) ~n:30 ~extra_edges:25
+           ~destination:0)
+    in
+    let t = Lr_routing.Tora.create config in
+    let r = rng (seed + 1000) in
+    let repaired = ref 0 and partitions = ref 0 and heals = ref 0 in
+    for _ = 1 to 40 do
+      let edges =
+        Edge.Set.elements (Undirected.edges (Lr_routing.Tora.skeleton t))
+      in
+      if edges <> [] then begin
+        let e = List.nth edges (Random.State.int r (List.length edges)) in
+        let u, v = Edge.endpoints e in
+        match Lr_routing.Tora.fail_link t u v with
+        | Lr_routing.Tora.Maintained _ -> incr repaired
+        | Lr_routing.Tora.Partition_detected { cleared; _ } ->
+            incr partitions;
+            (match Node.Set.choose_opt cleared with
+            | Some w
+              when not (Undirected.mem_edge (Lr_routing.Tora.skeleton t) w 0) ->
+                incr heals;
+                ignore (Lr_routing.Tora.add_link t w 0)
+            | _ -> ())
+      end
+    done;
+    ( !repaired,
+      !partitions,
+      !heals,
+      Lr_routing.Tora.reactions_total t,
+      Lr_routing.Tora.routed_fraction t,
+      Lr_routing.Tora.acyclic t )
+  in
+  let rows =
+    List.map
+      (fun seed ->
+        let repaired, partitions, heals, reactions, routed, acyclic =
+          trial seed
+        in
+        [
+          string_of_int seed;
+          string_of_int repaired;
+          string_of_int partitions;
+          string_of_int heals;
+          string_of_int reactions;
+          Printf.sprintf "%.0f%%" (100.0 *. routed);
+          string_of_bool acyclic;
+        ])
+      [ 1; 2; 3; 4; 5 ]
+  in
+  T.print ~title:"40 random link failures per trial (partitions healed)"
+    (T.make
+       ~headers:
+         [ "seed"; "repaired"; "partitions"; "heals"; "reactions"; "routed"; "acyclic" ]
+       rows);
+  Printf.printf
+    "expected shape: routes always restored, acyclic throughout; partitions\ndetected by case 4 (a node's own reflected reference level returning).\n"
+
+(* ------------------------------------------------------------------ *)
+(* D-F8: time vs work — greedy maximal-parallel rounds. *)
+
+let f8 () =
+  section "D-F8" "parallel time: rounds with all sinks stepping at once";
+  let rows =
+    List.concat_map
+      (fun (fname, family) ->
+        List.map
+          (fun n ->
+            let config = Config.of_instance (family n) in
+            (* Greedy: fire the largest enabled sink set each round. *)
+            let greedy =
+              A.Scheduler.greedy
+                ~score:(fun (Pr.Reverse s) -> Node.Set.cardinal s)
+                ()
+            in
+            let out_par =
+              Executor.run ~scheduler:greedy
+                ~destination:config.Config.destination
+                (Pr.algo ~mode:Pr.Singletons_and_max config)
+            in
+            let out_seq =
+              Executor.run
+                ~scheduler:(A.Scheduler.first ())
+                ~destination:config.Config.destination
+                (Pr.algo ~mode:Pr.Singletons config)
+            in
+            [
+              fname;
+              string_of_int n;
+              string_of_int out_seq.Executor.steps;
+              string_of_int out_par.Executor.steps;
+              string_of_int out_par.Executor.total_node_steps;
+              Printf.sprintf "%.1f"
+                (float_of_int out_seq.Executor.steps
+                /. float_of_int (max 1 out_par.Executor.steps));
+            ])
+          [ 16; 32; 64; 128 ])
+      [
+        ("sawtooth", Generators.sawtooth);
+        ("bad chain", Generators.bad_chain);
+        ( "random",
+          fun n -> Generators.random_connected_dag (rng (5 * n)) ~n ~extra_edges:(n / 2) );
+      ]
+  in
+  T.print
+    ~title:"sequential steps vs greedy concurrent rounds (same total work)"
+    (T.make
+       ~headers:[ "family"; "n"; "seq steps"; "rounds"; "total work"; "speedup" ]
+       rows);
+  Printf.printf
+    "expected shape: total work is invariant; concurrent rounds expose the\nparallelism the paper's reverse(S) action models (sinks are independent).\n"
+
+(* ------------------------------------------------------------------ *)
+(* D-F9: scale — the array engine on large instances. *)
+
+let f9 () =
+  section "D-F9" "scale: the array engine (lr_fast) on large instances";
+  let module F = Lr_fast.Fast_engine in
+  let time f =
+    let t0 = Sys.time () in
+    let r = f () in
+    (r, Sys.time () -. t0)
+  in
+  let rows =
+    List.map
+      (fun (name, rule, inst) ->
+        let engine, t_build = time (fun () -> F.create inst) in
+        let out, t_run = time (fun () -> F.run rule engine) in
+        [
+          name;
+          string_of_int (Lr_graph.Digraph.num_nodes inst.Generators.graph);
+          string_of_int out.F.work;
+          string_of_bool (out.F.quiescent && out.F.destination_oriented);
+          Printf.sprintf "%.0f ms" (1000.0 *. (t_build +. t_run));
+          (if out.F.work = 0 then "-"
+           else Printf.sprintf "%.0f ns" (1e9 *. t_run /. float_of_int out.F.work));
+        ])
+      [
+        ("PR sawtooth 2k (10^6 steps)", F.Partial, Generators.sawtooth 2_000);
+        ("PR sawtooth 6k (9*10^6 steps)", F.Partial, Generators.sawtooth 6_000);
+        ("FR bad chain 4k (8*10^6 steps)", F.Full, Generators.bad_chain 4_000);
+        ( "PR random 100k nodes",
+          F.Partial,
+          Generators.random_connected_dag (rng 3) ~n:100_000 ~extra_edges:50_000 );
+        ( "PR unit disk 20k nodes",
+          F.Partial,
+          Generators.unit_disk (rng 4) ~n:20_000 ~radius:0.02 );
+      ]
+  in
+  T.print ~title:"array engine: work, wall time, cost per reversal"
+    (T.make
+       ~headers:[ "instance"; "nodes"; "work"; "correct"; "time"; "per step" ]
+       rows);
+  Printf.printf
+    "note: the engine is differentially tested against the persistent automata\n(same work, same per-node counts, same final graph) in test_fast_engine.ml.\n"
+
+(* ------------------------------------------------------------------ *)
+(* D-B1: Bechamel micro-benchmarks. *)
+
+let micro () =
+  section "D-B1" "per-step cost micro-benchmarks (Bechamel)";
+  let open Bechamel in
+  let config = Config.of_instance (Generators.sawtooth 64) in
+  let pr_state = Pr.initial config in
+  let np_state = New_pr.initial config in
+  let h_state = Heights.pr_initial config in
+  let fr_state = Full_reversal.initial config in
+  (* node 1 is a sink of the sawtooth *)
+  let sink = 1 in
+  let tests =
+    Test.make_grouped ~name:"step" ~fmt:"%s %s"
+      [
+        Test.make ~name:"PR reverse(u)"
+          (Staged.stage (fun () ->
+               ignore (Pr.apply config pr_state (Node.Set.singleton sink))));
+        Test.make ~name:"NewPR reverse(u)"
+          (Staged.stage (fun () -> ignore (New_pr.apply config np_state sink)));
+        Test.make ~name:"FR reverse(u)"
+          (Staged.stage (fun () -> ignore (Full_reversal.apply fr_state sink)));
+        Test.make ~name:"PR-heights reverse(u)"
+          (Staged.stage (fun () -> ignore (Heights.pr_apply config h_state sink)));
+        Test.make ~name:"sinks-of-graph (n=64)"
+          (Staged.stage (fun () -> ignore (Digraph.sinks pr_state.Pr.graph)));
+        Test.make ~name:"acyclicity check (n=64)"
+          (Staged.stage (fun () -> ignore (Digraph.is_acyclic pr_state.Pr.graph)));
+        Test.make ~name:"full PR run (sawtooth n=32)"
+          (Staged.stage (fun () ->
+               let c = Config.of_instance (Generators.sawtooth 32) in
+               ignore
+                 (Executor.run
+                    ~scheduler:(A.Scheduler.first ())
+                    ~destination:0
+                    (Pr.algo ~mode:Pr.Singletons c))));
+        Test.make ~name:"full FR run (bad chain n=32)"
+          (Staged.stage (fun () ->
+               let c = Config.of_instance (Generators.bad_chain 32) in
+               ignore
+                 (Executor.run
+                    ~scheduler:(A.Scheduler.first ())
+                    ~destination:0 (Full_reversal.algo c))));
+      ]
+  in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) ()
+  in
+  let raw = Benchmark.all cfg instances tests in
+  let results =
+    List.map (fun instance -> Analyze.all ols instance raw) instances
+  in
+  let results = Analyze.merge ols instances results in
+  Hashtbl.iter
+    (fun _measure table ->
+      let rows =
+        Hashtbl.fold
+          (fun name ols acc ->
+            let ns =
+              match Analyze.OLS.estimates ols with
+              | Some (x :: _) -> Printf.sprintf "%.1f" x
+              | _ -> "?"
+            in
+            [ name; ns ] :: acc)
+          table []
+        |> List.sort compare
+      in
+      T.print (T.make ~headers:[ "benchmark"; "ns/run" ] rows))
+    results
+
+(* ------------------------------------------------------------------ *)
+
+let experiments =
+  [
+    ("t1", t1); ("t2", t2); ("t3", t3); ("t4", t4); ("t5", t5);
+    ("f1", f1); ("f2", f2); ("f3", f3); ("f4", f4); ("f5", f5);
+    ("f6", f6); ("f7", f7); ("f8", f8); ("f9", f9);
+    ("micro", micro);
+  ]
+
+let () =
+  match Array.to_list Sys.argv with
+  | _ :: ((_ :: _) as picked) ->
+      List.iter
+        (fun id ->
+          match List.assoc_opt id experiments with
+          | Some f -> f ()
+          | None ->
+              Printf.eprintf "unknown experiment %S (have: %s)\n" id
+                (String.concat ", " (List.map fst experiments));
+              exit 1)
+        picked
+  | _ -> List.iter (fun (_, f) -> f ()) experiments

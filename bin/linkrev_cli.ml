@@ -1,0 +1,413 @@
+(* linkrev — command-line driver for the link reversal library.
+
+   Subcommands:
+     run    run one algorithm on one instance, print the outcome
+     sweep  run a size sweep and print the work table
+     check  model-check the paper's statements on small instances
+     game   analyse FR/PR strategy profiles on a small instance *)
+
+open Lr_graph
+open Linkrev
+open Cmdliner
+
+(* {1 Shared argument parsing} *)
+
+let family_of_string rng name n =
+  match name with
+  | "bad-chain" -> Ok (Generators.bad_chain n)
+  | "good-chain" -> Ok (Generators.good_chain n)
+  | "sawtooth" -> Ok (Generators.sawtooth n)
+  | "half-bad-chain" -> Ok (Generators.half_bad_chain n)
+  | "ring" -> Ok (Generators.ring n)
+  | "star" -> Ok (Generators.star ~center:0 ~leaves:(max 1 (n - 1)) ~inward:false)
+  | "tree" ->
+      let depth = max 1 (int_of_float (Float.log2 (float_of_int (max 2 n)))) in
+      Ok (Generators.binary_tree ~depth)
+  | "grid" ->
+      let side = max 2 (int_of_float (sqrt (float_of_int n))) in
+      Ok (Generators.grid ~rows:side ~cols:side)
+  | "random" -> Ok (Generators.random_connected_dag rng ~n ~extra_edges:(n / 2))
+  | other -> Error (Printf.sprintf "unknown family %S" other)
+
+let all_families =
+  [ "bad-chain"; "good-chain"; "sawtooth"; "half-bad-chain"; "ring"; "star";
+    "tree"; "grid"; "random" ]
+
+let algo_conv =
+  let parse = function
+    | "fr" -> Ok Lr_analysis.Work.FR
+    | "pr" -> Ok Lr_analysis.Work.PR
+    | "newpr" -> Ok Lr_analysis.Work.NewPR
+    | "fr-heights" -> Ok Lr_analysis.Work.FR_heights
+    | "pr-heights" -> Ok Lr_analysis.Work.PR_heights
+    | s -> Error (`Msg (Printf.sprintf "unknown algorithm %S" s))
+  in
+  Arg.conv (parse, fun ppf a -> Fmt.string ppf (Lr_analysis.Work.algorithm_name a))
+
+let family_arg =
+  let doc =
+    "Graph family: " ^ String.concat ", " all_families ^ "."
+  in
+  Arg.(value & opt string "random" & info [ "family"; "f" ] ~docv:"FAMILY" ~doc)
+
+let n_arg =
+  Arg.(value & opt int 20 & info [ "n"; "size" ] ~docv:"N" ~doc:"Instance size.")
+
+let seed_arg =
+  Arg.(value & opt int 0 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
+
+let algo_arg =
+  Arg.(
+    value
+    & opt algo_conv Lr_analysis.Work.PR
+    & info [ "algo"; "a" ] ~docv:"ALGO"
+        ~doc:"Algorithm: fr, pr, newpr, fr-heights, pr-heights.")
+
+let graph_file_arg =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "graph-file"; "g" ] ~docv:"FILE"
+        ~doc:
+          "Read the instance from $(docv) (lines: 'destination D', 'U V' \
+           directed edges, 'node U'; see Serial) instead of generating one.")
+
+let instance ?graph_file ~family ~n ~seed () =
+  let from_generator () =
+    let rng = Random.State.make [| 0xc11; seed |] in
+    match family_of_string rng family n with
+    | Error e -> Error e
+    | Ok inst ->
+        Config.make inst.Generators.graph
+          ~destination:inst.Generators.destination
+  in
+  match graph_file with
+  | None -> from_generator ()
+  | Some path -> (
+      match Serial.load_instance path with
+      | Error e -> Error e
+      | Ok inst ->
+          Config.make inst.Generators.graph
+            ~destination:inst.Generators.destination)
+
+(* {1 run} *)
+
+let run_cmd =
+  let dot_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "dot" ] ~docv:"FILE" ~doc:"Write the final graph as DOT to $(docv).")
+  in
+  let invariants_arg =
+    Arg.(
+      value & flag
+      & info [ "check-invariants" ]
+          ~doc:"Check the paper's invariants at every state of the run.")
+  in
+  let run family n seed algo dot check_invs graph_file =
+    match instance ?graph_file ~family ~n ~seed () with
+    | Error e -> `Error (false, e)
+    | Ok config ->
+        let out = Lr_analysis.Work.run_one ~seed algo config in
+        let source =
+          match graph_file with
+          | Some f -> Printf.sprintf "file %s" f
+          | None -> Printf.sprintf "family %s, n = %d" family n
+        in
+        Format.printf "%s, destination = %a, bad nodes = %d@." source Node.pp
+          config.Config.destination
+          (Node.Set.cardinal (Config.bad_nodes config));
+        Format.printf "%a@." Executor.pp out;
+        (match dot with
+        | Some file ->
+            Dot.to_file file
+              (Dot.of_digraph ~destination:config.Config.destination
+                 out.Executor.final_graph);
+            Format.printf "wrote %s@." file
+        | None -> ());
+        if check_invs then begin
+          let exec =
+            Lr_automata.Execution.run
+              ~scheduler:(Lr_automata.Scheduler.random (Random.State.make [| seed |]))
+              (Pr.automaton ~mode:Pr.Singletons config)
+          in
+          match
+            Lr_automata.Invariant.check_execution (Invariants.pr_all config) exec
+          with
+          | None -> Format.printf "PR invariants: OK on a fresh random execution@."
+          | Some v ->
+              Format.printf "PR invariants: %a@!"
+                Lr_automata.Invariant.pp_violation v
+        end;
+        `Ok ()
+  in
+  let term =
+    Term.(ret (const run $ family_arg $ n_arg $ seed_arg $ algo_arg $ dot_arg
+               $ invariants_arg $ graph_file_arg))
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Run one algorithm on one instance.") term
+
+(* {1 sweep} *)
+
+let sweep_cmd =
+  let sizes_arg =
+    Arg.(
+      value
+      & opt (list int) [ 8; 16; 32; 64 ]
+      & info [ "sizes" ] ~docv:"SIZES" ~doc:"Comma-separated instance sizes.")
+  in
+  let csv_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "csv" ] ~docv:"FILE" ~doc:"Also write the rows as CSV to $(docv).")
+  in
+  let sweep family sizes seed algo csv =
+    let rng = Random.State.make [| 0xc11; seed |] in
+    let family_fn n =
+      match family_of_string rng family n with
+      | Ok inst -> inst
+      | Error e -> failwith e
+    in
+    match
+      Lr_analysis.Work.sweep ~seed algo ~family:family_fn ~sizes ()
+    with
+    | rows ->
+        let table = Lr_analysis.Work.rows_to_table algo rows in
+        Lr_analysis.Table.print
+          ~title:(Printf.sprintf "%s on %s"
+                    (Lr_analysis.Work.algorithm_name algo) family)
+          table;
+        (try
+           Format.printf "growth exponent (work vs bad nodes): %.2f@."
+             (Lr_analysis.Work.exponent rows)
+         with Invalid_argument _ -> ());
+        (match csv with
+        | Some file ->
+            let oc = open_out file in
+            Fun.protect
+              ~finally:(fun () -> close_out oc)
+              (fun () -> output_string oc (Lr_analysis.Table.to_csv table));
+            Format.printf "wrote %s@." file
+        | None -> ());
+        `Ok ()
+  in
+  let term =
+    Term.(ret (const sweep $ family_arg $ sizes_arg $ seed_arg $ algo_arg $ csv_arg))
+  in
+  Cmd.v (Cmd.info "sweep" ~doc:"Work scaling over a size sweep.") term
+
+(* {1 check} *)
+
+let check_cmd =
+  let max_nodes_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "max-nodes" ] ~docv:"N"
+          ~doc:"Model-check every connected DAG instance up to $(docv) nodes (4 is fast, 5 is slow).")
+  in
+  let check max_nodes =
+    let fams = Lr_modelcheck.Modelcheck.exhaustive_families ~max_nodes in
+    Format.printf "model checking %d instances (<= %d nodes)...@."
+      (List.length fams) max_nodes;
+    let checks = ref 0 and violations = ref 0 in
+    List.iter
+      (fun config ->
+        List.iter
+          (fun r ->
+            incr checks;
+            match r.Lr_modelcheck.Modelcheck.violation with
+            | None -> ()
+            | Some v ->
+                incr violations;
+                Format.printf "VIOLATION: %s — %s@.  on instance %a@."
+                  r.Lr_modelcheck.Modelcheck.automaton v Config.pp config)
+          (Lr_modelcheck.Modelcheck.check_all config))
+      fams;
+    Format.printf "%d checks, %d violations@." !checks !violations;
+    if !violations = 0 then `Ok () else `Error (false, "violations found")
+  in
+  let term = Term.(ret (const check $ max_nodes_arg)) in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:"Exhaustively verify the paper's invariants and theorems on small instances.")
+    term
+
+(* {1 game} *)
+
+let game_cmd =
+  let game family n seed =
+    match instance ~family ~n ~seed () with
+    | Error e -> `Error (false, e)
+    | Ok config ->
+        if Node.Set.cardinal (Config.nodes config) > 12 then
+          `Error (false, "game analysis is exhaustive; use n <= 12")
+        else begin
+          let module G = Lr_analysis.Game in
+          let fr = G.uniform G.Full config and pr = G.uniform G.Partial config in
+          let rf = G.play config fr and rp = G.play config pr in
+          Format.printf "all-FR: social cost %d, Nash equilibrium: %b@."
+            rf.G.social_cost (G.is_nash config fr);
+          Format.printf "all-PR: social cost %d, Nash equilibrium: %b@."
+            rp.G.social_cost (G.is_nash config pr);
+          let _, opt = G.social_optimum config in
+          Format.printf "social optimum over all %d profiles: %d@."
+            (List.length (G.all_profiles config))
+            opt.G.social_cost;
+          `Ok ()
+        end
+  in
+  let term = Term.(ret (const game $ family_arg $ n_arg $ seed_arg)) in
+  Cmd.v
+    (Cmd.info "game"
+       ~doc:"FR/PR strategy game: social costs, equilibria, optimum (small n).")
+    term
+
+(* {1 stats} *)
+
+let stats_cmd =
+  let stats family n seed graph_file =
+    match instance ?graph_file ~family ~n ~seed () with
+    | Error e -> `Error (false, e)
+    | Ok config ->
+        let g = config.Config.initial in
+        Format.printf "%s@."
+          (Properties.orientation_profile g config.Config.destination);
+        Format.printf "density: %.2f, diameter: %s@."
+          (Properties.density (Config.skeleton config))
+          (match Path.diameter (Config.skeleton config) with
+          | Some d -> string_of_int d
+          | None -> "inf (disconnected)");
+        if Digraph.num_nodes g <= 20 then
+          print_string (Ascii.render ~destination:config.Config.destination g);
+        if Digraph.num_nodes g <= 8 then begin
+          match Lr_modelcheck.Modelcheck.state_space_stats config with
+          | Ok s ->
+              Format.printf
+                "state space: %d PR states, %d NewPR states, exact worst-case work %d@."
+                s.Lr_modelcheck.Modelcheck.pr_states
+                s.Lr_modelcheck.Modelcheck.newpr_states
+                s.Lr_modelcheck.Modelcheck.longest_execution
+          | Error e -> Format.printf "state space: %s@." e
+        end;
+        `Ok ()
+  in
+  let term =
+    Term.(ret (const stats $ family_arg $ n_arg $ seed_arg $ graph_file_arg))
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:"Structural and state-space statistics of an instance.")
+    term
+
+(* {1 theorems} *)
+
+let theorems_cmd =
+  let theorems family n seed graph_file =
+    match instance ?graph_file ~family ~n ~seed () with
+    | Error e -> `Error (false, e)
+    | Ok config ->
+        let failures = ref 0 in
+        List.iter
+          (fun (label, result) ->
+            match result with
+            | Ok () -> Format.printf "%-45s OK@." label
+            | Error e ->
+                incr failures;
+                Format.printf "%-45s FAILED: %s@." label e)
+          (Linkrev.Theorems.all ~seed config);
+        if !failures = 0 then `Ok ()
+        else `Error (false, "theorem checks failed")
+  in
+  let term =
+    Term.(ret (const theorems $ family_arg $ n_arg $ seed_arg $ graph_file_arg))
+  in
+  Cmd.v
+    (Cmd.info "theorems"
+       ~doc:"Check the classic link reversal metatheorems on an instance.")
+    term
+
+(* {1 tora} *)
+
+let tora_cmd =
+  let failures_arg =
+    Arg.(
+      value & opt int 20
+      & info [ "failures" ] ~docv:"K" ~doc:"Number of random link failures.")
+  in
+  let tora family n seed failures =
+    match instance ~family ~n ~seed () with
+    | Error e -> `Error (false, e)
+    | Ok config ->
+        let module T = Lr_routing.Tora in
+        let t = T.create config in
+        let r = Random.State.make [| 0x70; seed |] in
+        let repaired = ref 0 and partitions = ref 0 in
+        for _ = 1 to failures do
+          let edges =
+            Lr_graph.Edge.Set.elements
+              (Undirected.edges (T.skeleton t))
+          in
+          if edges <> [] then begin
+            let e = List.nth edges (Random.State.int r (List.length edges)) in
+            let u, v = Lr_graph.Edge.endpoints e in
+            match T.fail_link t u v with
+            | T.Maintained _ -> incr repaired
+            | T.Partition_detected { cleared; _ } -> (
+                incr partitions;
+                match Node.Set.choose_opt cleared with
+                | Some w
+                  when not
+                         (Undirected.mem_edge (T.skeleton t) w
+                            (T.destination t)) ->
+                    ignore (T.add_link t w (T.destination t))
+                | _ -> ())
+          end
+        done;
+        Format.printf
+          "%d failures: %d repaired, %d partitions (healed); %d reactions; routed %.0f%%; acyclic %b@."
+          failures !repaired !partitions (T.reactions_total t)
+          (100.0 *. T.routed_fraction t)
+          (T.acyclic t);
+        `Ok ()
+  in
+  let term =
+    Term.(ret (const tora $ family_arg $ n_arg $ seed_arg $ failures_arg))
+  in
+  Cmd.v (Cmd.info "tora" ~doc:"TORA route maintenance under a failure storm.") term
+
+(* {1 generate} *)
+
+let generate_cmd =
+  let out_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "output"; "o" ] ~docv:"FILE" ~doc:"Write the instance to $(docv).")
+  in
+  let generate family n seed out =
+    let rng = Random.State.make [| 0xc11; seed |] in
+    match family_of_string rng family n with
+    | Error e -> `Error (false, e)
+    | Ok inst ->
+        Serial.save_instance out inst;
+        Format.printf "wrote %s (%s)@." out
+          (Properties.orientation_profile inst.Generators.graph
+             inst.Generators.destination);
+        `Ok ()
+  in
+  let term =
+    Term.(ret (const generate $ family_arg $ n_arg $ seed_arg $ out_arg))
+  in
+  Cmd.v
+    (Cmd.info "generate"
+       ~doc:"Generate an instance file (readable back with --graph-file).")
+    term
+
+let main_cmd =
+  let doc = "link reversal algorithms (Partial Reversal Acyclicity reproduction)" in
+  Cmd.group (Cmd.info "linkrev" ~version:"1.0.0" ~doc)
+    [ run_cmd; sweep_cmd; check_cmd; game_cmd; stats_cmd; theorems_cmd;
+      tora_cmd; generate_cmd ]
+
+let () = exit (Cmd.eval main_cmd)

@@ -1,0 +1,47 @@
+(* Leader election by link reversal: when the destination (leader)
+   crashes, every surviving component elects a replacement and the
+   reversal machinery re-orients all routes toward it.
+
+   Run with: dune exec examples/leader_failover.exe *)
+
+open Lr_graph
+module F = Lr_routing.Failover
+module M = Lr_routing.Maintenance
+
+let demo name config =
+  Format.printf "== %s ==@." name;
+  Format.printf "before: %s@."
+    (Properties.orientation_profile config.Linkrev.Config.initial
+       config.Linkrev.Config.destination);
+  List.iter
+    (fun rule ->
+      let rule_name =
+        match rule with
+        | M.Partial_reversal -> "partial reversal"
+        | M.Full_reversal -> "full reversal"
+      in
+      let outcomes = F.elect_after_destination_failure rule config in
+      Format.printf "after crash (%s): %d component(s)@." rule_name
+        (List.length outcomes);
+      List.iter
+        (fun o ->
+          Format.printf
+            "  leader %a over %d node(s): %d reversals, oriented: %b@." Node.pp
+            o.F.leader
+            (Node.Set.cardinal o.F.members)
+            o.F.node_steps o.F.oriented)
+        outcomes)
+    [ M.Partial_reversal; M.Full_reversal ];
+  Format.printf "@."
+
+let () =
+  let rng = Random.State.make [| 31337 |] in
+  demo "well-connected network (one survivor component)"
+    (Linkrev.Config.of_instance
+       (Generators.random_connected_dag_dest rng ~n:16 ~extra_edges:20
+          ~destination:0));
+  demo "chain with the leader in the middle (splits in two)"
+    (Linkrev.Config.of_instance (Generators.half_bad_chain 9));
+  demo "star with the leader at the centre (shatters)"
+    (Linkrev.Config.of_instance
+       (Generators.star ~center:0 ~leaves:5 ~inward:true))

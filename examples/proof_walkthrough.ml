@@ -1,0 +1,110 @@
+(* A guided tour of the paper's proof on a concrete graph.
+
+   Follows the paper's structure: run PR and check Invariants 3.1/3.2
+   (Section 3); run NewPR and check Invariants 4.1/4.2 and acyclicity
+   (Section 4); replay the simulation relations R' and R that transfer
+   the proof back to PR (Section 5); finish with an exhaustive model
+   check of a small instance, the machine analogue of "in every
+   reachable state".
+
+   Run with: dune exec examples/proof_walkthrough.exe *)
+
+open Lr_graph
+open Linkrev
+module A = Lr_automata
+module MC = Lr_modelcheck.Modelcheck
+
+let header fmt = Format.printf ("@.=== " ^^ fmt ^^ " ===@.")
+
+let () =
+  (* The diamond with a tail: 0 is the destination; 3 and 4 are bad. *)
+  let graph =
+    Digraph.of_directed_edges [ (0, 1); (0, 2); (1, 3); (2, 3); (3, 4) ]
+  in
+  let config = Config.make_exn graph ~destination:0 in
+  Format.printf "instance:@.%a@." Config.pp config;
+
+  header "Section 3: PR and its list invariants";
+  let exec_pr =
+    A.Execution.run ~scheduler:(A.Scheduler.first ())
+      (Pr.automaton ~mode:Pr.Singletons config)
+  in
+  List.iteri
+    (fun i (s : Pr.state) ->
+      let lists =
+        Node.Set.fold
+          (fun u acc ->
+            let l = Pr.list_of s u in
+            if Node.Set.is_empty l then acc
+            else Format.asprintf "%s list[%a]=%a" acc Node.pp u Node.Set.pp l)
+          (Config.nodes config) ""
+      in
+      Format.printf "state %d: sinks %a%s@." i Node.Set.pp
+        (Digraph.sinks s.Pr.graph) lists)
+    (A.Execution.states exec_pr);
+  (match A.Invariant.check_execution (Invariants.pr_all config) exec_pr with
+  | None ->
+      Format.printf
+        "Invariant 3.1, Invariant 3.2, Corollaries 3.3/3.4: hold in every state ✔@."
+  | Some v -> Format.printf "violated: %a@." A.Invariant.pp_violation v);
+
+  header "Section 4: NewPR, parities and the left-right embedding";
+  Format.printf "embedding (topological order): %a@." Embedding.pp
+    config.Config.embedding;
+  let exec_np =
+    A.Execution.run ~scheduler:(A.Scheduler.first ()) (New_pr.automaton config)
+  in
+  List.iter
+    (fun { A.Execution.before; action = New_pr.Reverse u; after } ->
+      Format.printf
+        "reverse(%a): parity was %a, reversed initial %s-nbrs%s@." Node.pp u
+        New_pr.pp_parity (New_pr.parity before u)
+        (match New_pr.parity before u with New_pr.Even -> "in" | New_pr.Odd -> "out")
+        (if New_pr.is_dummy_step config before u then "  [dummy step]"
+         else "");
+      ignore after)
+    exec_np.A.Execution.steps;
+  (match A.Invariant.check_execution (Invariants.newpr_all config) exec_np with
+  | None ->
+      Format.printf
+        "Invariant 4.1, Invariant 4.2, Theorem 4.3 (acyclicity): hold ✔@."
+  | Some v -> Format.printf "violated: %a@." A.Invariant.pp_violation v);
+
+  header "Section 5: simulation relations R' and R";
+  (match
+     Simulation_rel.check_r_prime ~scheduler:(A.Scheduler.first ()) config
+   with
+  | Ok exec ->
+      Format.printf
+        "R' (PR -> OneStepPR): every reverse(S) matched by singleton steps — %d steps replayed ✔@."
+        (A.Execution.length exec)
+  | Error e -> Format.printf "R' failed: %s@." e);
+  (match Simulation_rel.check_r ~scheduler:(A.Scheduler.first ()) config with
+  | Ok exec ->
+      Format.printf
+        "R (OneStepPR -> NewPR): matched, dummy steps inserted where lists were full — %d NewPR steps ✔@."
+        (A.Execution.length exec)
+  | Error e -> Format.printf "R failed: %s@." e);
+  (match
+     Simulation_rel.check_r_reverse ~scheduler:(A.Scheduler.first ()) config
+   with
+  | Ok exec ->
+      Format.printf
+        "reverse direction (the paper's future work): NewPR -> OneStepPR matched with %d steps ✔@."
+        (A.Execution.length exec)
+  | Error e -> Format.printf "reverse direction failed: %s@." e);
+
+  header "Exhaustive check (every reachable state, small instance)";
+  List.iter
+    (fun report -> Format.printf "%a@." MC.pp_report report)
+    (MC.check_all config);
+
+  header "Conclusion";
+  Format.printf
+    "PR's final graph equals NewPR's, and both are acyclic in every state:@.";
+  let final_pr = (A.Execution.final exec_pr).Pr.graph in
+  let final_np = (A.Execution.final exec_np).New_pr.graph in
+  Format.printf "  graphs equal: %b; acyclic: %b; destination-oriented: %b@."
+    (Digraph.equal final_pr final_np)
+    (Digraph.is_acyclic final_pr)
+    (Digraph.is_destination_oriented final_pr 0)

@@ -1,0 +1,52 @@
+let mean = function
+  | [] -> 0.0
+  | xs -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let stddev = function
+  | [] | [ _ ] -> 0.0
+  | xs ->
+      let m = mean xs in
+      let var = mean (List.map (fun x -> (x -. m) ** 2.0) xs) in
+      sqrt var
+
+let sorted xs = List.sort Float.compare xs
+
+let percentile p xs =
+  match sorted xs with
+  | [] -> 0.0
+  | s ->
+      let n = List.length s in
+      let rank =
+        int_of_float (ceil (p /. 100.0 *. float_of_int n)) - 1
+        |> max 0
+        |> min (n - 1)
+      in
+      List.nth s rank
+
+let median xs = percentile 50.0 xs
+let minimum = function [] -> 0.0 | xs -> List.fold_left Float.min infinity xs
+let maximum = function
+  | [] -> 0.0
+  | xs -> List.fold_left Float.max neg_infinity xs
+
+let linear_fit points =
+  let n = List.length points in
+  if n < 2 then invalid_arg "Stats.linear_fit: need at least two points";
+  let nf = float_of_int n in
+  let sx = List.fold_left (fun a (x, _) -> a +. x) 0.0 points in
+  let sy = List.fold_left (fun a (_, y) -> a +. y) 0.0 points in
+  let sxx = List.fold_left (fun a (x, _) -> a +. (x *. x)) 0.0 points in
+  let sxy = List.fold_left (fun a (x, y) -> a +. (x *. y)) 0.0 points in
+  let denom = (nf *. sxx) -. (sx *. sx) in
+  if Float.abs denom < 1e-12 then
+    invalid_arg "Stats.linear_fit: zero x-variance";
+  let slope = ((nf *. sxy) -. (sx *. sy)) /. denom in
+  (slope, (sy -. (slope *. sx)) /. nf)
+
+let growth_exponent points =
+  let logs =
+    List.filter_map
+      (fun (x, y) -> if x > 0.0 && y > 0.0 then Some (log x, log y) else None)
+      points
+  in
+  fst (linear_fit logs)

@@ -1,0 +1,22 @@
+(** Small numeric helpers for the experiment harness. *)
+
+val mean : float list -> float
+(** 0 on the empty list. *)
+
+val stddev : float list -> float
+(** Population standard deviation; 0 for fewer than two samples. *)
+
+val median : float list -> float
+val percentile : float -> float list -> float
+(** [percentile p xs] for [p] in [0, 100], nearest-rank. *)
+
+val minimum : float list -> float
+val maximum : float list -> float
+
+val linear_fit : (float * float) list -> float * float
+(** Least-squares [(slope, intercept)].  @raise Invalid_argument on
+    fewer than two points or zero x-variance. *)
+
+val growth_exponent : (float * float) list -> float
+(** Slope of the log-log fit — ~1 for linear growth, ~2 for quadratic.
+    Points with non-positive coordinates are dropped. *)

@@ -1,0 +1,43 @@
+(** Work measurements: how many reversal steps an algorithm needs on a
+    graph family, and how that scales — the quantitative context of the
+    paper's Section 1 (the Θ(n_b²) worst case shared by FR and PR, and
+    PR's practical advantage). *)
+
+open Lr_graph
+
+type algorithm = FR | PR | NewPR | FR_heights | PR_heights
+
+val algorithm_name : algorithm -> string
+
+val run_one :
+  ?seed:int ->
+  ?max_steps:int ->
+  algorithm ->
+  Linkrev.Config.t ->
+  Linkrev.Executor.outcome
+(** One run to quiescence under a seeded random single-node scheduler. *)
+
+type row = {
+  n : int;  (** Requested family size. *)
+  nodes : int;
+  bad : int;  (** Initially route-less nodes ([n_b]). *)
+  work : int;  (** Total node steps. *)
+  edge_reversals : int;
+  quiescent : bool;
+  oriented : bool;
+}
+
+val sweep :
+  ?seed:int ->
+  ?max_steps:int ->
+  algorithm ->
+  family:(int -> Generators.instance) ->
+  sizes:int list ->
+  unit ->
+  row list
+
+val exponent : row list -> float
+(** Growth exponent of [work] against [bad] (log-log slope); rows with
+    zero work or zero bad nodes are ignored. *)
+
+val rows_to_table : algorithm -> row list -> Table.t

@@ -1,0 +1,48 @@
+(** I/O automata (Lynch, {i Distributed Algorithms}, ch. 8), restricted
+    to the closed, untimed, single-component systems used in the paper:
+    a state set with a unique initial state, a set of actions, an
+    enabledness predicate and a transition function.
+
+    An automaton is a first-class value so that the same machinery —
+    executions, schedulers, invariant checking, simulation relations —
+    applies uniformly to [PR], [OneStepPR], [NewPR], [FR] and the
+    height-based variants. *)
+
+type ('s, 'a) t = {
+  name : string;
+  initial : 's;
+  enabled : 's -> 'a list;
+      (** All actions enabled in the state, in a deterministic order. *)
+  step : 's -> 'a -> 's;
+      (** Apply an action.  Must only be called on enabled actions;
+          implementations are encouraged to raise [Invalid_argument]
+          otherwise. *)
+  is_enabled : 's -> 'a -> bool;
+  equal_state : 's -> 's -> bool;
+  pp_state : Format.formatter -> 's -> unit;
+  pp_action : Format.formatter -> 'a -> unit;
+}
+
+val make :
+  name:string ->
+  initial:'s ->
+  enabled:('s -> 'a list) ->
+  step:('s -> 'a -> 's) ->
+  ?is_enabled:('s -> 'a -> bool) ->
+  ?equal_state:('s -> 's -> bool) ->
+  ?pp_state:(Format.formatter -> 's -> unit) ->
+  ?pp_action:(Format.formatter -> 'a -> unit) ->
+  unit ->
+  ('s, 'a) t
+(** [is_enabled] defaults to membership in [enabled] (using structural
+    equality of actions); [equal_state] to structural equality;
+    printers to opaque placeholders. *)
+
+val quiescent : ('s, 'a) t -> 's -> bool
+(** No action enabled. *)
+
+val reachable :
+  ?max_states:int -> key:('s -> string) -> ('s, 'a) t -> ('s list, string) result
+(** Breadth-first enumeration of all reachable states, using [key] as a
+    canonical hash key.  [Error] when [max_states] (default [1_000_000])
+    is exceeded. *)

@@ -1,0 +1,45 @@
+type 'c starvation = { actor : 'c; from_step : int; steps_enabled : int }
+
+let check (type c) ~(classify : _ -> c) ~patience exec =
+  let module M = Map.Make (struct
+    type t = c
+
+    let compare = compare
+  end) in
+  let aut = exec.Execution.automaton in
+  let enabled_classes s =
+    List.fold_left
+      (fun acc a -> M.add (classify a) () acc)
+      M.empty
+      (aut.Automaton.enabled s)
+  in
+  (* [windows] maps each currently-enabled class to the step index since
+     which it has been continuously enabled without firing. *)
+  let _, _, starved =
+    List.fold_left
+      (fun (i, windows, starved) { Execution.before; action; _ } ->
+        let enabled = enabled_classes before in
+        let windows =
+          M.fold
+            (fun cls () w -> if M.mem cls w then w else M.add cls i w)
+            enabled
+            (M.filter (fun cls _ -> M.mem cls enabled) windows)
+        in
+        let fired = classify action in
+        let starved =
+          M.fold
+            (fun cls from acc ->
+              let length = i - from + 1 in
+              if compare cls fired <> 0 && length = patience then
+                { actor = cls; from_step = from; steps_enabled = length }
+                :: acc
+              else acc)
+            windows starved
+        in
+        (i + 1, M.remove fired windows, starved))
+      (0, M.empty, [])
+      exec.Execution.steps
+  in
+  List.rev starved
+
+let is_fair ~classify ~patience exec = check ~classify ~patience exec = []

@@ -1,0 +1,29 @@
+(** Weak fairness of recorded executions (Lynch, ch. 8: in a fair
+    execution, a task that stays enabled is eventually performed).
+
+    The paper's task structure puts every [reverse] action in one task,
+    so for link reversal the interesting notion is {e per-actor}
+    fairness: a node that stays a sink must eventually reverse.  The
+    checker below takes an action classifier and reports actors whose
+    class was continuously enabled for more than [patience] consecutive
+    steps without being scheduled — the executable form of "this
+    scheduler starves node u". *)
+
+type 'c starvation = {
+  actor : 'c;  (** The starved class. *)
+  from_step : int;  (** First step of the continuously-enabled window. *)
+  steps_enabled : int;
+}
+
+val check :
+  classify:('a -> 'c) ->
+  patience:int ->
+  ('s, 'a) Execution.t ->
+  'c starvation list
+(** All classes that, at some point of the execution, were enabled for
+    [patience] consecutive pre-states without any of their actions being
+    fired.  A quiescent execution with no starvation report is weakly
+    fair for every patience above its length. *)
+
+val is_fair :
+  classify:('a -> 'c) -> patience:int -> ('s, 'a) Execution.t -> bool

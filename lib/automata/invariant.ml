@@ -1,0 +1,39 @@
+type 's t = { name : string; check : 's -> (unit, string) result }
+
+let make ~name check = { name; check }
+
+let of_predicate ~name p =
+  { name; check = (fun s -> if p s then Ok () else Error name) }
+
+let all ~name invs =
+  let check s =
+    let rec loop = function
+      | [] -> Ok ()
+      | inv :: rest -> (
+          match inv.check s with
+          | Ok () -> loop rest
+          | Error e -> Error (Printf.sprintf "%s: %s" inv.name e))
+    in
+    loop invs
+  in
+  { name; check }
+
+type 's violation = { invariant : string; state_index : int; reason : string }
+
+let pp_violation ppf v =
+  Format.fprintf ppf "invariant %s violated at state %d: %s" v.invariant
+    v.state_index v.reason
+
+let check_states inv states =
+  let rec loop i = function
+    | [] -> None
+    | s :: rest -> (
+        match inv.check s with
+        | Ok () -> loop (i + 1) rest
+        | Error reason ->
+            Some { invariant = inv.name; state_index = i; reason })
+  in
+  loop 0 states
+
+let check_execution inv exec = check_states inv (Execution.states exec)
+let holds_on inv exec = check_execution inv exec = None

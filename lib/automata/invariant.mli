@@ -1,0 +1,27 @@
+(** Named, checkable state predicates.
+
+    The paper's Invariants 3.1, 3.2, 4.1 and 4.2 are statements about
+    every reachable state.  Here an invariant is a predicate returning
+    [Ok ()] or a human-readable violation; checkers apply it to every
+    state of an execution or of an exhaustive reachable-state set. *)
+
+type 's t = { name : string; check : 's -> (unit, string) result }
+
+val make : name:string -> ('s -> (unit, string) result) -> 's t
+
+val of_predicate : name:string -> ('s -> bool) -> 's t
+(** Violation message is just the invariant name. *)
+
+val all : name:string -> 's t list -> 's t
+(** Conjunction; reports the first failing conjunct. *)
+
+type 's violation = { invariant : string; state_index : int; reason : string }
+
+val pp_violation : Format.formatter -> 's violation -> unit
+
+val check_execution : 's t -> ('s, 'a) Execution.t -> ('s violation option)
+(** First violated state along the execution (index 0 = initial). *)
+
+val check_states : 's t -> 's list -> 's violation option
+
+val holds_on : 's t -> ('s, 'a) Execution.t -> bool

@@ -1,0 +1,39 @@
+type ('sa, 'sb) outcome = {
+  steps : int;
+  quiescent : bool;
+  final_a : 'sa;
+  final_b : 'sb;
+}
+
+let run ~(a : ('sa, 'aa) Automaton.t) ~(b : ('sb, 'ab) Automaton.t) ~translate
+    ~related ~scheduler ?(max_steps = 100_000) () =
+  let fail i fmt = Format.kasprintf (fun m -> Error (Printf.sprintf "step %d: %s" i m)) fmt in
+  let rec apply_b sb i = function
+    | [] -> Ok sb
+    | act :: rest ->
+        if not (b.Automaton.is_enabled sb act) then
+          fail i "translated action %a not enabled in %s" b.Automaton.pp_action
+            act b.Automaton.name
+        else apply_b (b.Automaton.step sb act) i rest
+  in
+  let rec loop sa sb i =
+    if not (related sa sb) then fail i "states unrelated"
+    else if i >= max_steps then
+      Ok { steps = i; quiescent = false; final_a = sa; final_b = sb }
+    else
+      match scheduler sa (a.Automaton.enabled sa) with
+      | None ->
+          Ok
+            {
+              steps = i;
+              quiescent = Automaton.quiescent a sa;
+              final_a = sa;
+              final_b = sb;
+            }
+      | Some act -> (
+          let sa' = a.Automaton.step sa act in
+          match apply_b sb (i + 1) (translate sa act) with
+          | Error _ as e -> e
+          | Ok sb' -> loop sa' sb' (i + 1))
+  in
+  loop a.Automaton.initial b.Automaton.initial 0

@@ -1,0 +1,31 @@
+(** Lockstep equivalence of two automata.
+
+    Drives automaton [A] with a scheduler and mirrors every action into
+    automaton [B] through an action translation, checking a user
+    relation between the paired states after every step.  This is the
+    machinery behind the library's cross-formulation equivalence tests
+    (list-PR vs height-PR, FR vs pair heights, BLL instances): a
+    statement of the form "under any schedule, the two formulations stay
+    related" becomes one call. *)
+
+type ('sa, 'sb) outcome = {
+  steps : int;
+  quiescent : bool;  (** [A] had no enabled action when the run ended. *)
+  final_a : 'sa;
+  final_b : 'sb;
+}
+
+val run :
+  a:('sa, 'aa) Automaton.t ->
+  b:('sb, 'ab) Automaton.t ->
+  translate:('sa -> 'aa -> 'ab list) ->
+  related:('sa -> 'sb -> bool) ->
+  scheduler:('sa, 'aa) Scheduler.t ->
+  ?max_steps:int ->
+  unit ->
+  (('sa, 'sb) outcome, string) result
+(** Runs [A] from its initial state; after each [A]-action the
+    translated [B]-actions are applied (each must be enabled) and
+    [related] must hold on the resulting pair.  [Error] pinpoints the
+    first step where translation, enabledness or the relation fails.
+    Default [max_steps] is [100_000]. *)

@@ -1,0 +1,61 @@
+type ('s, 'a) t = 's -> 'a list -> 'a option
+
+let first () _ = function [] -> None | a :: _ -> Some a
+
+let last () _ actions =
+  match List.rev actions with [] -> None | a :: _ -> Some a
+
+let random rng _ = function
+  | [] -> None
+  | actions ->
+      let n = List.length actions in
+      Some (List.nth actions (Random.State.int rng n))
+
+let round_robin ~index () =
+  let cursor = ref (-1) in
+  fun _ actions ->
+    match actions with
+    | [] -> None
+    | _ ->
+        (* Smallest index strictly greater than the cursor, else wrap to
+           the globally smallest. *)
+        let best_ge, best_all =
+          List.fold_left
+            (fun (ge, all) a ->
+              let i = index a in
+              let better cur =
+                match cur with
+                | None -> true
+                | Some (j, _) -> i < j
+              in
+              let ge = if i > !cursor && better ge then Some (i, a) else ge in
+              let all = if better all then Some (i, a) else all in
+              (ge, all))
+            (None, None) actions
+        in
+        let pick = match best_ge with Some _ -> best_ge | None -> best_all in
+        Option.map
+          (fun (i, a) ->
+            cursor := i;
+            a)
+          pick
+
+let greedy ~score () _ actions =
+  match actions with
+  | [] -> None
+  | a :: rest ->
+      Some
+        (List.fold_left
+           (fun best a' -> if score a' > score best then a' else best)
+           a rest)
+
+let stop_after n sched =
+  let fired = ref 0 in
+  fun s actions ->
+    if !fired >= n then None
+    else
+      match sched s actions with
+      | None -> None
+      | Some a ->
+          incr fired;
+          Some a

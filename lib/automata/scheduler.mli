@@ -1,0 +1,28 @@
+(** Schedulers resolve the nondeterminism of an I/O automaton: given the
+    current state and the list of enabled actions, pick the action to
+    fire (or stop).
+
+    Schedulers may carry internal state (e.g. round-robin memory), so
+    each value below is a fresh, independent scheduler. *)
+
+type ('s, 'a) t = 's -> 'a list -> 'a option
+
+val first : unit -> ('s, 'a) t
+(** Always the first enabled action — a deterministic, maximally unfair
+    adversary. *)
+
+val last : unit -> ('s, 'a) t
+
+val random : Random.State.t -> ('s, 'a) t
+(** Uniform among enabled actions. *)
+
+val round_robin : index:('a -> int) -> unit -> ('s, 'a) t
+(** Fair rotation: fires the enabled action whose [index] most closely
+    follows (cyclically) the last fired index.  With [index] = acting
+    node id this is the classic fair node scheduler. *)
+
+val greedy : score:('a -> int) -> unit -> ('s, 'a) t
+(** Highest [score] first; ties broken by list order. *)
+
+val stop_after : int -> ('s, 'a) t -> ('s, 'a) t
+(** Wraps a scheduler so it refuses to schedule after [n] picks. *)

@@ -1,0 +1,92 @@
+type ('sa, 'aa, 'sb, 'ab) guided = {
+  name : string;
+  relation : 'sa -> 'sb -> (unit, string) result;
+  initial_b : 'sb;
+  correspond : 'sa -> 'aa -> 'sb -> 'ab list;
+}
+
+let apply_sequence (b : ('sb, 'ab) Automaton.t) t actions =
+  let rec loop t applied = function
+    | [] -> Ok (t, List.rev applied)
+    | a :: rest ->
+        if not (b.Automaton.is_enabled t a) then
+          Error
+            (Format.asprintf "action %a of %s not enabled"
+               b.Automaton.pp_action a b.Automaton.name)
+        else loop (b.Automaton.step t a) (a :: applied) rest
+  in
+  loop t [] actions
+
+let check_guided ~b g exec_a =
+  let ( let* ) = Result.bind in
+  let fail i msg = Error (Printf.sprintf "%s, step %d: %s" g.name i msg) in
+  let* () =
+    match g.relation exec_a.Execution.init g.initial_b with
+    | Ok () -> Ok ()
+    | Error e -> fail 0 ("initial states unrelated: " ^ e)
+  in
+  let rec loop t all_b_actions i = function
+    | [] -> Ok (t, List.rev all_b_actions)
+    | { Execution.before; action; after } :: rest -> (
+        let seq = g.correspond before action t in
+        match apply_sequence b t seq with
+        | Error e -> fail i e
+        | Ok (t', applied) -> (
+            match g.relation after t' with
+            | Error e -> fail i ("states unrelated after step: " ^ e)
+            | Ok () ->
+                loop t' (List.rev_append applied all_b_actions) (i + 1) rest))
+  in
+  let* _, b_actions = loop g.initial_b [] 1 exec_a.Execution.steps in
+  Execution.replay b g.initial_b b_actions
+
+(* Bounded BFS in [B] for a state related to [target_rel]. *)
+let search_related (b : ('sb, 'ab) Automaton.t) ~related ~max_depth ~key t =
+  if related t then Some (t, [])
+  else
+    let seen = Hashtbl.create 64 in
+    Hashtbl.replace seen (key t) ();
+    let queue = Queue.create () in
+    Queue.add (t, [], 0) queue;
+    let rec loop () =
+      if Queue.is_empty queue then None
+      else
+        let s, path, depth = Queue.pop queue in
+        if depth >= max_depth then loop ()
+        else
+          let rec try_actions = function
+            | [] -> loop ()
+            | a :: rest ->
+                let s' = b.Automaton.step s a in
+                if related s' then Some (s', List.rev (a :: path))
+                else begin
+                  let k = key s' in
+                  if not (Hashtbl.mem seen k) then begin
+                    Hashtbl.replace seen k ();
+                    Queue.add (s', a :: path, depth + 1) queue
+                  end;
+                  try_actions rest
+                end
+          in
+          try_actions (b.Automaton.enabled s)
+    in
+    loop ()
+
+let check_searched ~b ~name ~relation ~initial_b ~max_depth ~key exec_a =
+  let fail i msg = Error (Printf.sprintf "%s, step %d: %s" name i msg) in
+  if not (relation exec_a.Execution.init initial_b) then
+    fail 0 "initial states unrelated"
+  else
+    let rec loop t all_b_actions i = function
+      | [] -> Execution.replay b initial_b (List.rev all_b_actions)
+      | { Execution.after; _ } :: rest -> (
+          match
+            search_related b ~related:(relation after) ~max_depth ~key t
+          with
+          | None ->
+              fail i
+                (Printf.sprintf "no related state within %d B-steps" max_depth)
+          | Some (t', path) ->
+              loop t' (List.rev_append path all_b_actions) (i + 1) rest)
+    in
+    loop initial_b [] 1 exec_a.Execution.steps

@@ -1,0 +1,43 @@
+(** Forward simulation relations between two automata, in the style of
+    the paper's Section 5.
+
+    A guided simulation packages (i) the binary relation between states
+    of [A] and states of [B] and (ii) the explicit construction used in
+    the proof: for every related pair [(s, t)] and step [(s, a, s')] of
+    [A], the finite action sequence of [B] that matches it (one
+    [reverse(u)] per member of [S] for Lemma 5.1; one or two
+    [reverse(w)] steps for Lemma 5.3).
+
+    [check_guided] replays an execution of [A] and verifies, step by
+    step, that the construction produces enabled actions of [B] ending
+    in a related state — a machine check of the lemma on that
+    execution.  [check_searched] drops the construction and searches
+    [B]'s state space instead (used for the paper's future-work reverse
+    direction, where no construction is given). *)
+
+type ('sa, 'aa, 'sb, 'ab) guided = {
+  name : string;
+  relation : 'sa -> 'sb -> (unit, string) result;
+  initial_b : 'sb;
+  correspond : 'sa -> 'aa -> 'sb -> 'ab list;
+}
+
+val check_guided :
+  b:('sb, 'ab) Automaton.t ->
+  ('sa, 'aa, 'sb, 'ab) guided ->
+  ('sa, 'aa) Execution.t ->
+  (('sb, 'ab) Execution.t, string) result
+(** The matching execution of [B], or a message naming the first step
+    where the relation or enabledness breaks. *)
+
+val check_searched :
+  b:('sb, 'ab) Automaton.t ->
+  name:string ->
+  relation:('sa -> 'sb -> bool) ->
+  initial_b:'sb ->
+  max_depth:int ->
+  key:('sb -> string) ->
+  ('sa, 'aa) Execution.t ->
+  (('sb, 'ab) Execution.t, string) result
+(** Like {!check_guided}, but for each step of [A] searches breadth-
+    first (up to [max_depth] [B]-steps) for a related [B] state. *)

@@ -1,0 +1,7 @@
+open Lr_graph
+
+type ('s, 'a) t = {
+  automaton : ('s, 'a) Lr_automata.Automaton.t;
+  graph_of : 's -> Digraph.t;
+  actors : 'a -> Node.Set.t;
+}

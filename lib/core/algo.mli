@@ -1,0 +1,11 @@
+(** A uniform view of a link reversal algorithm: its automaton plus the
+    two projections the generic executor and metrics need — the current
+    oriented graph, and the set of nodes acting in an action. *)
+
+open Lr_graph
+
+type ('s, 'a) t = {
+  automaton : ('s, 'a) Lr_automata.Automaton.t;
+  graph_of : 's -> Digraph.t;
+  actors : 'a -> Node.Set.t;
+}

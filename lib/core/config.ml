@@ -1,0 +1,51 @@
+open Lr_graph
+
+type t = {
+  initial : Digraph.t;
+  destination : Node.t;
+  embedding : Embedding.t;
+  in_nbrs : Node.Set.t Node.Map.t;
+  out_nbrs : Node.Set.t Node.Map.t;
+}
+
+let make graph ~destination =
+  if not (Node.Set.mem destination (Digraph.nodes graph)) then
+    Error "destination not a node of the graph"
+  else
+    match Embedding.of_digraph graph with
+    | None -> Error "initial graph is not acyclic"
+    | Some embedding ->
+        let ins, outs =
+          Node.Set.fold
+            (fun u (ins, outs) ->
+              ( Node.Map.add u (Digraph.in_neighbors graph u) ins,
+                Node.Map.add u (Digraph.out_neighbors graph u) outs ))
+            (Digraph.nodes graph)
+            (Node.Map.empty, Node.Map.empty)
+        in
+        Ok
+          {
+            initial = graph;
+            destination;
+            embedding;
+            in_nbrs = ins;
+            out_nbrs = outs;
+          }
+
+let make_exn graph ~destination =
+  match make graph ~destination with
+  | Ok t -> t
+  | Error e -> invalid_arg ("Config.make: " ^ e)
+
+let of_instance { Generators.graph; destination } = make_exn graph ~destination
+let skeleton t = Digraph.skeleton t.initial
+let nodes t = Digraph.nodes t.initial
+let nbrs t u = Undirected.neighbors (skeleton t) u
+let in_nbrs t u = Node.Map.find_or ~default:Node.Set.empty u t.in_nbrs
+let out_nbrs t u = Node.Map.find_or ~default:Node.Set.empty u t.out_nbrs
+let is_left_of t u v = Embedding.is_left_of t.embedding u v
+let bad_nodes t = Digraph.bad_nodes t.initial t.destination
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>destination: %a@,graph: %a@,embedding: %a@]"
+    Node.pp t.destination Digraph.pp t.initial Embedding.pp t.embedding

@@ -1,0 +1,48 @@
+(** Problem instances: the constant data every link reversal algorithm
+    shares (Section 2 of the paper).
+
+    A configuration fixes the undirected skeleton [G], the initial
+    oriented DAG [G'_init], the destination [D], the initial
+    in/out-neighbour sets of every node, and a left-to-right embedding
+    of [G'_init] (used by the NewPR acyclicity proof).  None of these
+    change while an algorithm runs. *)
+
+open Lr_graph
+
+type t = private {
+  initial : Digraph.t;  (** [G'_init]; guaranteed acyclic. *)
+  destination : Node.t;
+  embedding : Embedding.t;
+      (** A topological order of [G'_init]: all initial edges point left
+          to right. *)
+  in_nbrs : Node.Set.t Node.Map.t;  (** Per node, w.r.t. [G'_init]. *)
+  out_nbrs : Node.Set.t Node.Map.t;
+}
+
+val make : Digraph.t -> destination:Node.t -> (t, string) result
+(** Validates that the graph is acyclic and contains the destination. *)
+
+val make_exn : Digraph.t -> destination:Node.t -> t
+(** @raise Invalid_argument when {!make} would return [Error]. *)
+
+val of_instance : Generators.instance -> t
+(** @raise Invalid_argument like {!make_exn}. *)
+
+val skeleton : t -> Undirected.t
+val nodes : t -> Node.Set.t
+val nbrs : t -> Node.t -> Node.Set.t
+(** [nbrs_u]: neighbours in the skeleton (constant). *)
+
+val in_nbrs : t -> Node.t -> Node.Set.t
+(** [in-nbrs_u]: initial in-neighbours (constant). *)
+
+val out_nbrs : t -> Node.t -> Node.Set.t
+
+val is_left_of : t -> Node.t -> Node.t -> bool
+(** In the fixed embedding. *)
+
+val bad_nodes : t -> Node.Set.t
+(** Nodes initially lacking a path to the destination ([n_b] counts
+    these). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,144 @@
+open Lr_graph
+
+type fr_height = { fa : int; fid : Node.t }
+type pr_height = { pa : int; pb : int; pid : Node.t }
+
+let compare_fr_height h1 h2 =
+  match Int.compare h1.fa h2.fa with
+  | 0 -> Node.compare h1.fid h2.fid
+  | c -> c
+
+let compare_pr_height h1 h2 =
+  match Int.compare h1.pa h2.pa with
+  | 0 -> (
+      match Int.compare h1.pb h2.pb with
+      | 0 -> Node.compare h1.pid h2.pid
+      | c -> c)
+  | c -> c
+
+type fr_state = { fgraph : Digraph.t; fheights : fr_height Node.Map.t }
+type pr_state = { pgraph : Digraph.t; pheights : pr_height Node.Map.t }
+type action = Reverse of Node.t
+
+let pp_action ppf (Reverse u) = Format.fprintf ppf "reverse(%a)" Node.pp u
+
+let induced_orientation skel compare heights =
+  Digraph.orient skel ~toward:(fun e ->
+      let hl = Node.Map.find (Edge.lo e) heights
+      and hh = Node.Map.find (Edge.hi e) heights in
+      (* The edge points from the higher node to the lower one. *)
+      if compare hl hh > 0 then Edge.hi e else Edge.lo e)
+
+(* {2 Full reversal} *)
+
+let fr_initial config =
+  let n = Node.Set.cardinal (Config.nodes config) in
+  let fheights =
+    Node.Set.fold
+      (fun u m ->
+        let rank = Embedding.rank config.Config.embedding u in
+        Node.Map.add u { fa = n - rank; fid = u } m)
+      (Config.nodes config) Node.Map.empty
+  in
+  { fgraph = config.Config.initial; fheights }
+
+let fr_apply _config s u =
+  let nbrs = Digraph.neighbors s.fgraph u in
+  let max_a =
+    Node.Set.fold (fun v m -> max m (Node.Map.find v s.fheights).fa) nbrs
+      min_int
+  in
+  let fheights = Node.Map.add u { fa = max_a + 1; fid = u } s.fheights in
+  { fgraph = Digraph.reverse_all_at s.fgraph u; fheights }
+
+let fr_consistent s =
+  Digraph.equal s.fgraph
+    (induced_orientation (Digraph.skeleton s.fgraph) compare_fr_height
+       s.fheights)
+
+let node_enabled config graph u =
+  (not (Node.equal u config.Config.destination)) && Digraph.is_sink graph u
+
+let enabled_of config graph =
+  Node.Set.remove config.Config.destination (Digraph.sinks graph)
+  |> Node.Set.elements
+  |> List.map (fun u -> Reverse u)
+
+let fr_automaton config =
+  Lr_automata.Automaton.make ~name:"FR-heights" ~initial:(fr_initial config)
+    ~enabled:(fun s -> enabled_of config s.fgraph)
+    ~step:(fun s (Reverse u) ->
+      if not (node_enabled config s.fgraph u) then
+        invalid_arg "FR-heights.step: reverse(u) not enabled"
+      else fr_apply config s u)
+    ~is_enabled:(fun s (Reverse u) -> node_enabled config s.fgraph u)
+    ~equal_state:(fun s1 s2 ->
+      Digraph.equal s1.fgraph s2.fgraph
+      && Node.Map.equal (fun a b -> compare_fr_height a b = 0) s1.fheights
+           s2.fheights)
+    ~pp_state:(fun ppf s -> Digraph.pp ppf s.fgraph)
+    ~pp_action ()
+
+let fr_algo config =
+  {
+    Algo.automaton = fr_automaton config;
+    graph_of = (fun s -> s.fgraph);
+    actors = (fun (Reverse u) -> Node.Set.singleton u);
+  }
+
+(* {2 Partial reversal} *)
+
+let pr_initial config =
+  let pheights =
+    Node.Set.fold
+      (fun u m ->
+        let rank = Embedding.rank config.Config.embedding u in
+        Node.Map.add u { pa = 0; pb = -rank; pid = u } m)
+      (Config.nodes config) Node.Map.empty
+  in
+  { pgraph = config.Config.initial; pheights }
+
+let pr_apply _config s u =
+  let nbrs = Digraph.neighbors s.pgraph u in
+  let h v = Node.Map.find v s.pheights in
+  let min_a = Node.Set.fold (fun v m -> min m (h v).pa) nbrs max_int in
+  let new_a = min_a + 1 in
+  let same_a = Node.Set.filter (fun v -> (h v).pa = new_a) nbrs in
+  let old = h u in
+  let new_b =
+    if Node.Set.is_empty same_a then old.pb
+    else Node.Set.fold (fun v m -> min m (h v).pb) same_a max_int - 1
+  in
+  let pheights =
+    Node.Map.add u { pa = new_a; pb = new_b; pid = u } s.pheights
+  in
+  (* Exactly the edges to minimum-[a] neighbours reverse. *)
+  let reversed = Node.Set.filter (fun v -> (h v).pa = min_a) nbrs in
+  { pgraph = Digraph.reverse_toward s.pgraph u reversed; pheights }
+
+let pr_consistent s =
+  Digraph.equal s.pgraph
+    (induced_orientation (Digraph.skeleton s.pgraph) compare_pr_height
+       s.pheights)
+
+let pr_automaton config =
+  Lr_automata.Automaton.make ~name:"PR-heights" ~initial:(pr_initial config)
+    ~enabled:(fun s -> enabled_of config s.pgraph)
+    ~step:(fun s (Reverse u) ->
+      if not (node_enabled config s.pgraph u) then
+        invalid_arg "PR-heights.step: reverse(u) not enabled"
+      else pr_apply config s u)
+    ~is_enabled:(fun s (Reverse u) -> node_enabled config s.pgraph u)
+    ~equal_state:(fun s1 s2 ->
+      Digraph.equal s1.pgraph s2.pgraph
+      && Node.Map.equal (fun a b -> compare_pr_height a b = 0) s1.pheights
+           s2.pheights)
+    ~pp_state:(fun ppf s -> Digraph.pp ppf s.pgraph)
+    ~pp_action ()
+
+let pr_algo config =
+  {
+    Algo.automaton = pr_automaton config;
+    graph_of = (fun s -> s.pgraph);
+    actors = (fun (Reverse u) -> Node.Set.singleton u);
+  }

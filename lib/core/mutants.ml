@@ -1,0 +1,98 @@
+open Lr_graph
+
+type pr_mutant = Reverse_listed | Keep_list | No_record
+type newpr_mutant = Never_flip | Start_odd
+
+let pr_mutant_name = function
+  | Reverse_listed -> "reverse-listed"
+  | Keep_list -> "keep-list"
+  | No_record -> "no-record"
+
+let newpr_mutant_name = function
+  | Never_flip -> "never-flip"
+  | Start_odd -> "start-odd"
+
+let apply_pr mutant config (s : Pr.state) u =
+  let nbrs = Config.nbrs config u in
+  let lst = Pr.list_of s u in
+  let to_reverse =
+    match mutant with
+    | Reverse_listed -> if Node.Set.is_empty lst then nbrs else lst
+    | Keep_list | No_record ->
+        if Node.Set.equal lst nbrs then nbrs else Node.Set.diff nbrs lst
+  in
+  let graph = Digraph.reverse_toward s.Pr.graph u to_reverse in
+  let lists =
+    match mutant with
+    | No_record -> s.Pr.lists
+    | Reverse_listed | Keep_list ->
+        Node.Set.fold
+          (fun v lists ->
+            let lv = Node.Map.find_or ~default:Node.Set.empty v lists in
+            Node.Map.add v (Node.Set.add u lv) lists)
+          to_reverse s.Pr.lists
+  in
+  let lists =
+    match mutant with
+    | Keep_list -> lists
+    | Reverse_listed | No_record -> Node.Map.add u Node.Set.empty lists
+  in
+  { Pr.graph; lists }
+
+let is_enabled config (s : Pr.state) (One_step_pr.Reverse u) =
+  (not (Node.equal u config.Config.destination))
+  && Digraph.is_sink s.Pr.graph u
+
+let enabled config (s : Pr.state) =
+  Node.Set.remove config.Config.destination (Digraph.sinks s.Pr.graph)
+  |> Node.Set.elements
+  |> List.map (fun u -> One_step_pr.Reverse u)
+
+let pr_automaton mutant config =
+  Lr_automata.Automaton.make
+    ~name:("PR-mutant-" ^ pr_mutant_name mutant)
+    ~initial:(Pr.initial config) ~enabled:(enabled config)
+    ~step:(fun s (One_step_pr.Reverse u) ->
+      if not (is_enabled config s (One_step_pr.Reverse u)) then
+        invalid_arg "Mutants.step: not enabled"
+      else apply_pr mutant config s u)
+    ~is_enabled:(is_enabled config) ~equal_state:Pr.equal_state
+    ~pp_state:Pr.pp_state ~pp_action:One_step_pr.pp_action ()
+
+let apply_newpr mutant config (s : New_pr.state) u =
+  let set =
+    match mutant with
+    | Never_flip -> Config.in_nbrs config u
+    | Start_odd -> (
+        (* parity shifted by one: odd counts reverse in-nbrs *)
+        match New_pr.parity s u with
+        | New_pr.Even -> Config.out_nbrs config u
+        | New_pr.Odd -> Config.in_nbrs config u)
+  in
+  let graph = Digraph.reverse_toward s.New_pr.graph u set in
+  let counts =
+    match mutant with
+    | Never_flip -> s.New_pr.counts
+    | Start_odd -> Node.Map.add u (New_pr.count s u + 1) s.New_pr.counts
+  in
+  { New_pr.graph; counts }
+
+let np_is_enabled config (s : New_pr.state) (New_pr.Reverse u) =
+  (not (Node.equal u config.Config.destination))
+  && Digraph.is_sink s.New_pr.graph u
+
+let np_enabled config (s : New_pr.state) =
+  Node.Set.remove config.Config.destination (Digraph.sinks s.New_pr.graph)
+  |> Node.Set.elements
+  |> List.map (fun u -> New_pr.Reverse u)
+
+let newpr_automaton mutant config =
+  Lr_automata.Automaton.make
+    ~name:("NewPR-mutant-" ^ newpr_mutant_name mutant)
+    ~initial:(New_pr.initial config) ~enabled:(np_enabled config)
+    ~step:(fun s (New_pr.Reverse u) ->
+      if not (np_is_enabled config s (New_pr.Reverse u)) then
+        invalid_arg "Mutants.step: not enabled"
+      else apply_newpr mutant config s u)
+    ~is_enabled:(np_is_enabled config) ~equal_state:New_pr.equal_state
+    ~pp_state:New_pr.pp_state ~pp_action:New_pr.pp_action ()

@@ -1,0 +1,34 @@
+(** Deliberately broken link reversal variants — mutation tests for the
+    paper's invariants.
+
+    A proof reproduction is only convincing if its executable invariants
+    can {e fail}: each mutant below miscodes PR or NewPR in a plausible
+    way, and the test suite shows that the Section 3/4 invariant
+    checkers (or the acyclicity monitor) reject it on some small
+    instance, while accepting the correct algorithms everywhere. *)
+
+
+type pr_mutant =
+  | Reverse_listed
+      (** Reverses the edges {e in} [list\[u\]] instead of their
+          complement — the classic inversion bug. *)
+  | Keep_list
+      (** Forgets [list\[u\] := ∅] after the reversal. *)
+  | No_record
+      (** Neighbours never record reversals, so every step reverses all
+          edges (the algorithm silently degrades to Full Reversal and
+          Invariant 3.2's list characterization breaks). *)
+
+type newpr_mutant =
+  | Never_flip  (** [count\[u\]] is never incremented: always reverses
+                    the initial in-neighbours. *)
+  | Start_odd  (** Counts start at 1: out-neighbours reverse first. *)
+
+val pr_automaton :
+  pr_mutant -> Config.t -> (Pr.state, One_step_pr.action) Lr_automata.Automaton.t
+
+val newpr_automaton :
+  newpr_mutant -> Config.t -> (New_pr.state, New_pr.action) Lr_automata.Automaton.t
+
+val pr_mutant_name : pr_mutant -> string
+val newpr_mutant_name : newpr_mutant -> string

@@ -1,0 +1,72 @@
+open Lr_graph
+
+type parity = Even | Odd
+
+let pp_parity ppf = function
+  | Even -> Format.pp_print_string ppf "even"
+  | Odd -> Format.pp_print_string ppf "odd"
+
+type state = { graph : Digraph.t; counts : int Node.Map.t }
+type action = Reverse of Node.t
+
+let initial config = { graph = config.Config.initial; counts = Node.Map.empty }
+let count s u = Node.Map.find_or ~default:0 u s.counts
+let parity s u = if count s u mod 2 = 0 then Even else Odd
+
+let reversal_set config s u =
+  match parity s u with
+  | Even -> Config.in_nbrs config u
+  | Odd -> Config.out_nbrs config u
+
+let is_dummy_step config s u =
+  Node.Set.is_empty (reversal_set config s u)
+
+let apply config s u =
+  let graph = Digraph.reverse_toward s.graph u (reversal_set config s u) in
+  { graph; counts = Node.Map.add u (count s u + 1) s.counts }
+
+let is_enabled config s (Reverse u) =
+  (not (Node.equal u config.Config.destination)) && Digraph.is_sink s.graph u
+
+let enabled config s =
+  Node.Set.remove config.Config.destination (Digraph.sinks s.graph)
+  |> Node.Set.elements
+  |> List.map (fun u -> Reverse u)
+
+let equal_state s1 s2 =
+  Digraph.equal s1.graph s2.graph
+  && Node.Map.equal Int.equal
+       (Node.Map.filter (fun _ c -> c <> 0) s1.counts)
+       (Node.Map.filter (fun _ c -> c <> 0) s2.counts)
+
+let canonical_key s =
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf (Digraph.canonical_key s.graph);
+  Node.Map.iter
+    (fun u c ->
+      if c <> 0 then Buffer.add_string buf (Printf.sprintf "c%d=%d;" u c))
+    s.counts;
+  Buffer.contents buf
+
+let pp_state ppf s =
+  Format.fprintf ppf "@[<v>%a@,counts: %a@]" Digraph.pp s.graph
+    (Node.Map.pp Format.pp_print_int)
+    (Node.Map.filter (fun _ c -> c <> 0) s.counts)
+
+let pp_action ppf (Reverse u) = Format.fprintf ppf "reverse(%a)" Node.pp u
+
+let automaton config =
+  Lr_automata.Automaton.make ~name:"NewPR" ~initial:(initial config)
+    ~enabled:(enabled config)
+    ~step:(fun s (Reverse u) ->
+      if not (is_enabled config s (Reverse u)) then
+        invalid_arg "NewPR.step: reverse(u) not enabled"
+      else apply config s u)
+    ~is_enabled:(is_enabled config) ~equal_state ~pp_state ~pp_action ()
+
+let algo config =
+  {
+    Algo.automaton = automaton config;
+    graph_of = (fun s -> s.graph);
+    actors = (fun (Reverse u) -> Node.Set.singleton u);
+  }

@@ -1,0 +1,42 @@
+(** [NewPR] — Algorithm 2, the paper's new static formulation of
+    Partial Reversal.
+
+    Each node keeps only a step counter.  A sink [u] with even
+    [count\[u\]] reverses the edges to its *initial* in-neighbours; with
+    odd count, to its initial out-neighbours; the counter is always
+    incremented.  When the relevant set is empty (nodes that start as
+    sinks or sources) the step is a {e dummy step}: nothing is reversed,
+    only the parity flips. *)
+
+open Lr_graph
+
+type parity = Even | Odd
+
+val pp_parity : Format.formatter -> parity -> unit
+
+type state = {
+  graph : Digraph.t;
+  counts : int Node.Map.t;  (** [count\[u\]]; absent = 0. *)
+}
+
+type action = Reverse of Node.t
+
+val initial : Config.t -> state
+val count : state -> Node.t -> int
+val parity : state -> Node.t -> parity
+(** Derived variable of the automaton. *)
+
+val reversal_set : Config.t -> state -> Node.t -> Node.Set.t
+(** The set the next [reverse(u)] would reverse: initial in-neighbours
+    on even parity, initial out-neighbours on odd. *)
+
+val is_dummy_step : Config.t -> state -> Node.t -> bool
+(** Would [reverse(u)] reverse nothing? *)
+
+val apply : Config.t -> state -> Node.t -> state
+val automaton : Config.t -> (state, action) Lr_automata.Automaton.t
+val algo : Config.t -> (state, action) Algo.t
+val equal_state : state -> state -> bool
+val canonical_key : state -> string
+val pp_state : Format.formatter -> state -> unit
+val pp_action : Format.formatter -> action -> unit

@@ -1,0 +1,34 @@
+open Lr_graph
+
+type state = Pr.state
+type action = Reverse of Node.t
+
+let initial = Pr.initial
+let apply config s u = Pr.apply config s (Node.Set.singleton u)
+
+let is_enabled config (s : state) (Reverse u) =
+  (not (Node.equal u config.Config.destination))
+  && Digraph.is_sink s.Pr.graph u
+
+let enabled config s =
+  Node.Set.elements (Pr.sinks config s)
+  |> List.map (fun u -> Reverse u)
+
+let pp_action ppf (Reverse u) = Format.fprintf ppf "reverse(%a)" Node.pp u
+
+let automaton config =
+  Lr_automata.Automaton.make ~name:"OneStepPR" ~initial:(initial config)
+    ~enabled:(enabled config)
+    ~step:(fun s (Reverse u) ->
+      if not (is_enabled config s (Reverse u)) then
+        invalid_arg "OneStepPR.step: reverse(u) not enabled"
+      else apply config s u)
+    ~is_enabled:(is_enabled config) ~equal_state:Pr.equal_state
+    ~pp_state:Pr.pp_state ~pp_action ()
+
+let algo config =
+  {
+    Algo.automaton = automaton config;
+    graph_of = (fun (s : state) -> s.Pr.graph);
+    actors = (fun (Reverse u) -> Node.Set.singleton u);
+  }

@@ -1,0 +1,16 @@
+(** [OneStepPR] — Algorithm 3 of the paper: Partial Reversal restricted
+    to a single node per step.  States are shared with {!Pr}; only the
+    action signature differs ([reverse(u)] instead of [reverse(S)]).
+    Used as the intermediate automaton in the simulation chain
+    PR → OneStepPR → NewPR. *)
+
+open Lr_graph
+
+type state = Pr.state
+type action = Reverse of Node.t  (** The paper's [reverse(u)]. *)
+
+val initial : Config.t -> state
+val apply : Config.t -> state -> Node.t -> state
+val automaton : Config.t -> (state, action) Lr_automata.Automaton.t
+val algo : Config.t -> (state, action) Algo.t
+val pp_action : Format.formatter -> action -> unit

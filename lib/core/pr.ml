@@ -1,0 +1,104 @@
+open Lr_graph
+
+type state = { graph : Digraph.t; lists : Node.Set.t Node.Map.t }
+type action = Reverse of Node.Set.t
+type mode = All_subsets | Singletons | Singletons_and_max
+
+let initial config = { graph = config.Config.initial; lists = Node.Map.empty }
+let list_of s u = Node.Map.find_or ~default:Node.Set.empty u s.lists
+
+let sinks config s =
+  Node.Set.remove config.Config.destination (Digraph.sinks s.graph)
+
+(* Effect of a single node [u] taking a step; [u]'s reversal set is
+   computed from the pre-state list, which no other member of [S] can
+   touch (no two sinks are adjacent). *)
+let apply_one config s u =
+  let nbrs = Config.nbrs config u in
+  let lst = list_of s u in
+  let to_reverse =
+    if Node.Set.equal lst nbrs then nbrs else Node.Set.diff nbrs lst
+  in
+  let graph = Digraph.reverse_toward s.graph u to_reverse in
+  let lists =
+    Node.Set.fold
+      (fun v lists ->
+        let lv = Node.Map.find_or ~default:Node.Set.empty v lists in
+        Node.Map.add v (Node.Set.add u lv) lists)
+      to_reverse s.lists
+  in
+  { graph; lists = Node.Map.add u Node.Set.empty lists }
+
+let apply config s set = Node.Set.fold (fun u s -> apply_one config s u) set s
+
+let is_enabled config s (Reverse set) =
+  (not (Node.Set.is_empty set))
+  && (not (Node.Set.mem config.Config.destination set))
+  && Node.Set.for_all (Digraph.is_sink s.graph) set
+
+(* All non-empty subsets of [set]. *)
+let nonempty_subsets set =
+  let elements = Node.Set.elements set in
+  List.fold_left
+    (fun acc u ->
+      acc @ List.map (Node.Set.add u) (Node.Set.empty :: acc))
+    [] elements
+
+let enabled mode config s =
+  let sk = sinks config s in
+  if Node.Set.is_empty sk then []
+  else
+    match mode with
+    | Singletons ->
+        List.map (fun u -> Reverse (Node.Set.singleton u)) (Node.Set.elements sk)
+    | Singletons_and_max ->
+        let singles =
+          List.map
+            (fun u -> Reverse (Node.Set.singleton u))
+            (Node.Set.elements sk)
+        in
+        if Node.Set.cardinal sk > 1 then singles @ [ Reverse sk ] else singles
+    | All_subsets -> List.map (fun s -> Reverse s) (nonempty_subsets sk)
+
+let equal_state s1 s2 =
+  Digraph.equal s1.graph s2.graph
+  && Node.Map.equal Node.Set.equal
+       (Node.Map.filter (fun _ l -> not (Node.Set.is_empty l)) s1.lists)
+       (Node.Map.filter (fun _ l -> not (Node.Set.is_empty l)) s2.lists)
+
+let canonical_key s =
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf (Digraph.canonical_key s.graph);
+  Node.Map.iter
+    (fun u l ->
+      if not (Node.Set.is_empty l) then begin
+        Buffer.add_string buf (Printf.sprintf "l%d:" u);
+        Node.Set.iter (fun v -> Buffer.add_string buf (string_of_int v ^ ",")) l;
+        Buffer.add_char buf ';'
+      end)
+    s.lists;
+  Buffer.contents buf
+
+let pp_state ppf s =
+  Format.fprintf ppf "@[<v>%a@,lists: %a@]" Digraph.pp s.graph
+    (Node.Map.pp Node.Set.pp)
+    (Node.Map.filter (fun _ l -> not (Node.Set.is_empty l)) s.lists)
+
+let pp_action ppf (Reverse set) =
+  Format.fprintf ppf "reverse(%a)" Node.Set.pp set
+
+let automaton ?(mode = All_subsets) config =
+  Lr_automata.Automaton.make ~name:"PR" ~initial:(initial config)
+    ~enabled:(enabled mode config)
+    ~step:(fun s (Reverse set) ->
+      if not (is_enabled config s (Reverse set)) then
+        invalid_arg "PR.step: reverse(S) not enabled"
+      else apply config s set)
+    ~is_enabled:(is_enabled config) ~equal_state ~pp_state ~pp_action ()
+
+let algo ?mode config =
+  {
+    Algo.automaton = automaton ?mode config;
+    graph_of = (fun s -> s.graph);
+    actors = (fun (Reverse set) -> set);
+  }

@@ -1,0 +1,200 @@
+open Lr_graph
+
+type rule = Partial | Full
+
+type outcome = {
+  work : int;
+  steps_per_node : int array;
+  edge_reversals : int;
+  quiescent : bool;
+  destination_oriented : bool;
+}
+
+type t = {
+  n : int;
+  destination : int;
+  nbrs : int array array;  (** [nbrs.(u)] = neighbour ids. *)
+  mirror : int array array;
+      (** [mirror.(u).(i)] = index of [u] inside [nbrs.(w)] where
+          [w = nbrs.(u).(i)]. *)
+  out_ : bool array array;
+      (** [out_.(u).(i)]: edge to [nbrs.(u).(i)] currently outgoing.
+          Invariant: [out_.(u).(i) = not out_.(w).(mirror.(u).(i))]. *)
+  listed : bool array array;  (** PR's [list[u]] membership per slot. *)
+  list_count : int array;
+  in_deg : int array;
+  queued : bool array;
+  queue : int Queue.t;
+  steps_per_node : int array;
+  mutable work : int;
+  mutable edge_reversals : int;
+}
+
+let degree t u = Array.length t.nbrs.(u)
+
+let is_sink t u =
+  let d = degree t u in
+  d > 0 && t.in_deg.(u) = d
+
+let enqueue_if_sink t u =
+  if (not t.queued.(u)) && u <> t.destination && is_sink t u then begin
+    t.queued.(u) <- true;
+    Queue.add u t.queue
+  end
+
+let create inst =
+  let g = inst.Generators.graph in
+  let nodes = Digraph.nodes g in
+  let n = Node.Set.cardinal nodes in
+  if not (Node.Set.equal nodes (Node.Set.of_range 0 (n - 1))) then
+    invalid_arg "Fast_engine.create: node ids must be 0..n-1";
+  let nbrs =
+    Array.init n (fun u ->
+        Array.of_list (Node.Set.elements (Digraph.neighbors g u)))
+  in
+  (* index of each node within its neighbours' adjacency arrays *)
+  let index_of u w =
+    let arr = nbrs.(w) in
+    let rec find i = if arr.(i) = u then i else find (i + 1) in
+    find 0
+  in
+  let mirror =
+    Array.init n (fun u -> Array.map (fun w -> index_of u w) nbrs.(u))
+  in
+  let out_ =
+    Array.init n (fun u ->
+        Array.map (fun w -> Digraph.dir g u w = Digraph.Out) nbrs.(u))
+  in
+  let in_deg =
+    Array.init n (fun u ->
+        Array.fold_left (fun acc o -> if o then acc else acc + 1) 0 out_.(u))
+  in
+  let t =
+    {
+      n;
+      destination = inst.Generators.destination;
+      nbrs;
+      mirror;
+      out_;
+      listed = Array.init n (fun u -> Array.make (Array.length nbrs.(u)) false);
+      list_count = Array.make n 0;
+      in_deg;
+      queued = Array.make n false;
+      queue = Queue.create ();
+      steps_per_node = Array.make n 0;
+      work = 0;
+      edge_reversals = 0;
+    }
+  in
+  for u = 0 to n - 1 do
+    enqueue_if_sink t u
+  done;
+  t
+
+let of_config config =
+  create
+    {
+      Generators.graph = config.Linkrev.Config.initial;
+      destination = config.Linkrev.Config.destination;
+    }
+
+(* Reverse slot [i] of node [u]: the edge becomes outgoing at [u]. *)
+let flip t u i =
+  let w = t.nbrs.(u).(i) in
+  let j = t.mirror.(u).(i) in
+  t.out_.(u).(i) <- true;
+  t.out_.(w).(j) <- false;
+  t.in_deg.(u) <- t.in_deg.(u) - 1;
+  t.in_deg.(w) <- t.in_deg.(w) + 1;
+  t.edge_reversals <- t.edge_reversals + 1;
+  (* the neighbour records the reversal in its list *)
+  if not t.listed.(w).(j) then begin
+    t.listed.(w).(j) <- true;
+    t.list_count.(w) <- t.list_count.(w) + 1
+  end;
+  enqueue_if_sink t w
+
+let step rule t u =
+  let d = degree t u in
+  t.steps_per_node.(u) <- t.steps_per_node.(u) + 1;
+  t.work <- t.work + 1;
+  (match rule with
+  | Full ->
+      for i = 0 to d - 1 do
+        flip t u i
+      done
+  | Partial ->
+      let full = t.list_count.(u) = d in
+      for i = 0 to d - 1 do
+        if full || not t.listed.(u).(i) then flip t u i
+      done);
+  (* empty list[u] *)
+  if t.list_count.(u) > 0 then begin
+    Array.fill t.listed.(u) 0 d false;
+    t.list_count.(u) <- 0
+  end
+
+let destination_oriented t =
+  (* BFS over incoming edges from the destination. *)
+  let seen = Array.make t.n false in
+  let q = Queue.create () in
+  seen.(t.destination) <- true;
+  Queue.add t.destination q;
+  let reached = ref 1 in
+  while not (Queue.is_empty q) do
+    let u = Queue.pop q in
+    Array.iteri
+      (fun i w ->
+        (* edge points toward u iff it is incoming at u *)
+        if (not t.out_.(u).(i)) && not seen.(w) then begin
+          seen.(w) <- true;
+          incr reached;
+          Queue.add w q
+        end)
+      t.nbrs.(u)
+  done;
+  !reached = t.n
+
+let run ?(max_steps = 10_000_000) rule t =
+  let budget = ref max_steps in
+  let exhausted = ref false in
+  let continue_ = ref true in
+  while !continue_ do
+    match Queue.take_opt t.queue with
+    | None -> continue_ := false
+    | Some u ->
+        t.queued.(u) <- false;
+        if is_sink t u && u <> t.destination then
+          if !budget = 0 then begin
+            exhausted := true;
+            continue_ := false;
+            (* put it back so a later run can resume *)
+            t.queued.(u) <- true;
+            Queue.add u t.queue
+          end
+          else begin
+            decr budget;
+            step rule t u;
+            (* u may still be a sink only in the degenerate isolated
+               case, which is_sink excludes; neighbours were enqueued
+               by flip. *)
+            enqueue_if_sink t u
+          end
+  done;
+  {
+    work = t.work;
+    steps_per_node = Array.copy t.steps_per_node;
+    edge_reversals = t.edge_reversals;
+    quiescent = not !exhausted;
+    destination_oriented = destination_oriented t;
+  }
+
+let to_digraph t =
+  let g = ref (Digraph.of_directed_edges []) in
+  for u = 0 to t.n - 1 do
+    g := Digraph.add_node !g u;
+    Array.iteri
+      (fun i w -> if t.out_.(u).(i) then g := Digraph.add_directed_edge !g u w)
+      t.nbrs.(u)
+  done;
+  !g

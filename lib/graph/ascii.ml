@@ -1,0 +1,82 @@
+let layers g =
+  (* Longest-path layering: layer(u) = 1 + max layer of in-neighbours. *)
+  match Digraph.topological_sort g with
+  | None -> None
+  | Some order ->
+      let layer = Hashtbl.create 16 in
+      List.iter
+        (fun u ->
+          let l =
+            Node.Set.fold
+              (fun v acc -> max acc (1 + Hashtbl.find layer v))
+              (Digraph.in_neighbors g u)
+              0
+          in
+          Hashtbl.replace layer u l)
+        order;
+      let max_layer = Hashtbl.fold (fun _ l acc -> max l acc) layer 0 in
+      let buckets = Array.make (max_layer + 1) [] in
+      List.iter
+        (fun u ->
+          let l = Hashtbl.find layer u in
+          buckets.(l) <- u :: buckets.(l))
+        (List.rev order);
+      Some (Array.map (List.sort Node.compare) buckets)
+
+let node_tag ?destination g u =
+  let base = Node.to_string u in
+  let base =
+    match destination with
+    | Some d when Node.equal d u -> "*" ^ base
+    | _ -> base
+  in
+  if Digraph.is_sink g u then base ^ "!" else base
+
+let render ?destination g =
+  let buf = Buffer.create 256 in
+  (match layers g with
+  | Some buckets ->
+      let columns =
+        Array.to_list buckets
+        |> List.map (fun nodes ->
+               List.map (node_tag ?destination g) nodes)
+      in
+      let height =
+        List.fold_left (fun acc col -> max acc (List.length col)) 0 columns
+      in
+      let width col =
+        List.fold_left (fun acc s -> max acc (String.length s)) 1 col
+      in
+      let widths = List.map width columns in
+      for row = 0 to height - 1 do
+        List.iter2
+          (fun col w ->
+            let cell = match List.nth_opt col row with Some s -> s | None -> "" in
+            Buffer.add_string buf (Printf.sprintf "%-*s   " w cell))
+          columns widths;
+        Buffer.add_char buf '\n'
+      done;
+      Buffer.add_string buf "(layers left to right; * destination, ! sink)\n"
+  | None -> Buffer.add_string buf "(cyclic graph)\n");
+  Buffer.add_string buf "edges: ";
+  Buffer.add_string buf
+    (String.concat ", "
+       (List.map
+          (fun (u, v) -> Printf.sprintf "%d->%d" u v)
+          (Digraph.directed_edges g)));
+  Buffer.add_char buf '\n';
+  Buffer.contents buf
+
+let render_diff g1 g2 =
+  let buf = Buffer.create 128 in
+  Undirected.iter_edges
+    (fun e ->
+      let u, v = Edge.endpoints e in
+      match (Digraph.dir g1 u v, Digraph.dir g2 u v) with
+      | Digraph.Out, Digraph.In ->
+          Buffer.add_string buf (Printf.sprintf "%d->%d  ==>  %d->%d\n" u v v u)
+      | Digraph.In, Digraph.Out ->
+          Buffer.add_string buf (Printf.sprintf "%d->%d  ==>  %d->%d\n" v u u v)
+      | _ -> ())
+    (Digraph.skeleton g1);
+  if Buffer.length buf = 0 then "(no differences)\n" else Buffer.contents buf

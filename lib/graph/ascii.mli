@@ -1,0 +1,15 @@
+(** Terminal rendering of small oriented graphs.
+
+    Lays the DAG out in topological layers (left to right — the same
+    picture the paper's embedding argument draws) and lists each edge
+    under the layer diagram.  Meant for examples and CLI output on
+    graphs of up to a few dozen nodes; cyclic graphs fall back to an
+    edge listing. *)
+
+val render : ?destination:Node.t -> Digraph.t -> string
+(** Multi-line drawing: one column per topological layer, destination
+    marked with [*], sinks with [!]. *)
+
+val render_diff : Digraph.t -> Digraph.t -> string
+(** The edges whose orientation differs between two graphs over the
+    same skeleton, one per line ([u->v  ==>  v->u]). *)

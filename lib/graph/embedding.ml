@@ -1,0 +1,30 @@
+type t = { ranks : int Node.Map.t; order : Node.t list }
+
+let of_order nodes =
+  let ranks, _ =
+    List.fold_left
+      (fun (m, i) u ->
+        if Node.Map.mem u m then invalid_arg "Embedding.of_order: duplicate"
+        else (Node.Map.add u i m, i + 1))
+      (Node.Map.empty, 0) nodes
+  in
+  { ranks; order = nodes }
+
+let of_digraph g = Option.map of_order (Digraph.topological_sort g)
+let rank t u = Node.Map.find u t.ranks
+let is_left_of t u v = rank t u < rank t v
+
+let rightmost t = function
+  | [] -> None
+  | u :: rest ->
+      Some
+        (List.fold_left
+           (fun best v -> if rank t v > rank t best then v else best)
+           u rest)
+
+let order t = t.order
+
+let pp ppf t =
+  Format.fprintf ppf "[@[%a@]]"
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf " <@ ") Node.pp)
+    t.order

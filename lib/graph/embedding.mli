@@ -1,0 +1,28 @@
+(** Left-to-right embeddings of a DAG.
+
+    The acyclicity proof of the paper (Invariants 4.1/4.2) embeds the
+    initial DAG in the plane so that every initial edge points from left
+    to right.  Any topological order of [G'_init] realizes this; the
+    embedding is computed once and never changes afterwards, even though
+    the orientation of the graph does. *)
+
+type t
+
+val of_digraph : Digraph.t -> t option
+(** A left-to-right embedding of the given oriented graph, or [None]
+    when the graph is cyclic. *)
+
+val of_order : Node.t list -> t
+(** Embedding placing nodes in the given left-to-right order.
+    @raise Invalid_argument on duplicate nodes. *)
+
+val rank : t -> Node.t -> int
+(** Position from the left, starting at 0.
+    @raise Not_found for unknown nodes. *)
+
+val is_left_of : t -> Node.t -> Node.t -> bool
+(** [is_left_of emb u v] iff [u] is strictly left of [v]. *)
+
+val rightmost : t -> Node.t list -> Node.t option
+val order : t -> Node.t list
+val pp : Format.formatter -> t -> unit

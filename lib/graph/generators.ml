@@ -1,0 +1,259 @@
+type instance = { graph : Digraph.t; destination : Node.t }
+
+let chain_skeleton n =
+  let rec loop g i =
+    if i >= n - 1 then g else loop (Undirected.add_edge g i (i + 1)) (i + 1)
+  in
+  loop Undirected.empty 0
+
+let bad_chain n =
+  if n < 2 then invalid_arg "Generators.bad_chain: need n >= 2";
+  let skel = chain_skeleton n in
+  { graph = Digraph.orient skel ~toward:Edge.hi; destination = 0 }
+
+let good_chain n =
+  if n < 2 then invalid_arg "Generators.good_chain: need n >= 2";
+  let skel = chain_skeleton n in
+  { graph = Digraph.orient skel ~toward:Edge.lo; destination = 0 }
+
+let sawtooth n =
+  if n < 2 then invalid_arg "Generators.sawtooth: need n >= 2";
+  let skel = chain_skeleton n in
+  (* Edge {i, i+1} points to i+1 when i is even, to i when i is odd. *)
+  let toward e = if Edge.lo e mod 2 = 0 then Edge.hi e else Edge.lo e in
+  { graph = Digraph.orient skel ~toward; destination = 0 }
+
+let half_bad_chain n =
+  if n < 3 then invalid_arg "Generators.half_bad_chain: need n >= 3";
+  let skel = chain_skeleton n in
+  let d = n / 2 in
+  (* Every edge points to its higher endpoint: left of the destination
+     that is toward [d] (good half); right of it, away from [d] (bad
+     half). *)
+  { graph = Digraph.orient skel ~toward:Edge.hi; destination = d }
+
+let ring n =
+  if n < 3 then invalid_arg "Generators.ring: need n >= 3";
+  let rec loop g i =
+    if i >= n then g else loop (Undirected.add_edge g i ((i + 1) mod n)) (i + 1)
+  in
+  let skel = loop Undirected.empty 0 in
+  { graph = Digraph.orient skel ~toward:Edge.lo; destination = 0 }
+
+let star ~center ~leaves ~inward =
+  if leaves < 1 then invalid_arg "Generators.star: need leaves >= 1";
+  let skel =
+    let rec loop g i k =
+      if k = 0 then g
+      else if i = center then loop g (i + 1) k
+      else loop (Undirected.add_edge g center i) (i + 1) (k - 1)
+    in
+    loop Undirected.empty 0 leaves
+  in
+  let toward e = if inward then center else Edge.other e center in
+  { graph = Digraph.orient skel ~toward; destination = center }
+
+let binary_tree ~depth =
+  if depth < 1 then invalid_arg "Generators.binary_tree: need depth >= 1";
+  let n = (1 lsl (depth + 1)) - 1 in
+  let rec loop g i =
+    if i >= n then g
+    else
+      let g = if (2 * i) + 1 < n then Undirected.add_edge g i ((2 * i) + 1) else g in
+      let g = if (2 * i) + 2 < n then Undirected.add_edge g i ((2 * i) + 2) else g in
+      loop g (i + 1)
+  in
+  let skel = loop Undirected.empty 0 in
+  (* Toward the root: every edge points to the lower id (the parent). *)
+  { graph = Digraph.orient skel ~toward:Edge.lo; destination = 0 }
+
+let grid ~rows ~cols =
+  if rows < 1 || cols < 1 || rows * cols < 2 then
+    invalid_arg "Generators.grid: need at least two nodes";
+  let id r c = (r * cols) + c in
+  let skel = ref Undirected.empty in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      if c + 1 < cols then skel := Undirected.add_edge !skel (id r c) (id r (c + 1));
+      if r + 1 < rows then skel := Undirected.add_edge !skel (id r c) (id (r + 1) c)
+    done
+  done;
+  (* Away from corner 0: ids increase right/down, so point to high. *)
+  { graph = Digraph.orient !skel ~toward:Edge.hi; destination = 0 }
+
+let layered rng ~layers ~width ~p =
+  if layers < 2 || width < 1 then
+    invalid_arg "Generators.layered: need layers >= 2, width >= 1";
+  let id l w = (l * width) + w in
+  let skel = ref Undirected.empty in
+  for l = 0 to layers - 2 do
+    for w = 0 to width - 1 do
+      let connected = ref false in
+      for w' = 0 to width - 1 do
+        if Random.State.float rng 1.0 < p then begin
+          skel := Undirected.add_edge !skel (id l w') (id (l + 1) w);
+          connected := true
+        end
+      done;
+      if not !connected then
+        skel :=
+          Undirected.add_edge !skel
+            (id l (Random.State.int rng width))
+            (id (l + 1) w)
+    done
+  done;
+  (* Edges point toward the lower layer, i.e. toward the lower id. *)
+  { graph = Digraph.orient !skel ~toward:Edge.lo; destination = 0 }
+
+let shuffle rng arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = Random.State.int rng (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done
+
+let random_connected_skeleton rng ~n ~extra_edges =
+  if n < 2 then invalid_arg "Generators: need n >= 2";
+  (* Random spanning tree: attach each node to a random earlier node of a
+     random permutation. *)
+  let perm = Array.init n (fun i -> i) in
+  shuffle rng perm;
+  let skel = ref Undirected.empty in
+  for i = 1 to n - 1 do
+    let j = Random.State.int rng i in
+    skel := Undirected.add_edge !skel perm.(i) perm.(j)
+  done;
+  let attempts = ref (20 * (extra_edges + 1)) in
+  let added = ref 0 in
+  while !added < extra_edges && !attempts > 0 do
+    decr attempts;
+    let u = Random.State.int rng n and v = Random.State.int rng n in
+    if u <> v && not (Undirected.mem_edge !skel u v) then begin
+      skel := Undirected.add_edge !skel u v;
+      incr added
+    end
+  done;
+  !skel
+
+let orient_by_permutation rng skel n =
+  (* Random topological permutation: the edge points to the endpoint
+     appearing earlier, so all edges agree with one total order => DAG. *)
+  let pos = Array.init n (fun i -> i) in
+  shuffle rng pos;
+  let rank = Array.make n 0 in
+  Array.iteri (fun i u -> rank.(u) <- i) pos;
+  Digraph.orient skel ~toward:(fun e ->
+      if rank.(Edge.lo e) < rank.(Edge.hi e) then Edge.lo e else Edge.hi e)
+
+let random_connected_dag_dest rng ~n ~extra_edges ~destination =
+  if destination < 0 || destination >= n then
+    invalid_arg "Generators: destination out of range";
+  let skel = random_connected_skeleton rng ~n ~extra_edges in
+  { graph = orient_by_permutation rng skel n; destination }
+
+let random_connected_dag rng ~n ~extra_edges =
+  random_connected_dag_dest rng ~n ~extra_edges
+    ~destination:(Random.State.int rng n)
+
+let unit_disk rng ~n ~radius =
+  if n < 2 then invalid_arg "Generators.unit_disk: need n >= 2";
+  let xs = Array.init n (fun _ -> Random.State.float rng 1.0) in
+  let ys = Array.init n (fun _ -> Random.State.float rng 1.0) in
+  let dist2 i j =
+    let dx = xs.(i) -. xs.(j) and dy = ys.(i) -. ys.(j) in
+    (dx *. dx) +. (dy *. dy)
+  in
+  let r2 = radius *. radius in
+  let skel = ref Undirected.empty in
+  for i = 0 to n - 1 do
+    skel := Undirected.add_node !skel i;
+    for j = i + 1 to n - 1 do
+      if dist2 i j <= r2 then skel := Undirected.add_edge !skel i j
+    done
+  done;
+  (* Stitch disconnected components together through nearest pairs so
+     the instance is usable by algorithms that assume connectivity. *)
+  let rec connect () =
+    match Undirected.connected_components !skel with
+    | [] | [ _ ] -> ()
+    | comp :: rest ->
+        let other = List.fold_left Node.Set.union Node.Set.empty rest in
+        let best = ref None in
+        Node.Set.iter
+          (fun i ->
+            Node.Set.iter
+              (fun j ->
+                let d = dist2 i j in
+                match !best with
+                | Some (_, _, bd) when bd <= d -> ()
+                | _ -> best := Some (i, j, d))
+              other)
+          comp;
+        (match !best with
+        | Some (i, j, _) -> skel := Undirected.add_edge !skel i j
+        | None -> ());
+        connect ()
+  in
+  connect ();
+  { graph = orient_by_permutation rng !skel n; destination = 0 }
+
+let all_pairs n =
+  let rec loop u v acc =
+    if u >= n then List.rev acc
+    else if v >= n then loop (u + 1) (u + 2) acc
+    else loop u (v + 1) ((u, v) :: acc)
+  in
+  loop 0 1 []
+
+let all_connected_graphs n =
+  if n < 1 then []
+  else if n = 1 then [ Undirected.add_node Undirected.empty 0 ]
+  else
+    let pairs = all_pairs n in
+    let m = List.length pairs in
+    let rec masks k = if k = 0 then [ [] ] else
+      let rest = masks (k - 1) in
+      List.concat_map (fun tail -> [ true :: tail; false :: tail ]) rest
+    in
+    masks m
+    |> List.filter_map (fun mask ->
+           let g =
+             List.fold_left2
+               (fun g (u, v) keep ->
+                 if keep then Undirected.add_edge g u v else g)
+               Undirected.empty pairs mask
+           in
+           let g =
+             List.fold_left (fun g u -> Undirected.add_node g u) g
+               (List.init n Fun.id)
+           in
+           if Undirected.is_connected g && Undirected.num_edges g >= n - 1 then
+             Some g
+           else None)
+
+let all_orientations skel =
+  let edges = Edge.Set.elements (Undirected.edges skel) in
+  let base =
+    Digraph.orient skel ~toward:Edge.lo
+  in
+  let rec loop gs = function
+    | [] -> gs
+    | e :: rest ->
+        let u, v = Edge.endpoints e in
+        let gs =
+          List.concat_map
+            (fun g -> [ Digraph.set_dir g u v Digraph.Out; Digraph.set_dir g u v Digraph.In ])
+            gs
+        in
+        loop gs rest
+  in
+  loop [ base ] edges
+
+let all_dag_instances n =
+  all_connected_graphs n
+  |> List.concat_map (fun skel ->
+         all_orientations skel
+         |> List.filter Digraph.is_acyclic
+         |> List.concat_map (fun graph ->
+                List.init n (fun destination -> { graph; destination })))

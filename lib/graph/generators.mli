@@ -1,0 +1,86 @@
+(** Graph families used by the tests, examples and the experiment
+    harness.
+
+    Every generator returns an acyclic oriented graph together with the
+    destination node — the two inputs of a link reversal algorithm.
+    Randomized generators take an explicit [Random.State.t] so that all
+    experiments are reproducible from a seed. *)
+
+type instance = { graph : Digraph.t; destination : Node.t }
+
+val bad_chain : int -> instance
+(** [bad_chain n]: path [0 - 1 - ... - n-1], destination [0], every edge
+    directed *away* from the destination.  All [n-1] non-destination
+    nodes are bad; this is the classic Θ(n²)-work family for both FR and
+    PR.  @raise Invalid_argument when [n < 2]. *)
+
+val good_chain : int -> instance
+(** Same path, all edges directed toward the destination: already
+    destination-oriented, zero work. *)
+
+val sawtooth : int -> instance
+(** [sawtooth n]: path [0 - 1 - ... - n-1], destination [0], edge
+    orientations alternating ([0 -> 1 <- 2 -> 3 <- ...]).  Partial
+    Reversal performs exactly [(n/2)²] node steps on this family —
+    the Θ(n_b²) worst case the paper attributes to PR (citing Welch &
+    Walter / Busch et al.).  @raise Invalid_argument when [n < 2]. *)
+
+val half_bad_chain : int -> instance
+(** Path with destination in the middle; the left half points toward the
+    destination, the right half away from it. *)
+
+val ring : int -> instance
+(** Cycle skeleton on [n >= 3] nodes oriented acyclically (every edge
+    toward the lower id), destination [0]. *)
+
+val star : center:Node.t -> leaves:int -> inward:bool -> instance
+(** Star with given center and [leaves] leaves.  [inward] directs every
+    edge toward the center; the destination is the center. *)
+
+val binary_tree : depth:int -> instance
+(** Complete binary tree, edges toward the root (node 0), which is the
+    destination. *)
+
+val grid : rows:int -> cols:int -> instance
+(** [rows*cols] grid; destination is the corner node 0; all edges point
+    away from it (right/down), so every non-destination node is bad. *)
+
+val layered : Random.State.t -> layers:int -> width:int -> p:float -> instance
+(** Random layered DAG: [layers] layers of [width] nodes; each
+    consecutive-layer pair is connected with probability [p] (at least
+    one edge per node is forced, keeping the graph connected).  Edges
+    point toward lower layers; destination is node 0 in layer 0. *)
+
+val random_connected_dag :
+  Random.State.t -> n:int -> extra_edges:int -> instance
+(** Random connected DAG: a random spanning tree plus [extra_edges]
+    random chords, all oriented by a random topological permutation; the
+    destination is a random node (so, in general, some nodes are bad). *)
+
+val random_connected_dag_dest :
+  Random.State.t -> n:int -> extra_edges:int -> destination:Node.t -> instance
+(** Like {!random_connected_dag} with a fixed destination id in
+    [0 .. n-1]. *)
+
+val unit_disk :
+  Random.State.t -> n:int -> radius:float -> instance
+(** Unit-disk graph — the standard ad-hoc radio model: [n] nodes placed
+    uniformly in the unit square, linked when within [radius] of each
+    other.  A random spanning tree over near-neighbours is added when
+    the disk graph alone is disconnected, so the result is always
+    connected.  Orientation by a random topological permutation;
+    destination is node 0. *)
+
+val all_connected_graphs : int -> Undirected.t list
+(** All connected undirected graphs on nodes [0..n-1], up to nothing
+    (no isomorphism reduction) — usable for exhaustive model checking
+    for [n <= 5]. *)
+
+val all_orientations : Undirected.t -> Digraph.t list
+(** All [2^|E|] orientations of the skeleton (cyclic ones included). *)
+
+val all_dag_instances : int -> instance list
+(** All (graph, destination) pairs where the graph is a connected
+    acyclic orientation on [0..n-1] and every node is a candidate
+    destination.  Grows fast; intended for [n <= 4] exhaustive checks
+    and sampled use at [n = 5]. *)

@@ -1,0 +1,36 @@
+type t = int
+
+let compare = Int.compare
+let equal = Int.equal
+let hash = Hashtbl.hash
+let pp = Format.pp_print_int
+let to_string = string_of_int
+
+module Set = struct
+  include Set.Make (Int)
+
+  let pp ppf s =
+    Format.fprintf ppf "{@[%a@]}"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ")
+         Format.pp_print_int)
+      (elements s)
+
+  let of_range lo hi =
+    let rec loop acc i = if i < lo then acc else loop (add i acc) (i - 1) in
+    loop empty hi
+end
+
+module Map = struct
+  include Map.Make (Int)
+
+  let pp pp_v ppf m =
+    let pp_binding ppf (k, v) = Format.fprintf ppf "%d -> %a" k pp_v v in
+    Format.fprintf ppf "{@[%a@]}"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.fprintf ppf ";@ ")
+         pp_binding)
+      (bindings m)
+
+  let find_or ~default k m = match find_opt k m with Some v -> v | None -> default
+end

@@ -1,0 +1,94 @@
+let bfs ~neighbors start =
+  let dist = ref (Node.Map.add start 0 Node.Map.empty) in
+  let queue = Queue.create () in
+  Queue.add start queue;
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    let du = Node.Map.find u !dist in
+    Node.Set.iter
+      (fun v ->
+        if not (Node.Map.mem v !dist) then begin
+          dist := Node.Map.add v (du + 1) !dist;
+          Queue.add v queue
+        end)
+      (neighbors u)
+  done;
+  !dist
+
+let distances g d =
+  if not (Node.Set.mem d (Digraph.nodes g)) then Node.Map.empty
+  else bfs ~neighbors:(Digraph.in_neighbors g) d
+
+let shortest_path g u v =
+  if not (Node.Set.mem u (Digraph.nodes g) && Node.Set.mem v (Digraph.nodes g))
+  then None
+  else
+    (* BFS from [v] over reversed edges gives distance-to-v; descend
+       from [u] along strictly decreasing distances. *)
+    let dist = bfs ~neighbors:(Digraph.in_neighbors g) v in
+    match Node.Map.find_opt u dist with
+    | None -> None
+    | Some _ ->
+        let rec walk w acc =
+          if Node.equal w v then Some (List.rev (w :: acc))
+          else
+            let dw = Node.Map.find w dist in
+            let next =
+              Node.Set.fold
+                (fun x found ->
+                  match found with
+                  | Some _ -> found
+                  | None -> (
+                      match Node.Map.find_opt x dist with
+                      | Some dx when dx = dw - 1 -> Some x
+                      | _ -> None))
+                (Digraph.out_neighbors g w)
+                None
+            in
+            match next with
+            | None -> None
+            | Some x -> walk x (w :: acc)
+        in
+        walk u []
+
+let undirected_distances skel start =
+  if not (Undirected.mem_node skel start) then Node.Map.empty
+  else bfs ~neighbors:(Undirected.neighbors skel) start
+
+let eccentricity skel u =
+  let dist = undirected_distances skel u in
+  if Node.Map.cardinal dist < Node.Set.cardinal (Undirected.nodes skel) then
+    None
+  else Some (Node.Map.fold (fun _ d acc -> max d acc) dist 0)
+
+let diameter skel =
+  let nodes = Undirected.nodes skel in
+  if Node.Set.is_empty nodes then None
+  else
+    Node.Set.fold
+      (fun u acc ->
+        match acc with
+        | None -> None
+        | Some best -> (
+            match eccentricity skel u with
+            | None -> None
+            | Some e -> Some (max best e)))
+      nodes (Some 0)
+
+let stretch g d =
+  if not (Digraph.is_destination_oriented g d) then None
+  else
+    let directed = distances g d in
+    let skeleton = undirected_distances (Digraph.skeleton g) d in
+    let total, count =
+      Node.Set.fold
+        (fun u (total, count) ->
+          if Node.equal u d then (total, count)
+          else
+            match (Node.Map.find_opt u directed, Node.Map.find_opt u skeleton) with
+            | Some dr, Some ds when ds > 0 ->
+                (total +. (float_of_int dr /. float_of_int ds), count + 1)
+            | _ -> (total, count))
+        (Digraph.nodes g) (0.0, 0)
+    in
+    if count = 0 then None else Some (total /. float_of_int count)

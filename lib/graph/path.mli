@@ -1,0 +1,30 @@
+(** Directed paths and distances.
+
+    Used by the routing layer (route extraction, stretch measurements)
+    and the experiment harness (how far reversals push a graph from the
+    shortest routes). *)
+
+val distances : Digraph.t -> Node.t -> int Node.Map.t
+(** [distances g d]: directed hop distance {e to} [d] for every node
+    that can reach it (BFS over reversed edges).  [d] maps to 0;
+    unreachable nodes are absent. *)
+
+val shortest_path : Digraph.t -> Node.t -> Node.t -> Node.t list option
+(** [shortest_path g u v] is a minimum-hop directed path [u ... v]. *)
+
+val undirected_distances : Undirected.t -> Node.t -> int Node.Map.t
+(** Hop distances in the skeleton, ignoring orientation. *)
+
+val eccentricity : Undirected.t -> Node.t -> int option
+(** Greatest skeleton distance from the node; [None] if the graph is
+    disconnected from it. *)
+
+val diameter : Undirected.t -> int option
+(** Greatest skeleton distance overall; [None] when disconnected or
+    empty. *)
+
+val stretch : Digraph.t -> Node.t -> float option
+(** Mean over nodes of (directed route length / skeleton distance) to
+    the destination — 1.0 means every node routes along a shortest
+    skeleton path.  [None] unless the graph is destination-oriented and
+    connected. *)

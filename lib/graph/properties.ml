@@ -1,0 +1,41 @@
+type degree_stats = {
+  min_degree : int;
+  max_degree : int;
+  mean_degree : float;
+}
+
+let degree_stats g =
+  let nodes = Undirected.nodes g in
+  if Node.Set.is_empty nodes then
+    { min_degree = 0; max_degree = 0; mean_degree = 0.0 }
+  else
+    let degrees =
+      Node.Set.fold (fun u acc -> Undirected.degree g u :: acc) nodes []
+    in
+    {
+      min_degree = List.fold_left min max_int degrees;
+      max_degree = List.fold_left max 0 degrees;
+      mean_degree =
+        float_of_int (List.fold_left ( + ) 0 degrees)
+        /. float_of_int (List.length degrees);
+    }
+
+let density g =
+  let n = Undirected.num_nodes g in
+  if n < 2 then 0.0
+  else
+    float_of_int (Undirected.num_edges g) /. (float_of_int (n * (n - 1)) /. 2.0)
+
+let is_tree g =
+  Undirected.num_nodes g > 0
+  && Undirected.is_connected g
+  && Undirected.num_edges g = Undirected.num_nodes g - 1
+
+let sink_count g = Node.Set.cardinal (Digraph.sinks g)
+let source_count g = Node.Set.cardinal (Digraph.sources g)
+
+let orientation_profile g d =
+  Printf.sprintf "%d nodes, %d edges, %d sinks, %d sources, %d bad"
+    (Digraph.num_nodes g) (Digraph.num_edges g) (sink_count g)
+    (source_count g)
+    (Node.Set.cardinal (Digraph.bad_nodes g d))

@@ -1,0 +1,23 @@
+(** Structural summaries of graphs, for the generators' tests and the
+    experiment harness. *)
+
+type degree_stats = {
+  min_degree : int;
+  max_degree : int;
+  mean_degree : float;
+}
+
+val degree_stats : Undirected.t -> degree_stats
+(** All zero on the empty graph. *)
+
+val density : Undirected.t -> float
+(** [|E| / (n(n-1)/2)]; 0 for fewer than two nodes. *)
+
+val is_tree : Undirected.t -> bool
+(** Connected with [|E| = n - 1]. *)
+
+val sink_count : Digraph.t -> int
+val source_count : Digraph.t -> int
+
+val orientation_profile : Digraph.t -> Node.t -> string
+(** One-line summary used by the CLI: nodes/edges/sinks/sources/bad. *)

@@ -1,0 +1,94 @@
+let digraph_to_string g =
+  let buf = Buffer.create 256 in
+  let connected =
+    Digraph.directed_edges g
+    |> List.fold_left
+         (fun acc (u, v) ->
+           Buffer.add_string buf (Printf.sprintf "%d %d\n" u v);
+           Node.Set.add u (Node.Set.add v acc))
+         Node.Set.empty
+  in
+  Node.Set.iter
+    (fun u ->
+      if not (Node.Set.mem u connected) then
+        Buffer.add_string buf (Printf.sprintf "node %d\n" u))
+    (Digraph.nodes g);
+  Buffer.contents buf
+
+let parse_lines s =
+  String.split_on_char '\n' s
+  |> List.mapi (fun i line -> (i + 1, line))
+  |> List.filter_map (fun (i, line) ->
+         let line = String.trim line in
+         if line = "" || line.[0] = '#' then None else Some (i, line))
+
+let parse_line (i, line) =
+  let fail () = Error (Printf.sprintf "line %d: cannot parse %S" i line) in
+  match String.split_on_char ' ' line |> List.filter (fun t -> t <> "") with
+  | [ "node"; u ] -> (
+      match int_of_string_opt u with
+      | Some u -> Ok (`Node u)
+      | None -> fail ())
+  | [ "destination"; d ] -> (
+      match int_of_string_opt d with
+      | Some d -> Ok (`Destination d)
+      | None -> fail ())
+  | [ u; v ] -> (
+      match (int_of_string_opt u, int_of_string_opt v) with
+      | Some u, Some v when u <> v -> Ok (`Edge (u, v))
+      | Some _, Some _ -> Error (Printf.sprintf "line %d: self-loop" i)
+      | _ -> fail ())
+  | _ -> fail ()
+
+let fold_items s =
+  let rec loop acc = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest -> (
+        match parse_line line with
+        | Ok item -> loop (item :: acc) rest
+        | Error _ as e -> e)
+  in
+  loop [] (parse_lines s)
+
+let digraph_of_items items =
+  List.fold_left
+    (fun g item ->
+      match item with
+      | `Node u -> Digraph.add_node g u
+      | `Edge (u, v) -> Digraph.add_directed_edge g u v
+      | `Destination _ -> g)
+    (Digraph.of_directed_edges [])
+    items
+
+let digraph_of_string s = Result.map digraph_of_items (fold_items s)
+
+let instance_to_string inst =
+  Printf.sprintf "destination %d\n%s" inst.Generators.destination
+    (digraph_to_string inst.Generators.graph)
+
+let instance_of_string s =
+  match fold_items s with
+  | Error _ as e -> e
+  | Ok items -> (
+      let dests =
+        List.filter_map (function `Destination d -> Some d | _ -> None) items
+      in
+      match dests with
+      | [ destination ] ->
+          let graph = digraph_of_items items in
+          if Node.Set.mem destination (Digraph.nodes graph) then
+            Ok { Generators.graph; destination }
+          else Error "destination is not a node of the graph"
+      | [] -> Error "missing 'destination D' line"
+      | _ -> Error "multiple destination lines")
+
+let save_instance path inst =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (instance_to_string inst))
+
+let load_instance path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | s -> instance_of_string s
+  | exception Sys_error e -> Error e

@@ -1,0 +1,18 @@
+(** A plain-text exchange format for oriented graphs and instances.
+
+    Line-oriented: blank lines and [#]-comments are ignored;
+    [node U] declares an isolated node; [U V] declares the directed edge
+    [U -> V]; an instance file additionally carries one
+    [destination D] line.  The format round-trips through
+    {!digraph_to_string}/{!digraph_of_string} and is what the CLI's
+    [--graph-file] option reads. *)
+
+val digraph_to_string : Digraph.t -> string
+val digraph_of_string : string -> (Digraph.t, string) result
+
+val instance_to_string : Generators.instance -> string
+val instance_of_string : string -> (Generators.instance, string) result
+
+val save_instance : string -> Generators.instance -> unit
+val load_instance : string -> (Generators.instance, string) result
+(** [Error] covers unreadable files as well as parse errors. *)

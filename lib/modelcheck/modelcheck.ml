@@ -1,0 +1,230 @@
+open Lr_graph
+open Linkrev
+module A = Lr_automata
+
+type report = {
+  automaton : string;
+  instance_nodes : int;
+  states : int;
+  violation : string option;
+}
+
+let pp_report ppf r =
+  Format.fprintf ppf "%s on %d nodes: %d reachable states, %s" r.automaton
+    r.instance_nodes r.states
+    (match r.violation with None -> "OK" | Some v -> "VIOLATION: " ^ v)
+
+let nodes_of config = Node.Set.cardinal (Config.nodes config)
+
+let check_invariant_on_reachable ~max_states ~key aut inv config name =
+  match A.Automaton.reachable ~max_states ~key aut with
+  | Error e ->
+      {
+        automaton = name;
+        instance_nodes = nodes_of config;
+        states = 0;
+        violation = Some e;
+      }
+  | Ok states ->
+      let violation =
+        Option.map
+          (fun v -> Format.asprintf "%a" A.Invariant.pp_violation v)
+          (A.Invariant.check_states inv states)
+      in
+      {
+        automaton = name;
+        instance_nodes = nodes_of config;
+        states = List.length states;
+        violation;
+      }
+
+let check_pr_invariants ?(max_states = 500_000) config =
+  check_invariant_on_reachable ~max_states ~key:Pr.canonical_key
+    (Pr.automaton ~mode:Pr.All_subsets config)
+    (Invariants.pr_all config) config "PR invariants"
+
+let check_one_step_pr_invariants ?(max_states = 500_000) config =
+  check_invariant_on_reachable ~max_states ~key:Pr.canonical_key
+    (One_step_pr.automaton config)
+    (Invariants.pr_all config) config "OneStepPR invariants"
+
+let check_newpr_invariants ?(max_states = 500_000) config =
+  check_invariant_on_reachable ~max_states ~key:New_pr.canonical_key
+    (New_pr.automaton config)
+    (Invariants.newpr_all config) config "NewPR invariants"
+
+(* For every reachable state of [aut_a], some enumerated state of
+   [aut_b] satisfies [related]. *)
+let check_existential ~max_states ~key_a ~key_b aut_a aut_b related config
+    name =
+  let fail violation =
+    {
+      automaton = name;
+      instance_nodes = nodes_of config;
+      states = 0;
+      violation = Some violation;
+    }
+  in
+  match A.Automaton.reachable ~max_states ~key:key_a aut_a with
+  | Error e -> fail e
+  | Ok states_a -> (
+      match A.Automaton.reachable ~max_states ~key:key_b aut_b with
+      | Error e -> fail e
+      | Ok states_b ->
+          let violation =
+            List.find_map
+              (fun s ->
+                if List.exists (fun t -> related s t) states_b then None
+                else
+                  Some
+                    (Format.asprintf "state %s has no related partner"
+                       (key_a s)))
+              states_a
+          in
+          {
+            automaton = name;
+            instance_nodes = nodes_of config;
+            states = List.length states_a;
+            violation;
+          })
+
+let check_theorem_5_2 ?(max_states = 200_000) config =
+  check_existential ~max_states ~key_a:Pr.canonical_key
+    ~key_b:Pr.canonical_key
+    (Pr.automaton ~mode:Pr.All_subsets config)
+    (One_step_pr.automaton config)
+    (fun s t -> Result.is_ok ((Simulation_rel.r_prime config).relation s t))
+    config "Theorem 5.2 (R' existence)"
+
+let check_theorem_5_4 ?(max_states = 200_000) config =
+  check_existential ~max_states ~key_a:Pr.canonical_key
+    ~key_b:New_pr.canonical_key
+    (One_step_pr.automaton config)
+    (New_pr.automaton config)
+    (fun s t -> Result.is_ok ((Simulation_rel.r config).relation s t))
+    config "Theorem 5.4 (R existence)"
+
+let check_reverse_theorem ?(max_states = 200_000) config =
+  check_existential ~max_states ~key_a:New_pr.canonical_key
+    ~key_b:Pr.canonical_key
+    (New_pr.automaton config)
+    (One_step_pr.automaton config)
+    (fun t s -> Result.is_ok ((Simulation_rel.r_reverse config).relation t s))
+    config "Reverse direction (future work)"
+
+(* Explicit state graph of an automaton: keys plus successor lists. *)
+let state_graph ~max_states ~key (aut : ('s, 'a) A.Automaton.t) =
+  match A.Automaton.reachable ~max_states ~key aut with
+  | Error e -> Error e
+  | Ok states ->
+      let succs = Hashtbl.create (List.length states) in
+      List.iter
+        (fun s ->
+          let ks = key s in
+          let outs =
+            List.map (fun a -> key (aut.A.Automaton.step s a))
+              (aut.A.Automaton.enabled s)
+          in
+          Hashtbl.replace succs ks (s, outs))
+        states;
+      Ok (List.map key states, succs)
+
+(* Longest path in a DAG of states; [None] when a cycle exists. *)
+let longest_path keys succs =
+  let memo = Hashtbl.create (List.length keys) in
+  let exception Cycle in
+  let rec depth k =
+    match Hashtbl.find_opt memo k with
+    | Some `Visiting -> raise Cycle
+    | Some (`Done d) -> d
+    | None ->
+        Hashtbl.replace memo k `Visiting;
+        let _, outs = Hashtbl.find succs k in
+        let d =
+          List.fold_left (fun acc k' -> max acc (1 + depth k')) 0 outs
+        in
+        Hashtbl.replace memo k (`Done d);
+        d
+  in
+  try Some (List.fold_left (fun acc k -> max acc (depth k)) 0 keys)
+  with Cycle -> None
+
+let check_termination ?(max_states = 200_000) config =
+  let name = "Termination (state graph acyclic, terminal states oriented)" in
+  let fail violation =
+    {
+      automaton = name;
+      instance_nodes = nodes_of config;
+      states = 0;
+      violation = Some violation;
+    }
+  in
+  match
+    state_graph ~max_states ~key:Pr.canonical_key (One_step_pr.automaton config)
+  with
+  | Error e -> fail e
+  | Ok (keys, succs) -> (
+      match longest_path keys succs with
+      | None -> fail "state graph has a cycle: an infinite execution exists"
+      | Some _ ->
+          let bad_terminal =
+            List.find_opt
+              (fun k ->
+                let (s : Pr.state), outs = Hashtbl.find succs k in
+                outs = []
+                && not
+                     (Lr_graph.Digraph.is_destination_oriented s.Pr.graph
+                        config.Config.destination))
+              keys
+          in
+          {
+            automaton = name;
+            instance_nodes = nodes_of config;
+            states = List.length keys;
+            violation =
+              Option.map
+                (fun k -> "terminal state not destination-oriented: " ^ k)
+                bad_terminal;
+          })
+
+type space_stats = {
+  pr_states : int;
+  newpr_states : int;
+  longest_execution : int;
+}
+
+let state_space_stats ?(max_states = 200_000) config =
+  let ( let* ) = Result.bind in
+  let* keys, succs =
+    state_graph ~max_states ~key:Pr.canonical_key (One_step_pr.automaton config)
+  in
+  let* longest =
+    Option.to_result ~none:"cyclic state graph" (longest_path keys succs)
+  in
+  let* newpr =
+    A.Automaton.reachable ~max_states ~key:New_pr.canonical_key
+      (New_pr.automaton config)
+  in
+  Ok
+    {
+      pr_states = List.length keys;
+      newpr_states = List.length newpr;
+      longest_execution = longest;
+    }
+
+let check_all ?max_states config =
+  [
+    check_pr_invariants ?max_states config;
+    check_one_step_pr_invariants ?max_states config;
+    check_newpr_invariants ?max_states config;
+    check_theorem_5_2 ?max_states config;
+    check_theorem_5_4 ?max_states config;
+    check_reverse_theorem ?max_states config;
+    check_termination ?max_states config;
+  ]
+
+let exhaustive_families ~max_nodes =
+  let rec sizes n = if n > max_nodes then [] else n :: sizes (n + 1) in
+  sizes 2
+  |> List.concat_map (fun n ->
+         Generators.all_dag_instances n |> List.map Config.of_instance)

@@ -1,0 +1,65 @@
+(** Exhaustive verification of the paper's statements on small
+    instances.
+
+    The paper quantifies over {e every reachable state}; on graphs of up
+    to ~5 nodes the reachable state spaces of PR, OneStepPR and NewPR
+    are small enough to enumerate outright, so the invariants and the
+    existential halves of Theorems 5.2 / 5.4 can be checked exactly
+    rather than sampled. *)
+
+type report = {
+  automaton : string;
+  instance_nodes : int;
+  states : int;  (** Reachable states enumerated. *)
+  violation : string option;  (** First violation found, if any. *)
+}
+
+val pp_report : Format.formatter -> report -> unit
+
+val check_pr_invariants : ?max_states:int -> Linkrev.Config.t -> report
+(** Invariants 3.1/3.2, Corollaries 3.3/3.4, skeleton preservation and
+    acyclicity (Theorem 5.5) on every reachable PR state (with
+    [reverse(S)] over all sink subsets). *)
+
+val check_one_step_pr_invariants :
+  ?max_states:int -> Linkrev.Config.t -> report
+
+val check_newpr_invariants : ?max_states:int -> Linkrev.Config.t -> report
+(** Invariants 4.1/4.2 and Theorem 4.3 on every reachable NewPR
+    state. *)
+
+val check_theorem_5_2 : ?max_states:int -> Linkrev.Config.t -> report
+(** For every reachable PR state [s] there is a reachable OneStepPR
+    state [t] with [(s, t) ∈ R']. *)
+
+val check_theorem_5_4 : ?max_states:int -> Linkrev.Config.t -> report
+(** For every reachable OneStepPR state [s] there is a reachable NewPR
+    state [t] with [(s, t) ∈ R]. *)
+
+val check_reverse_theorem : ?max_states:int -> Linkrev.Config.t -> report
+(** The future-work direction: for every reachable NewPR state [t]
+    there is a reachable OneStepPR state [s] related by the extended
+    reverse relation. *)
+
+val check_termination : ?max_states:int -> Linkrev.Config.t -> report
+(** Strong termination of NewPR, verified exactly: the reachable state
+    graph contains no cycle (every execution is finite), and every
+    terminal state is destination-oriented.  Together with Theorem 4.3
+    this is the full correctness statement for small instances. *)
+
+val check_all : ?max_states:int -> Linkrev.Config.t -> report list
+
+val exhaustive_families : max_nodes:int -> Linkrev.Config.t list
+(** Every connected DAG instance with up to [max_nodes] nodes and every
+    destination choice — the input set for a full sweep. *)
+
+type space_stats = {
+  pr_states : int;
+  newpr_states : int;
+  longest_execution : int;
+      (** Length of the longest OneStepPR execution — the instance's
+          exact worst-case work, computed from the state graph. *)
+}
+
+val state_space_stats : ?max_states:int -> Linkrev.Config.t -> (space_stats, string) result
+(** Exact state-space measurements for one instance (small graphs). *)

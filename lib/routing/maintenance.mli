@@ -1,0 +1,54 @@
+(** TORA-style route maintenance on a dynamic topology.
+
+    A maintenance session keeps a height-oriented graph
+    destination-oriented while links fail and appear — the motivating
+    use of Partial Reversal in mobile ad-hoc networks.  Link directions
+    are always derived from node heights, so a new link is oriented
+    "for free" (higher endpoint to lower), and a failure that leaves a
+    node with no outgoing edge triggers a reversal cascade which the
+    session runs to quiescence.
+
+    Partition handling is deliberately simple (real TORA detects
+    partitions with reflected heights): a failure that disconnects part
+    of the network from the destination is detected by a connectivity
+    check and reported; the disconnected side is left untouched. *)
+
+open Lr_graph
+open Linkrev
+
+type rule = Full_reversal | Partial_reversal
+
+type t
+
+type change_result =
+  | Stabilized of { node_steps : int; affected : Node.Set.t }
+      (** Reversal work performed to restore destination orientation;
+          [affected] are the nodes that reversed. *)
+  | Partitioned of Node.Set.t
+      (** Nodes cut off from the destination; no reversals performed. *)
+
+val create : rule -> Config.t -> t
+(** Starts from [G'_init] and stabilizes it (the initial graph need not
+    be destination-oriented). *)
+
+val graph : t -> Digraph.t
+val destination : t -> Node.t
+val is_destination_oriented : t -> bool
+val total_work : t -> int
+(** Cumulative reversal steps since [create]. *)
+
+val route : t -> Node.t -> Node.t list option
+(** A directed path from the node to the destination, if the node is
+    currently connected to it. *)
+
+val fail_link : t -> Node.t -> Node.t -> change_result
+(** Remove a link.  @raise Invalid_argument if absent. *)
+
+val add_link : t -> Node.t -> Node.t -> unit
+(** Insert a link between existing nodes; it is oriented by the current
+    heights.  @raise Invalid_argument if already present or a
+    self-loop. *)
+
+val fail_node : t -> Node.t -> change_result
+(** Remove all links of a node (crash).  The node itself stays in the
+    skeleton, isolated.  @raise Invalid_argument for the destination. *)

@@ -1,0 +1,66 @@
+open Lr_graph
+open Linkrev
+
+type t = {
+  config : Config.t;
+  mutable holder : Node.t;
+  mutable state : Pr.state;
+  pending : Node.t Queue.t;
+}
+
+(* Run PR (one sink at a time) until the graph is quiescent with respect
+   to [dest]: no sink other than [dest] remains. *)
+let stabilize_toward config state dest =
+  let steps = ref 0 in
+  let n = Node.Set.cardinal (Config.nodes config) in
+  let budget = (4 * n * n) + 1000 in
+  let rec loop (s : Pr.state) =
+    let sinks = Node.Set.remove dest (Digraph.sinks s.Pr.graph) in
+    match Node.Set.choose_opt sinks with
+    | None -> s
+    | Some u ->
+        if !steps > budget then
+          failwith "Mutex.stabilize: budget exceeded (bug)"
+        else begin
+          incr steps;
+          loop (Pr.apply config s (Node.Set.singleton u))
+        end
+  in
+  let s = loop state in
+  (s, !steps)
+
+let create config =
+  let state, _ =
+    stabilize_toward config (Pr.initial config) config.Config.destination
+  in
+  {
+    config;
+    holder = config.Config.destination;
+    state;
+    pending = Queue.create ();
+  }
+
+let holder t = t.holder
+let graph t = t.state.Pr.graph
+let pending t = List.of_seq (Queue.to_seq t.pending)
+
+let request t u =
+  if not (Node.Set.mem u (Config.nodes t.config)) then
+    invalid_arg "Mutex.request: unknown node";
+  let already =
+    Node.equal u t.holder
+    || Queue.fold (fun acc v -> acc || Node.equal u v) false t.pending
+  in
+  if not already then Queue.add u t.pending
+
+let grant_next t =
+  match Queue.take_opt t.pending with
+  | None -> None
+  | Some r ->
+      let state, steps = stabilize_toward t.config t.state r in
+      t.state <- state;
+      t.holder <- r;
+      Some (r, steps)
+
+let oriented_to_holder t =
+  Digraph.is_destination_oriented (graph t) t.holder

@@ -1,0 +1,35 @@
+(** Token-based mutual exclusion by link reversal (Welch–Walter's third
+    application of link reversal, after routing and leader election).
+
+    The token holder plays the role of the destination: the DAG is kept
+    holder-oriented, so any node can forward a request along its
+    outgoing edges.  Granting the token to the next requester makes the
+    requester the new destination and lets Partial Reversal re-orient
+    the graph toward it; the reversal work is the cost of the transfer.
+
+    Safety (at most one holder, graph always acyclic) and liveness
+    (FIFO service) are checked in the test suite. *)
+
+open Lr_graph
+
+type t
+
+val create : Linkrev.Config.t -> t
+(** The initial holder is the configuration's destination; the initial
+    graph is stabilized toward it first. *)
+
+val holder : t -> Node.t
+val graph : t -> Digraph.t
+val pending : t -> Node.t list
+(** Requests not yet served, in arrival order. *)
+
+val request : t -> Node.t -> unit
+(** Enqueue a request.  Duplicate pending requests and requests by the
+    current holder are ignored. *)
+
+val grant_next : t -> (Node.t * int) option
+(** Serve the oldest pending request: re-orients the graph toward the
+    requester and returns it together with the reversal steps the
+    transfer cost.  [None] when nothing is pending. *)
+
+val oriented_to_holder : t -> bool

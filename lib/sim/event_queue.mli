@@ -1,0 +1,17 @@
+(** A mutable binary-heap event queue keyed by simulated time.
+
+    Ties are broken by insertion order, so a simulation driven by this
+    queue is fully deterministic given its inputs. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val add : 'a t -> time:float -> 'a -> unit
+(** @raise Invalid_argument on a negative or non-finite time. *)
+
+val pop : 'a t -> (float * 'a) option
+(** Earliest event, or [None] when empty. *)
+
+val peek_time : 'a t -> float option
+val size : 'a t -> int
+val is_empty : 'a t -> bool

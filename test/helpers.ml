@@ -1,0 +1,44 @@
+(* Shared fixtures and small assertion helpers for the test suite. *)
+
+open Lr_graph
+open Linkrev
+
+let rng seed = Random.State.make [| 0xbeef; seed |]
+
+(* A hand-built diamond: 0 -> 1 -> 3, 0 -> 2 -> 3, destination 0.
+   Node 3 is the unique initial sink; 1, 2, 3 are all bad. *)
+let diamond () =
+  Config.make_exn
+    (Digraph.of_directed_edges [ (0, 1); (0, 2); (1, 3); (2, 3) ])
+    ~destination:0
+
+let bad_chain n = Config.of_instance (Generators.bad_chain n)
+let sawtooth n = Config.of_instance (Generators.sawtooth n)
+
+let random_config ?(extra_edges = 8) ~seed n =
+  Config.of_instance
+    (Generators.random_connected_dag (rng seed) ~n ~extra_edges)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let node_set_testable =
+  Alcotest.testable Node.Set.pp Node.Set.equal
+
+let check_node_set = Alcotest.check node_set_testable
+
+let digraph_testable = Alcotest.testable Digraph.pp Digraph.equal
+
+let run_random ?(seed = 0) ?max_steps automaton =
+  Lr_automata.Execution.run ?max_steps
+    ~scheduler:(Lr_automata.Scheduler.random (rng seed))
+    automaton
+
+let expect_no_violation what = function
+  | None -> ()
+  | Some v ->
+      Alcotest.failf "%s: %a" what Lr_automata.Invariant.pp_violation v
+
+let case name f = Alcotest.test_case name `Quick f
+
+let suite name cases = (name, cases)

@@ -1,0 +1,59 @@
+open Lr_graph
+open Helpers
+
+let contains ~sub s =
+  let n = String.length s and m = String.length sub in
+  let rec loop i = i + m <= n && (String.sub s i m = sub || loop (i + 1)) in
+  m = 0 || loop 0
+
+let test_render_marks () =
+  let g = Digraph.of_directed_edges [ (0, 1); (1, 2) ] in
+  let out = Ascii.render ~destination:0 g in
+  check_bool "destination marked" true (contains ~sub:"*0" out);
+  check_bool "sink marked" true (contains ~sub:"2!" out);
+  check_bool "edges listed" true (contains ~sub:"0->1" out)
+
+let test_render_cyclic_fallback () =
+  let g = Digraph.of_directed_edges [ (0, 1); (1, 2); (2, 0) ] in
+  check_bool "cyclic note" true (contains ~sub:"(cyclic graph)" (Ascii.render g))
+
+let test_layers_respect_edges () =
+  (* every directed edge must go from an earlier line position (layer)
+     to a later one; check indirectly: the diamond renders 3 layers *)
+  let g = Digraph.of_directed_edges [ (0, 1); (0, 2); (1, 3); (2, 3) ] in
+  let out = Ascii.render g in
+  check_bool "renders" true (String.length out > 0);
+  (* nodes 1 and 2 share the middle layer => they appear in the same
+     column; rough check: the first line contains 0, 1 and 3 *)
+  let first_line = List.hd (String.split_on_char '\n' out) in
+  check_bool "three columns on the first row" true
+    (contains ~sub:"0" first_line && contains ~sub:"3" first_line)
+
+let test_diff () =
+  let g1 = Digraph.of_directed_edges [ (0, 1); (1, 2) ] in
+  let g2 = Digraph.reverse_edge g1 1 2 in
+  let out = Ascii.render_diff g1 g2 in
+  check_bool "reports the flip" true (contains ~sub:"1->2  ==>  2->1" out);
+  Alcotest.(check string) "no diff" "(no differences)\n" (Ascii.render_diff g1 g1)
+
+let test_diff_after_reversal_step () =
+  let config = diamond () in
+  let s0 = Linkrev.Pr.initial config in
+  let s1 = Linkrev.Pr.apply config s0 (Node.Set.singleton 3) in
+  let out = Ascii.render_diff s0.Linkrev.Pr.graph s1.Linkrev.Pr.graph in
+  (* node 3 reversed both incident edges *)
+  check_bool "edge {1,3} flipped" true (contains ~sub:"3->1" out);
+  check_bool "edge {2,3} flipped" true (contains ~sub:"3->2" out)
+
+let () =
+  Alcotest.run "ascii"
+    [
+      suite "ascii"
+        [
+          case "marks destination and sinks" test_render_marks;
+          case "cyclic graphs fall back" test_render_cyclic_fallback;
+          case "layer layout" test_layers_respect_edges;
+          case "diff rendering" test_diff;
+          case "diff after a PR step" test_diff_after_reversal_step;
+        ];
+    ]

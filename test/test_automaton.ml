@@ -1,0 +1,69 @@
+open Helpers
+module A = Lr_automata
+
+(* A tiny counter automaton: increment up to a limit. *)
+let counter limit =
+  A.Automaton.make ~name:"counter" ~initial:0
+    ~enabled:(fun s -> if s < limit then [ `Inc ] else [])
+    ~step:(fun s `Inc -> s + 1)
+    ()
+
+let test_make_defaults () =
+  let aut = counter 3 in
+  check_bool "is_enabled from enabled" true (aut.A.Automaton.is_enabled 0 `Inc);
+  check_bool "disabled at limit" false (aut.A.Automaton.is_enabled 3 `Inc);
+  check_bool "default equality" true (aut.A.Automaton.equal_state 2 2)
+
+let test_quiescent () =
+  let aut = counter 2 in
+  check_bool "not quiescent" false (A.Automaton.quiescent aut 0);
+  check_bool "quiescent" true (A.Automaton.quiescent aut 2)
+
+let test_reachable () =
+  match A.Automaton.reachable ~key:string_of_int (counter 5) with
+  | Error e -> Alcotest.fail e
+  | Ok states ->
+      check_int "six states" 6 (List.length states);
+      check_int "initial first" 0 (List.hd states)
+
+let test_reachable_bound () =
+  (* An unbounded counter must hit the cap and report an error. *)
+  let unbounded =
+    A.Automaton.make ~name:"unbounded" ~initial:0
+      ~enabled:(fun _ -> [ `Inc ])
+      ~step:(fun s `Inc -> s + 1)
+      ()
+  in
+  match A.Automaton.reachable ~max_states:100 ~key:string_of_int unbounded with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected cap error"
+
+let test_reachable_dedup () =
+  (* Two paths into the same state must be visited once. *)
+  let diamond =
+    A.Automaton.make ~name:"diamond" ~initial:(0, 0)
+      ~enabled:(fun (a, b) ->
+        (if a < 1 then [ `A ] else []) @ if b < 1 then [ `B ] else [])
+      ~step:(fun (a, b) -> function `A -> (a + 1, b) | `B -> (a, b + 1))
+      ()
+  in
+  match
+    A.Automaton.reachable
+      ~key:(fun (a, b) -> Printf.sprintf "%d,%d" a b)
+      diamond
+  with
+  | Error e -> Alcotest.fail e
+  | Ok states -> check_int "four distinct states" 4 (List.length states)
+
+let () =
+  Alcotest.run "automaton"
+    [
+      suite "automaton"
+        [
+          case "make fills defaults" test_make_defaults;
+          case "quiescence" test_quiescent;
+          case "reachable enumerates all states" test_reachable;
+          case "reachable respects max_states" test_reachable_bound;
+          case "reachable deduplicates" test_reachable_dedup;
+        ];
+    ]

@@ -1,0 +1,146 @@
+open Lr_graph
+open Linkrev
+open Helpers
+module A = Lr_automata
+
+let test_default_labels_are_ones () =
+  let config = diamond () in
+  let s = Bll.initial config in
+  Node.Set.iter
+    (fun u ->
+      Node.Set.iter
+        (fun v -> check_bool "label 1" true (Bll.label s u v))
+        (Config.nbrs config u))
+    (Config.nodes config)
+
+let test_zero_out_policy_is_pr () =
+  (* BLL with Zero_out and all-ones labels is exactly Partial Reversal:
+     same graphs after every corresponding step. *)
+  for seed = 0 to 9 do
+    let config = random_config ~seed 12 in
+    let dest = config.Config.destination in
+    let rec lockstep (s_pr : Pr.state) (s_bll : Bll.state) n =
+      check_bool "graphs agree" true (Digraph.equal s_pr.Pr.graph s_bll.Bll.graph);
+      (* labels mirror lists: label[u][v] = 0 iff v in list[u] *)
+      Node.Set.iter
+        (fun u ->
+          Node.Set.iter
+            (fun v ->
+              check_bool "label = not listed" (Node.Set.mem v (Pr.list_of s_pr u))
+                (not (Bll.label s_bll u v)))
+            (Config.nbrs config u))
+        (Config.nodes config);
+      if n > 3000 then Alcotest.fail "no termination"
+      else
+        let sinks = Node.Set.remove dest (Digraph.sinks s_pr.Pr.graph) in
+        match Node.Set.min_elt_opt sinks with
+        | None -> ()
+        | Some u ->
+            lockstep
+              (Pr.apply config s_pr (Node.Set.singleton u))
+              (Bll.apply Bll.Zero_out config s_bll u)
+              (n + 1)
+    in
+    lockstep (Pr.initial config) (Bll.initial config) 0
+  done
+
+let test_keep_policy_is_fr () =
+  for seed = 0 to 9 do
+    let config = random_config ~seed 12 in
+    let dest = config.Config.destination in
+    let rec lockstep (s_fr : Full_reversal.state) (s_bll : Bll.state) n =
+      check_bool "graphs agree" true
+        (Digraph.equal s_fr.Full_reversal.graph s_bll.Bll.graph);
+      if n > 3000 then Alcotest.fail "no termination"
+      else
+        let sinks = Node.Set.remove dest (Digraph.sinks s_fr.Full_reversal.graph) in
+        match Node.Set.min_elt_opt sinks with
+        | None -> ()
+        | Some u ->
+            lockstep (Full_reversal.apply s_fr u)
+              (Bll.apply Bll.Keep config s_bll u)
+              (n + 1)
+    in
+    lockstep (Full_reversal.initial config) (Bll.initial config) 0
+  done
+
+let test_reversal_set_falls_back_to_all () =
+  let config =
+    Config.make_exn (Digraph.of_directed_edges [ (0, 1) ]) ~destination:0
+  in
+  (* all labels zero: the fallback branch must reverse all nbrs *)
+  let s = Bll.initial ~labels:(fun _ _ -> false) config in
+  check_node_set "fallback to all" (Config.nbrs config 1)
+    (Bll.reversal_set config s 1)
+
+let test_arbitrary_labels_can_break_acyclicity () =
+  (* The point of BLL's side condition: not every labeling is safe.
+     Find some initial labeling on a small cycle-skeleton graph whose
+     execution creates a cycle. *)
+  let config =
+    Config.make_exn
+      (Digraph.of_directed_edges [ (0, 1); (1, 2); (2, 3); (0, 3) ])
+      ~destination:0
+  in
+  let players =
+    Node.Set.elements (Node.Set.remove 0 (Config.nodes config))
+  in
+  let labelings =
+    (* all 2^(pairs) labelings over (player, neighbour) pairs *)
+    let pairs =
+      List.concat_map
+        (fun u ->
+          List.map (fun v -> (u, v)) (Node.Set.elements (Config.nbrs config u)))
+        players
+    in
+    let rec expand acc = function
+      | [] -> acc
+      | p :: rest ->
+          expand
+            (List.concat_map (fun f -> [ (p, true) :: f; (p, false) :: f ]) acc)
+            rest
+    in
+    expand [ [] ] pairs
+  in
+  let creates_cycle labeling =
+    let labels u v =
+      match List.assoc_opt (u, v) labeling with Some b -> b | None -> true
+    in
+    let aut = Bll.automaton ~labels Bll.Zero_out config in
+    let exec =
+      A.Execution.run ~max_steps:60 ~scheduler:(A.Scheduler.first ()) aut
+    in
+    List.exists
+      (fun (s : Bll.state) -> not (Digraph.is_acyclic s.Bll.graph))
+      (A.Execution.states exec)
+  in
+  check_bool "some labeling breaks acyclicity" true
+    (List.exists creates_cycle labelings)
+
+let test_all_ones_never_breaks_acyclicity () =
+  for seed = 0 to 9 do
+    let config = random_config ~seed 10 in
+    List.iter
+      (fun policy ->
+        let exec = run_random ~seed (Bll.automaton policy config) in
+        List.iter
+          (fun (s : Bll.state) ->
+            check_bool "acyclic" true (Digraph.is_acyclic s.Bll.graph))
+          (A.Execution.states exec))
+      [ Bll.Zero_out; Bll.Keep ]
+  done
+
+let () =
+  Alcotest.run "bll"
+    [
+      suite "bll"
+        [
+          case "default labels are all ones" test_default_labels_are_ones;
+          case "Zero_out + all-ones = PR" test_zero_out_policy_is_pr;
+          case "Keep + all-ones = FR" test_keep_policy_is_fr;
+          case "empty label set falls back to all" test_reversal_set_falls_back_to_all;
+          case "some labelings break acyclicity"
+            test_arbitrary_labels_can_break_acyclicity;
+          case "all-ones labelings stay acyclic" test_all_ones_never_breaks_acyclicity;
+        ];
+    ]

@@ -1,0 +1,76 @@
+open Lr_graph
+open Linkrev
+open Helpers
+
+let test_make_validates_destination () =
+  let g = Digraph.of_directed_edges [ (0, 1) ] in
+  check_bool "unknown destination rejected" true
+    (Result.is_error (Config.make g ~destination:9))
+
+let test_make_validates_acyclicity () =
+  let g = Digraph.of_directed_edges [ (0, 1); (1, 2); (2, 0) ] in
+  check_bool "cyclic rejected" true (Result.is_error (Config.make g ~destination:0))
+
+let test_make_exn_raises () =
+  let g = Digraph.of_directed_edges [ (0, 1); (1, 2); (2, 0) ] in
+  check_bool "raises" true
+    (try ignore (Config.make_exn g ~destination:0); false
+     with Invalid_argument _ -> true)
+
+let test_neighbour_sets () =
+  let config = diamond () in
+  check_node_set "nbrs of 1" (Node.Set.of_list [ 0; 3 ]) (Config.nbrs config 1);
+  check_node_set "in of 3" (Node.Set.of_list [ 1; 2 ]) (Config.in_nbrs config 3);
+  check_node_set "out of 3" Node.Set.empty (Config.out_nbrs config 3);
+  check_node_set "in of 0" Node.Set.empty (Config.in_nbrs config 0);
+  check_node_set "out of 0" (Node.Set.of_list [ 1; 2 ]) (Config.out_nbrs config 0)
+
+let test_partition_in_out () =
+  (* in-nbrs and out-nbrs partition nbrs, for every node (paper §2). *)
+  for seed = 0 to 9 do
+    let config = random_config ~seed 12 in
+    Node.Set.iter
+      (fun u ->
+        let ins = Config.in_nbrs config u and outs = Config.out_nbrs config u in
+        check_node_set "union" (Config.nbrs config u) (Node.Set.union ins outs);
+        check_bool "disjoint" true (Node.Set.is_empty (Node.Set.inter ins outs)))
+      (Config.nodes config)
+  done
+
+let test_sets_constant_after_reversals () =
+  (* Config's in/out-nbrs describe G'_init, not the evolving graph. *)
+  let config = diamond () in
+  let s = Pr.apply config (Pr.initial config) (Node.Set.singleton 3) in
+  check_bool "graph changed" false (Digraph.equal s.Pr.graph config.Config.initial);
+  check_node_set "in-nbrs of 3 unchanged" (Node.Set.of_list [ 1; 2 ])
+    (Config.in_nbrs config 3)
+
+let test_bad_nodes () =
+  let config = bad_chain 5 in
+  check_node_set "all but destination" (Node.Set.of_list [ 1; 2; 3; 4 ])
+    (Config.bad_nodes config);
+  let good = Config.of_instance (Generators.good_chain 5) in
+  check_node_set "none" Node.Set.empty (Config.bad_nodes good)
+
+let test_is_left_of_agrees_with_initial_edges () =
+  let config = diamond () in
+  List.iter
+    (fun (u, v) -> check_bool "edge goes right" true (Config.is_left_of config u v))
+    (Digraph.directed_edges config.Config.initial)
+
+let () =
+  Alcotest.run "config"
+    [
+      suite "config"
+        [
+          case "destination must exist" test_make_validates_destination;
+          case "initial graph must be acyclic" test_make_validates_acyclicity;
+          case "make_exn raises" test_make_exn_raises;
+          case "neighbour sets of the diamond" test_neighbour_sets;
+          case "in/out-nbrs partition nbrs" test_partition_in_out;
+          case "initial sets survive reversals" test_sets_constant_after_reversals;
+          case "bad_nodes" test_bad_nodes;
+          case "embedding agrees with initial edges"
+            test_is_left_of_agrees_with_initial_edges;
+        ];
+    ]

@@ -1,0 +1,50 @@
+open Lr_graph
+open Helpers
+
+let contains ~sub s =
+  let n = String.length s and m = String.length sub in
+  let rec loop i = i + m <= n && (String.sub s i m = sub || loop (i + 1)) in
+  m = 0 || loop 0
+
+let test_digraph_export () =
+  let g = Digraph.of_directed_edges [ (0, 1); (1, 2) ] in
+  let dot = Dot.of_digraph ~name:"T" ~destination:0 g in
+  check_bool "header" true (contains ~sub:"digraph T {" dot);
+  check_bool "edge 0->1" true (contains ~sub:"0 -> 1;" dot);
+  check_bool "edge 1->2" true (contains ~sub:"1 -> 2;" dot);
+  check_bool "destination double circle" true
+    (contains ~sub:"0 [shape=doublecircle];" dot)
+
+let test_highlight () =
+  let g = Digraph.of_directed_edges [ (0, 1) ] in
+  let dot = Dot.of_digraph ~highlight:(Node.Set.singleton 1) g in
+  check_bool "highlighted" true (contains ~sub:"fillcolor=lightblue" dot)
+
+let test_undirected_export () =
+  let g = Undirected.of_edges [ (0, 1); (1, 2) ] in
+  let dot = Dot.of_undirected g in
+  check_bool "header" true (contains ~sub:"graph G {" dot);
+  check_bool "edge" true (contains ~sub:"0 -- 1;" dot)
+
+let test_to_file () =
+  let path = Filename.temp_file "linkrev" ".dot" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Dot.to_file path "digraph X {}\n";
+      let ic = open_in path in
+      let line = input_line ic in
+      close_in ic;
+      Alcotest.(check string) "content written" "digraph X {}" line)
+
+let () =
+  Alcotest.run "dot"
+    [
+      suite "dot"
+        [
+          case "digraph export" test_digraph_export;
+          case "highlighting" test_highlight;
+          case "undirected export" test_undirected_export;
+          case "to_file" test_to_file;
+        ];
+    ]

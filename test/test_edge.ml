@@ -1,0 +1,62 @@
+open Lr_graph
+open Helpers
+
+let test_normalization () =
+  let e1 = Edge.make 3 7 and e2 = Edge.make 7 3 in
+  check_bool "normalized equal" true (Edge.equal e1 e2);
+  check_int "lo" 3 (Edge.lo e1);
+  check_int "hi" 7 (Edge.hi e1)
+
+let test_self_loop_rejected () =
+  Alcotest.check_raises "self loop" (Invalid_argument "Edge.make: self-loop")
+    (fun () -> ignore (Edge.make 4 4))
+
+let test_endpoints () =
+  let lo, hi = Edge.endpoints (Edge.make 9 2) in
+  check_int "lo" 2 lo;
+  check_int "hi" 9 hi
+
+let test_other () =
+  let e = Edge.make 1 5 in
+  check_int "other of lo" 5 (Edge.other e 1);
+  check_int "other of hi" 1 (Edge.other e 5);
+  Alcotest.check_raises "not incident"
+    (Invalid_argument "Edge.other: node not incident") (fun () ->
+      ignore (Edge.other e 3))
+
+let test_incident () =
+  let e = Edge.make 1 5 in
+  check_bool "incident lo" true (Edge.incident e 1);
+  check_bool "incident hi" true (Edge.incident e 5);
+  check_bool "not incident" false (Edge.incident e 2)
+
+let test_compare_orders_lexicographically () =
+  check_bool "first endpoint dominates" true
+    (Edge.compare (Edge.make 1 9) (Edge.make 2 3) < 0);
+  check_bool "second endpoint breaks ties" true
+    (Edge.compare (Edge.make 1 2) (Edge.make 1 3) < 0);
+  check_int "equal" 0 (Edge.compare (Edge.make 4 2) (Edge.make 2 4))
+
+let test_set () =
+  let s = Edge.Set.of_list [ Edge.make 1 2; Edge.make 2 1; Edge.make 2 3 ] in
+  check_int "dedup across normalization" 2 (Edge.Set.cardinal s)
+
+let test_pp () =
+  Alcotest.(check string) "pp" "{2,8}"
+    (Format.asprintf "%a" Edge.pp (Edge.make 8 2))
+
+let () =
+  Alcotest.run "edge"
+    [
+      suite "edge"
+        [
+          case "normalization makes {u,v} = {v,u}" test_normalization;
+          case "self-loops are rejected" test_self_loop_rejected;
+          case "endpoints are ordered" test_endpoints;
+          case "other endpoint" test_other;
+          case "incidence" test_incident;
+          case "compare is lexicographic" test_compare_orders_lexicographically;
+          case "sets deduplicate normalized edges" test_set;
+          case "pp" test_pp;
+        ];
+    ]

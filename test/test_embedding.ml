@@ -1,0 +1,73 @@
+open Lr_graph
+open Helpers
+
+let test_of_order () =
+  let emb = Embedding.of_order [ 5; 2; 9 ] in
+  check_int "rank of first" 0 (Embedding.rank emb 5);
+  check_int "rank of last" 2 (Embedding.rank emb 9);
+  check_bool "left of" true (Embedding.is_left_of emb 5 2);
+  check_bool "not left of" false (Embedding.is_left_of emb 9 2)
+
+let test_of_order_rejects_duplicates () =
+  Alcotest.check_raises "duplicate"
+    (Invalid_argument "Embedding.of_order: duplicate") (fun () ->
+      ignore (Embedding.of_order [ 1; 2; 1 ]))
+
+let test_of_digraph_dag () =
+  let g = Digraph.of_directed_edges [ (0, 1); (1, 2); (0, 2) ] in
+  match Embedding.of_digraph g with
+  | None -> Alcotest.fail "DAG must embed"
+  | Some emb ->
+      (* every edge points left to right *)
+      List.iter
+        (fun (u, v) ->
+          check_bool "edge left-to-right" true (Embedding.is_left_of emb u v))
+        (Digraph.directed_edges g)
+
+let test_of_digraph_cycle () =
+  let g = Digraph.of_directed_edges [ (0, 1); (1, 2); (2, 0) ] in
+  check_bool "cyclic has no embedding" true (Embedding.of_digraph g = None)
+
+let test_every_initial_edge_left_to_right_random () =
+  (* the invariant the paper's Section 4 proof depends on *)
+  for seed = 0 to 9 do
+    let config = random_config ~seed 15 in
+    List.iter
+      (fun (u, v) ->
+        check_bool "initial edge left-to-right" true
+          (Linkrev.Config.is_left_of config u v))
+      (Digraph.directed_edges config.Linkrev.Config.initial)
+  done
+
+let test_rightmost () =
+  let emb = Embedding.of_order [ 4; 1; 7; 2 ] in
+  Alcotest.(check (option int)) "rightmost" (Some 2)
+    (Embedding.rightmost emb [ 4; 2; 1 ]);
+  Alcotest.(check (option int)) "empty" None (Embedding.rightmost emb [])
+
+let test_order_round_trip () =
+  let order = [ 3; 0; 8 ] in
+  Alcotest.(check (list int)) "order" order
+    (Embedding.order (Embedding.of_order order))
+
+let test_unknown_node_raises () =
+  let emb = Embedding.of_order [ 1 ] in
+  Alcotest.check_raises "unknown" Not_found (fun () ->
+      ignore (Embedding.rank emb 9))
+
+let () =
+  Alcotest.run "embedding"
+    [
+      suite "embedding"
+        [
+          case "of_order ranks" test_of_order;
+          case "of_order rejects duplicates" test_of_order_rejects_duplicates;
+          case "DAG embedding is left-to-right" test_of_digraph_dag;
+          case "cycles have no embedding" test_of_digraph_cycle;
+          case "random configs embed all initial edges left-to-right"
+            test_every_initial_edge_left_to_right_random;
+          case "rightmost" test_rightmost;
+          case "order round-trips" test_order_round_trip;
+          case "rank raises on unknown nodes" test_unknown_node_raises;
+        ];
+    ]

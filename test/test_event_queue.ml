@@ -1,0 +1,85 @@
+open Helpers
+module Q = Lr_sim.Event_queue
+
+let test_empty () =
+  let q = Q.create () in
+  check_bool "empty" true (Q.is_empty q);
+  check_int "size" 0 (Q.size q);
+  check_bool "pop none" true (Q.pop q = None);
+  check_bool "peek none" true (Q.peek_time q = None)
+
+let test_ordering () =
+  let q = Q.create () in
+  Q.add q ~time:3.0 "c";
+  Q.add q ~time:1.0 "a";
+  Q.add q ~time:2.0 "b";
+  Alcotest.(check (option (pair (float 0.0) string))) "a first" (Some (1.0, "a")) (Q.pop q);
+  Alcotest.(check (option (pair (float 0.0) string))) "b next" (Some (2.0, "b")) (Q.pop q);
+  Alcotest.(check (option (pair (float 0.0) string))) "c last" (Some (3.0, "c")) (Q.pop q);
+  check_bool "drained" true (Q.is_empty q)
+
+let test_fifo_ties () =
+  let q = Q.create () in
+  Q.add q ~time:1.0 "first";
+  Q.add q ~time:1.0 "second";
+  Q.add q ~time:1.0 "third";
+  let pop () = snd (Option.get (Q.pop q)) in
+  let a = pop () in
+  let b = pop () in
+  let c = pop () in
+  Alcotest.(check (list string)) "insertion order on ties"
+    [ "first"; "second"; "third" ] [ a; b; c ]
+
+let test_interleaved_add_pop () =
+  let q = Q.create () in
+  Q.add q ~time:5.0 5;
+  Q.add q ~time:1.0 1;
+  check_int "min" 1 (snd (Option.get (Q.pop q)));
+  Q.add q ~time:2.0 2;
+  Q.add q ~time:9.0 9;
+  check_int "next min" 2 (snd (Option.get (Q.pop q)));
+  check_int "then 5" 5 (snd (Option.get (Q.pop q)));
+  check_int "then 9" 9 (snd (Option.get (Q.pop q)))
+
+let test_many_random_elements_sorted () =
+  let q = Q.create () in
+  let rng = rng 0 in
+  let times = List.init 500 (fun _ -> Random.State.float rng 100.0) in
+  List.iter (fun t -> Q.add q ~time:t ()) times;
+  check_int "size" 500 (Q.size q);
+  let rec drain last acc =
+    match Q.pop q with
+    | None -> acc
+    | Some (t, ()) ->
+        check_bool "nondecreasing" true (t >= last);
+        drain t (acc + 1)
+  in
+  check_int "all drained" 500 (drain neg_infinity 0)
+
+let test_rejects_bad_times () =
+  let q = Q.create () in
+  check_bool "negative" true
+    (try Q.add q ~time:(-1.0) (); false with Invalid_argument _ -> true);
+  check_bool "nan" true
+    (try Q.add q ~time:Float.nan (); false with Invalid_argument _ -> true)
+
+let test_peek_does_not_remove () =
+  let q = Q.create () in
+  Q.add q ~time:4.0 ();
+  check_bool "peek" true (Q.peek_time q = Some 4.0);
+  check_int "still there" 1 (Q.size q)
+
+let () =
+  Alcotest.run "event_queue"
+    [
+      suite "event_queue"
+        [
+          case "empty queue" test_empty;
+          case "pops in time order" test_ordering;
+          case "ties break FIFO" test_fifo_ties;
+          case "interleaved add/pop" test_interleaved_add_pop;
+          case "500 random events drain sorted" test_many_random_elements_sorted;
+          case "rejects bad times" test_rejects_bad_times;
+          case "peek does not remove" test_peek_does_not_remove;
+        ];
+    ]

@@ -1,0 +1,78 @@
+open Helpers
+module A = Lr_automata
+
+let counter limit =
+  A.Automaton.make ~name:"counter" ~initial:0
+    ~enabled:(fun s -> if s < limit then [ `Inc ] else [])
+    ~step:(fun s `Inc -> s + 1)
+    ()
+
+let test_run_to_quiescence () =
+  let exec = A.Execution.run ~scheduler:(A.Scheduler.first ()) (counter 4) in
+  check_int "length" 4 (A.Execution.length exec);
+  check_int "final" 4 (A.Execution.final exec);
+  check_bool "quiescent" true (A.Execution.quiescent exec);
+  Alcotest.(check (list int)) "states" [ 0; 1; 2; 3; 4 ] (A.Execution.states exec)
+
+let test_run_respects_max_steps () =
+  let exec =
+    A.Execution.run ~max_steps:2 ~scheduler:(A.Scheduler.first ()) (counter 10)
+  in
+  check_int "stopped early" 2 (A.Execution.length exec);
+  check_bool "not quiescent" false (A.Execution.quiescent exec)
+
+let test_run_from () =
+  let exec =
+    A.Execution.run_from ~scheduler:(A.Scheduler.first ()) (counter 5) 3
+  in
+  check_int "two steps" 2 (A.Execution.length exec);
+  check_int "final" 5 (A.Execution.final exec)
+
+let test_scheduler_can_stop () =
+  let exec =
+    A.Execution.run
+      ~scheduler:(A.Scheduler.stop_after 1 (A.Scheduler.first ()))
+      (counter 10)
+  in
+  check_int "one step" 1 (A.Execution.length exec)
+
+let test_replay_ok () =
+  match A.Execution.replay (counter 3) 0 [ `Inc; `Inc ] with
+  | Error e -> Alcotest.fail e
+  | Ok exec ->
+      check_int "two steps" 2 (A.Execution.length exec);
+      check_int "final" 2 (A.Execution.final exec)
+
+let test_replay_disabled () =
+  match A.Execution.replay (counter 1) 0 [ `Inc; `Inc ] with
+  | Error msg ->
+      check_bool "mentions step" true
+        (String.length msg > 0 && String.contains msg '1')
+  | Ok _ -> Alcotest.fail "second step should be disabled"
+
+let test_steps_chain () =
+  let exec = A.Execution.run ~scheduler:(A.Scheduler.first ()) (counter 3) in
+  List.iter
+    (fun { A.Execution.before; after; _ } ->
+      check_int "consecutive" (before + 1) after)
+    exec.A.Execution.steps
+
+let test_actions () =
+  let exec = A.Execution.run ~scheduler:(A.Scheduler.first ()) (counter 2) in
+  check_int "two actions" 2 (List.length (A.Execution.actions exec))
+
+let () =
+  Alcotest.run "execution"
+    [
+      suite "execution"
+        [
+          case "runs to quiescence" test_run_to_quiescence;
+          case "max_steps bounds the run" test_run_respects_max_steps;
+          case "run_from starts elsewhere" test_run_from;
+          case "scheduler can stop a run" test_scheduler_can_stop;
+          case "replay applies a fixed sequence" test_replay_ok;
+          case "replay reports disabled actions" test_replay_disabled;
+          case "recorded steps chain correctly" test_steps_chain;
+          case "actions projection" test_actions;
+        ];
+    ]

@@ -1,0 +1,134 @@
+open Lr_graph
+open Linkrev
+open Helpers
+module A = Lr_automata
+
+let test_outcome_counts () =
+  let config = bad_chain 5 in
+  let out =
+    Executor.run ~scheduler:(A.Scheduler.first ()) ~destination:0
+      (Pr.algo ~mode:Pr.Singletons config)
+  in
+  check_int "steps" 4 out.Executor.steps;
+  check_int "total node steps" 4 out.Executor.total_node_steps;
+  check_int "edge reversals" 4 out.Executor.edge_reversals;
+  check_bool "quiescent" true out.Executor.quiescent;
+  check_bool "oriented" true out.Executor.destination_oriented;
+  check_int "work accessor" 4 (Executor.work out)
+
+let test_node_steps_breakdown () =
+  let config = bad_chain 5 in
+  let out =
+    Executor.run ~scheduler:(A.Scheduler.first ()) ~destination:0
+      (Pr.algo ~mode:Pr.Singletons config)
+  in
+  (* each of 1..4 reverses exactly once on the bad chain under PR *)
+  List.iter
+    (fun u -> check_int "one step each" 1 (Node.Map.find u out.Executor.node_steps))
+    [ 1; 2; 3; 4 ];
+  check_bool "destination never steps" true
+    (not (Node.Map.mem 0 out.Executor.node_steps))
+
+let test_concurrent_steps_count_all_actors () =
+  (* With reverse(S), total_node_steps counts |S| per action. *)
+  let config = sawtooth 9 in
+  let out_conc =
+    Executor.run
+      ~scheduler:(A.Scheduler.greedy ~score:(fun (Pr.Reverse s) -> Node.Set.cardinal s) ())
+      ~destination:0
+      (Pr.algo ~mode:Pr.Singletons_and_max config)
+  in
+  let out_seq =
+    Executor.run ~scheduler:(A.Scheduler.first ()) ~destination:0
+      (Pr.algo ~mode:Pr.Singletons config)
+  in
+  check_int "same total work" out_seq.Executor.total_node_steps
+    out_conc.Executor.total_node_steps;
+  check_bool "fewer scheduler steps" true
+    (out_conc.Executor.steps < out_seq.Executor.steps)
+
+let test_edge_reversals_on_fr () =
+  (* FR on bad chain n: inner nodes flip 2 edges per step, the far end 1. *)
+  let config = bad_chain 3 in
+  let out =
+    Executor.run ~scheduler:(A.Scheduler.first ()) ~destination:0
+      (Full_reversal.algo config)
+  in
+  (* execution: 2 flips {1}, 1 flips {0,2}, 2 flips {1}: 4 edge flips, 3 steps *)
+  check_int "steps" 3 out.Executor.steps;
+  check_int "edge flips" 4 out.Executor.edge_reversals
+
+let test_max_steps_reports_non_quiescent () =
+  let config = bad_chain 20 in
+  let out =
+    Executor.run ~max_steps:3 ~scheduler:(A.Scheduler.first ()) ~destination:0
+      (Full_reversal.algo config)
+  in
+  check_bool "not quiescent" false out.Executor.quiescent;
+  check_bool "not oriented" false out.Executor.destination_oriented;
+  check_int "exactly 3 steps" 3 out.Executor.steps
+
+let test_run_execution_matches_run () =
+  let config = sawtooth 8 in
+  let exec =
+    A.Execution.run ~scheduler:(A.Scheduler.first ())
+      (Pr.automaton ~mode:Pr.Singletons config)
+  in
+  let out = Executor.run_execution ~destination:0 (Pr.algo ~mode:Pr.Singletons config) exec in
+  let out' =
+    Executor.run ~scheduler:(A.Scheduler.first ()) ~destination:0
+      (Pr.algo ~mode:Pr.Singletons config)
+  in
+  check_int "same steps" out'.Executor.steps out.Executor.steps;
+  check_int "same work" out'.Executor.total_node_steps out.Executor.total_node_steps
+
+let test_good_chain_zero_work () =
+  let config = Config.of_instance (Generators.good_chain 10) in
+  let out =
+    Executor.run ~scheduler:(A.Scheduler.first ()) ~destination:0
+      (Pr.algo ~mode:Pr.Singletons config)
+  in
+  check_int "no work needed" 0 out.Executor.total_node_steps;
+  check_bool "already oriented" true out.Executor.destination_oriented
+
+let test_nodes_with_initial_route_never_reverse () =
+  (* Busch et al.: a node with an initial route to the destination never
+     takes a step (under PR and FR alike). *)
+  for seed = 0 to 9 do
+    let config = random_config ~seed 15 in
+    let good =
+      Node.Set.diff
+        (Digraph.reaches config.Config.initial config.Config.destination)
+        (Node.Set.singleton config.Config.destination)
+    in
+    let out =
+      Executor.run
+        ~scheduler:(A.Scheduler.random (rng seed))
+        ~destination:config.Config.destination
+        (Pr.algo ~mode:Pr.Singletons config)
+    in
+    Node.Set.iter
+      (fun u ->
+        check_int "good node never steps" 0
+          (Node.Map.find_or ~default:0 u out.Executor.node_steps))
+      good
+  done
+
+let () =
+  Alcotest.run "executor"
+    [
+      suite "executor"
+        [
+          case "outcome counters" test_outcome_counts;
+          case "per-node breakdown" test_node_steps_breakdown;
+          case "concurrent steps count all actors"
+            test_concurrent_steps_count_all_actors;
+          case "edge reversal counting under FR" test_edge_reversals_on_fr;
+          case "max_steps yields non-quiescent outcome"
+            test_max_steps_reports_non_quiescent;
+          case "run_execution matches run" test_run_execution_matches_run;
+          case "good chain needs zero work" test_good_chain_zero_work;
+          case "nodes with initial routes never reverse"
+            test_nodes_with_initial_route_never_reverse;
+        ];
+    ]

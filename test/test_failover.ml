@@ -1,0 +1,77 @@
+open Lr_graph
+open Linkrev
+open Helpers
+module F = Lr_routing.Failover
+module M = Lr_routing.Maintenance
+
+let test_single_component_elects_max_id () =
+  (* A well-connected graph survives its destination's crash in one
+     piece and elects the maximum id. *)
+  let config = random_config ~extra_edges:20 ~seed:1 12 in
+  match F.elect_after_destination_failure M.Partial_reversal config with
+  | [ outcome ] ->
+      let expected =
+        Node.Set.max_elt
+          (Node.Set.remove config.Config.destination (Config.nodes config))
+      in
+      check_int "max id wins" expected outcome.F.leader;
+      check_bool "component oriented to leader" true outcome.F.oriented
+  | outcomes -> Alcotest.failf "expected one component, got %d" (List.length outcomes)
+
+let test_star_crash_splits_into_singletons () =
+  (* Crashing the center of an inward star isolates every leaf: each
+     becomes its own leader with zero work. *)
+  let config =
+    Config.of_instance (Generators.star ~center:0 ~leaves:4 ~inward:true)
+  in
+  let outcomes = F.elect_after_destination_failure M.Partial_reversal config in
+  check_int "four singleton components" 4 (List.length outcomes);
+  List.iter
+    (fun o ->
+      check_int "self-led" 1 (Node.Set.cardinal o.F.members);
+      check_int "no work" 0 o.F.node_steps;
+      check_bool "trivially oriented" true o.F.oriented)
+    outcomes
+
+let test_chain_crash_in_middle () =
+  (* Failing the destination of the half-bad chain splits it in two. *)
+  let config = Config.of_instance (Generators.half_bad_chain 9) in
+  let outcomes = F.elect_after_destination_failure M.Partial_reversal config in
+  check_int "two components" 2 (List.length outcomes);
+  List.iter (fun o -> check_bool "oriented" true o.F.oriented) outcomes;
+  let leaders = List.map (fun o -> o.F.leader) outcomes |> List.sort compare in
+  (* left half 0..3 elects 3; right half 5..8 elects 8 *)
+  Alcotest.(check (list int)) "leaders" [ 3; 8 ] leaders
+
+let test_both_rules_work () =
+  let config = random_config ~extra_edges:10 ~seed:9 10 in
+  List.iter
+    (fun rule ->
+      List.iter
+        (fun o -> check_bool "oriented" true o.F.oriented)
+        (F.elect_after_destination_failure rule config))
+    [ M.Partial_reversal; M.Full_reversal ]
+
+let test_members_partition_survivors () =
+  let config = random_config ~seed:12 12 in
+  let outcomes = F.elect_after_destination_failure M.Partial_reversal config in
+  let union =
+    List.fold_left (fun acc o -> Node.Set.union acc o.F.members) Node.Set.empty
+      outcomes
+  in
+  check_node_set "survivors covered"
+    (Node.Set.remove config.Config.destination (Config.nodes config))
+    union
+
+let () =
+  Alcotest.run "failover"
+    [
+      suite "failover"
+        [
+          case "single component elects max id" test_single_component_elects_max_id;
+          case "star crash isolates leaves" test_star_crash_splits_into_singletons;
+          case "middle crash splits a chain" test_chain_crash_in_middle;
+          case "both reversal rules work" test_both_rules_work;
+          case "members partition the survivors" test_members_partition_survivors;
+        ];
+    ]

@@ -1,0 +1,98 @@
+open Lr_graph
+open Linkrev
+open Helpers
+module A = Lr_automata
+
+(* A two-button automaton where both buttons are always enabled; a
+   scheduler that only ever presses A starves B. *)
+let two_buttons limit =
+  A.Automaton.make ~name:"buttons" ~initial:(0, 0)
+    ~enabled:(fun (a, b) -> if a + b < limit then [ `A; `B ] else [])
+    ~step:(fun (a, b) -> function `A -> (a + 1, b) | `B -> (a, b + 1))
+    ()
+
+let press_a () _ actions = List.find_opt (fun x -> x = `A) actions
+
+let test_starvation_detected () =
+  let exec = A.Execution.run ~scheduler:(press_a ()) (two_buttons 10) in
+  match A.Fairness.check ~classify:Fun.id ~patience:5 exec with
+  | [ s ] ->
+      check_bool "B starved" true (s.A.Fairness.actor = `B);
+      check_int "window start" 0 s.A.Fairness.from_step;
+      check_int "length" 5 s.A.Fairness.steps_enabled
+  | other -> Alcotest.failf "expected one starvation, got %d" (List.length other)
+
+let test_alternation_is_fair () =
+  let flip = ref false in
+  let alternate () _ actions =
+    flip := not !flip;
+    List.find_opt (fun x -> x = if !flip then `A else `B) actions
+  in
+  let exec = A.Execution.run ~scheduler:(alternate ()) (two_buttons 10) in
+  check_bool "fair" true (A.Fairness.is_fair ~classify:Fun.id ~patience:3 exec)
+
+let test_patience_threshold () =
+  let exec = A.Execution.run ~scheduler:(press_a ()) (two_buttons 4) in
+  (* B is enabled for 4 consecutive steps; patience 5 tolerates it. *)
+  check_bool "below patience" true
+    (A.Fairness.is_fair ~classify:Fun.id ~patience:5 exec);
+  check_bool "at patience" false
+    (A.Fairness.is_fair ~classify:Fun.id ~patience:4 exec)
+
+let test_round_robin_pr_is_fair () =
+  (* The round-robin node scheduler never starves a sink for more than
+     one rotation. *)
+  for seed = 0 to 4 do
+    let config = random_config ~seed 14 in
+    let n = Node.Set.cardinal (Config.nodes config) in
+    let exec =
+      A.Execution.run
+        ~scheduler:(A.Scheduler.round_robin ~index:(fun (One_step_pr.Reverse u) -> u) ())
+        (One_step_pr.automaton config)
+    in
+    check_bool "round robin fair" true
+      (A.Fairness.is_fair
+         ~classify:(fun (One_step_pr.Reverse u) -> u)
+         ~patience:(n + 1) exec)
+  done
+
+let test_first_scheduler_can_starve () =
+  (* The lowest-id-first scheduler starves higher sinks on the sawtooth
+     (it keeps serving the leftmost cascade). *)
+  let config = sawtooth 16 in
+  let exec =
+    A.Execution.run ~scheduler:(A.Scheduler.first ())
+      (One_step_pr.automaton config)
+  in
+  check_bool "starvation exists under first()" true
+    (not
+       (A.Fairness.is_fair
+          ~classify:(fun (One_step_pr.Reverse u) -> u)
+          ~patience:8 exec))
+
+let test_quiescent_runs_end_fair () =
+  (* Termination forgives: once quiescent, nothing is enabled, so a
+     generous patience reports nothing on short executions. *)
+  let config = bad_chain 5 in
+  let exec =
+    A.Execution.run ~scheduler:(A.Scheduler.first ())
+      (One_step_pr.automaton config)
+  in
+  check_bool "no starvation on a 4-step run with patience 10" true
+    (A.Fairness.is_fair
+       ~classify:(fun (One_step_pr.Reverse u) -> u)
+       ~patience:10 exec)
+
+let () =
+  Alcotest.run "fairness"
+    [
+      suite "fairness"
+        [
+          case "starvation detected" test_starvation_detected;
+          case "alternation is fair" test_alternation_is_fair;
+          case "patience threshold" test_patience_threshold;
+          case "round-robin PR is fair" test_round_robin_pr_is_fair;
+          case "first() starves sinks on the sawtooth" test_first_scheduler_can_starve;
+          case "short quiescent runs are fair" test_quiescent_runs_end_fair;
+        ];
+    ]

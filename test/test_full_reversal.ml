@@ -1,0 +1,107 @@
+open Lr_graph
+open Linkrev
+open Helpers
+module A = Lr_automata
+
+let test_step_makes_source () =
+  (* FR's acyclicity argument: the node that just stepped is a source. *)
+  let config = diamond () in
+  let s = Full_reversal.apply (Full_reversal.initial config) 3 in
+  check_bool "3 is a source" true (Digraph.is_source s.Full_reversal.graph 3)
+
+let test_every_stepper_becomes_source () =
+  for seed = 0 to 9 do
+    let config = random_config ~seed 12 in
+    let exec = run_random ~seed (Full_reversal.automaton config) in
+    List.iter
+      (fun { A.Execution.action = Full_reversal.Reverse u; after; _ } ->
+        check_bool "stepper is a source" true
+          (Digraph.is_source after.Full_reversal.graph u))
+      exec.A.Execution.steps
+  done
+
+let test_acyclicity_preserved () =
+  for seed = 0 to 9 do
+    let config = random_config ~seed 12 in
+    let exec = run_random ~seed (Full_reversal.automaton config) in
+    List.iter
+      (fun s -> check_bool "acyclic" true (Digraph.is_acyclic s.Full_reversal.graph))
+      (A.Execution.states exec)
+  done
+
+let test_terminates_oriented () =
+  for seed = 0 to 19 do
+    let config = random_config ~seed 14 in
+    let out =
+      Executor.run
+        ~scheduler:(A.Scheduler.random (rng seed))
+        ~destination:config.Config.destination (Full_reversal.algo config)
+    in
+    check_bool "quiescent" true out.Executor.quiescent;
+    check_bool "oriented" true out.Executor.destination_oriented
+  done
+
+let test_bad_chain_work_formula () =
+  (* Measured against the closed form directly. *)
+  let work n =
+    let config = bad_chain n in
+    (Executor.run ~scheduler:(A.Scheduler.first ()) ~destination:0
+       (Full_reversal.algo config))
+      .Executor.total_node_steps
+  in
+  (* n=5 gave 10 = 4+3+2+1 in exploratory runs; assert the triangular
+     pattern for several sizes. *)
+  List.iter
+    (fun n ->
+      let nb = n - 1 in
+      check_int (Printf.sprintf "n=%d" n) (nb * (nb + 1) / 2) (work n))
+    [ 3; 5; 8; 12 ]
+
+let test_work_dominates_pr_on_bad_chain () =
+  let config = bad_chain 10 in
+  let work algo =
+    (Executor.run ~scheduler:(A.Scheduler.first ()) ~destination:0 algo)
+      .Executor.total_node_steps
+  in
+  let fr = work (Full_reversal.algo config)
+  and pr = work (Pr.algo ~mode:Pr.Singletons config) in
+  check_bool "FR quadratic vs PR linear" true (fr > pr);
+  check_int "PR linear" 9 pr;
+  check_int "FR triangular" 45 fr
+
+let test_schedule_independent_work () =
+  let config = bad_chain 8 in
+  let run sched =
+    (Executor.run ~scheduler:sched ~destination:0 (Full_reversal.algo config))
+      .Executor.node_steps
+  in
+  let reference = run (A.Scheduler.first ()) in
+  List.iter
+    (fun sched ->
+      check_bool "same node steps" true
+        (Node.Map.equal Int.equal reference (run sched)))
+    [ A.Scheduler.last (); A.Scheduler.random (rng 11) ]
+
+let test_step_rejects_disabled () =
+  let config = diamond () in
+  let aut = Full_reversal.automaton config in
+  check_bool "raises" true
+    (try ignore (aut.A.Automaton.step (Full_reversal.initial config)
+                   (Full_reversal.Reverse 0)); false
+     with Invalid_argument _ -> true)
+
+let () =
+  Alcotest.run "full_reversal"
+    [
+      suite "full_reversal"
+        [
+          case "a step makes the node a source" test_step_makes_source;
+          case "every stepper becomes a source" test_every_stepper_becomes_source;
+          case "acyclicity preserved" test_acyclicity_preserved;
+          case "terminates destination-oriented" test_terminates_oriented;
+          case "bad chain work is triangular" test_bad_chain_work_formula;
+          case "FR > PR on the bad chain" test_work_dominates_pr_on_bad_chain;
+          case "work is schedule independent" test_schedule_independent_work;
+          case "step rejects disabled actions" test_step_rejects_disabled;
+        ];
+    ]

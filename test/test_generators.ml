@@ -1,0 +1,169 @@
+open Lr_graph
+open Helpers
+
+let all_acyclic_connected inst =
+  Digraph.is_acyclic inst.Generators.graph
+  && Undirected.is_connected (Digraph.skeleton inst.Generators.graph)
+
+let test_bad_chain () =
+  let inst = Generators.bad_chain 6 in
+  check_bool "acyclic+connected" true (all_acyclic_connected inst);
+  check_int "destination" 0 inst.Generators.destination;
+  (* every non-destination node is bad *)
+  check_int "bad nodes" 5
+    (Node.Set.cardinal (Digraph.bad_nodes inst.Generators.graph 0));
+  check_bool "needs n >= 2" true
+    (try ignore (Generators.bad_chain 1); false
+     with Invalid_argument _ -> true)
+
+let test_good_chain () =
+  let inst = Generators.good_chain 6 in
+  check_bool "already oriented" true
+    (Digraph.is_destination_oriented inst.Generators.graph 0)
+
+let test_sawtooth () =
+  let inst = Generators.sawtooth 8 in
+  check_bool "acyclic+connected" true (all_acyclic_connected inst);
+  (* alternating: even nodes (except at the ends) are sources, odd sinks *)
+  check_bool "1 is a sink" true (Digraph.is_sink inst.Generators.graph 1);
+  check_bool "2 is a source" true (Digraph.is_source inst.Generators.graph 2);
+  check_bool "3 is a sink" true (Digraph.is_sink inst.Generators.graph 3)
+
+let test_half_bad_chain () =
+  let inst = Generators.half_bad_chain 9 in
+  check_bool "acyclic+connected" true (all_acyclic_connected inst);
+  let bad = Digraph.bad_nodes inst.Generators.graph inst.Generators.destination in
+  check_int "half the nodes are bad" 4 (Node.Set.cardinal bad)
+
+let test_ring () =
+  let inst = Generators.ring 6 in
+  check_bool "acyclic+connected" true (all_acyclic_connected inst);
+  check_int "cycle skeleton has n edges" 6
+    (Digraph.num_edges inst.Generators.graph)
+
+let test_star () =
+  let inward = Generators.star ~center:0 ~leaves:5 ~inward:true in
+  check_bool "center destination oriented" true
+    (Digraph.is_destination_oriented inward.Generators.graph 0);
+  let outward = Generators.star ~center:0 ~leaves:5 ~inward:false in
+  check_int "all leaves bad" 5
+    (Node.Set.cardinal (Digraph.bad_nodes outward.Generators.graph 0))
+
+let test_binary_tree () =
+  let inst = Generators.binary_tree ~depth:3 in
+  check_int "complete tree size" 15
+    (Digraph.num_nodes inst.Generators.graph);
+  check_bool "root oriented" true
+    (Digraph.is_destination_oriented inst.Generators.graph 0)
+
+let test_grid () =
+  let inst = Generators.grid ~rows:3 ~cols:4 in
+  check_int "nodes" 12 (Digraph.num_nodes inst.Generators.graph);
+  check_int "edges" ((2 * 4) + (3 * 3)) (Digraph.num_edges inst.Generators.graph);
+  check_bool "acyclic+connected" true (all_acyclic_connected inst);
+  check_int "all non-destination nodes bad" 11
+    (Node.Set.cardinal (Digraph.bad_nodes inst.Generators.graph 0))
+
+let test_layered () =
+  let inst = Generators.layered (rng 0) ~layers:4 ~width:3 ~p:0.4 in
+  check_bool "acyclic" true (Digraph.is_acyclic inst.Generators.graph);
+  check_int "nodes" 12 (Digraph.num_nodes inst.Generators.graph)
+
+let test_random_connected_dag () =
+  for seed = 0 to 19 do
+    let inst = Generators.random_connected_dag (rng seed) ~n:20 ~extra_edges:10 in
+    check_bool "acyclic+connected" true (all_acyclic_connected inst);
+    check_int "nodes" 20 (Digraph.num_nodes inst.Generators.graph);
+    check_bool "has spanning edges" true
+      (Digraph.num_edges inst.Generators.graph >= 19)
+  done
+
+let test_random_dag_determinism () =
+  let i1 = Generators.random_connected_dag (rng 5) ~n:12 ~extra_edges:6 in
+  let i2 = Generators.random_connected_dag (rng 5) ~n:12 ~extra_edges:6 in
+  Alcotest.check digraph_testable "same seed, same graph" i1.Generators.graph
+    i2.Generators.graph;
+  check_int "same destination" i1.Generators.destination
+    i2.Generators.destination
+
+let test_unit_disk () =
+  for seed = 0 to 9 do
+    let inst = Generators.unit_disk (rng seed) ~n:25 ~radius:0.25 in
+    check_bool "connected even when stitched" true
+      (Undirected.is_connected (Digraph.skeleton inst.Generators.graph));
+    check_bool "acyclic" true (Digraph.is_acyclic inst.Generators.graph);
+    check_int "all nodes placed" 25 (Digraph.num_nodes inst.Generators.graph)
+  done;
+  (* dense radius ~ complete graph *)
+  let dense = Generators.unit_disk (rng 1) ~n:8 ~radius:2.0 in
+  check_int "complete at huge radius" (8 * 7 / 2)
+    (Digraph.num_edges dense.Generators.graph)
+
+let test_fixed_destination () =
+  let inst =
+    Generators.random_connected_dag_dest (rng 3) ~n:10 ~extra_edges:5
+      ~destination:7
+  in
+  check_int "destination honored" 7 inst.Generators.destination
+
+let test_all_connected_graphs () =
+  (* Connected labeled graphs: 1 on 2 nodes, 4 on 3 nodes, 38 on 4. *)
+  check_int "n=2" 1 (List.length (Generators.all_connected_graphs 2));
+  check_int "n=3" 4 (List.length (Generators.all_connected_graphs 3));
+  check_int "n=4" 38 (List.length (Generators.all_connected_graphs 4));
+  List.iter
+    (fun g -> check_bool "connected" true (Undirected.is_connected g))
+    (Generators.all_connected_graphs 4)
+
+let test_all_orientations () =
+  let skel = Undirected.of_edges [ (0, 1); (1, 2) ] in
+  let os = Generators.all_orientations skel in
+  check_int "2^2 orientations" 4 (List.length os);
+  (* all distinct *)
+  let keys = List.map Digraph.canonical_key os in
+  check_int "distinct" 4 (List.length (List.sort_uniq String.compare keys))
+
+let test_all_dag_instances () =
+  let insts = Generators.all_dag_instances 3 in
+  (* Every instance is acyclic, connected, and has a valid destination. *)
+  List.iter
+    (fun inst ->
+      check_bool "acyclic" true (Digraph.is_acyclic inst.Generators.graph);
+      check_bool "destination in graph" true
+        (Node.Set.mem inst.Generators.destination
+           (Digraph.nodes inst.Generators.graph)))
+    insts;
+  (* path has 2 acyclic orientations... in fact all orientations of a
+     tree are acyclic: path = 4, triangle = 6 of 8; times 3 destinations *)
+  check_int "count for n=3" ((3 * 4 * 3) + (6 * 3)) (List.length insts)
+
+let () =
+  Alcotest.run "generators"
+    [
+      suite "families"
+        [
+          case "bad_chain" test_bad_chain;
+          case "good_chain" test_good_chain;
+          case "sawtooth" test_sawtooth;
+          case "half_bad_chain" test_half_bad_chain;
+          case "ring" test_ring;
+          case "star" test_star;
+          case "binary_tree" test_binary_tree;
+          case "grid" test_grid;
+          case "layered" test_layered;
+        ];
+      suite "random"
+        [
+          case "random_connected_dag is acyclic+connected"
+            test_random_connected_dag;
+          case "determinism from the seed" test_random_dag_determinism;
+          case "unit disk graphs" test_unit_disk;
+          case "fixed destination" test_fixed_destination;
+        ];
+      suite "exhaustive"
+        [
+          case "all_connected_graphs counts" test_all_connected_graphs;
+          case "all_orientations" test_all_orientations;
+          case "all_dag_instances" test_all_dag_instances;
+        ];
+    ]

@@ -1,0 +1,63 @@
+open Lr_graph
+open Helpers
+module P = Properties
+
+let test_degree_stats () =
+  let skel = Undirected.of_edges [ (0, 1); (1, 2); (1, 3) ] in
+  let s = P.degree_stats skel in
+  check_int "min" 1 s.P.min_degree;
+  check_int "max" 3 s.P.max_degree;
+  Alcotest.(check (float 1e-9)) "mean" 1.5 s.P.mean_degree
+
+let test_degree_stats_empty () =
+  let s = P.degree_stats Undirected.empty in
+  check_int "min" 0 s.P.min_degree;
+  check_int "max" 0 s.P.max_degree
+
+let test_density () =
+  let complete4 =
+    Undirected.of_edges [ (0, 1); (0, 2); (0, 3); (1, 2); (1, 3); (2, 3) ]
+  in
+  Alcotest.(check (float 1e-9)) "complete" 1.0 (P.density complete4);
+  let sparse = Undirected.of_edges [ (0, 1); (2, 3) ] in
+  Alcotest.(check (float 1e-9)) "sparse" (2.0 /. 6.0) (P.density sparse);
+  Alcotest.(check (float 1e-9)) "empty" 0.0 (P.density Undirected.empty)
+
+let test_is_tree () =
+  check_bool "path is a tree" true
+    (P.is_tree (Undirected.of_edges [ (0, 1); (1, 2) ]));
+  check_bool "cycle is not" false
+    (P.is_tree (Undirected.of_edges [ (0, 1); (1, 2); (2, 0) ]));
+  check_bool "forest is not" false
+    (P.is_tree (Undirected.of_edges [ (0, 1); (2, 3) ]));
+  check_bool "random spanning trees" true
+    (P.is_tree
+       (Digraph.skeleton
+          (Generators.random_connected_dag (rng 3) ~n:10 ~extra_edges:0)
+            .Generators.graph))
+
+let test_sink_source_counts () =
+  let g = Digraph.of_directed_edges [ (0, 1); (0, 2); (1, 3); (2, 3) ] in
+  check_int "one sink" 1 (P.sink_count g);
+  check_int "one source" 1 (P.source_count g);
+  let saw = (Generators.sawtooth 9).Generators.graph in
+  check_int "sawtooth sinks" 4 (P.sink_count saw)
+
+let test_profile_string () =
+  let g = (Generators.bad_chain 5).Generators.graph in
+  Alcotest.(check string) "profile" "5 nodes, 4 edges, 1 sinks, 1 sources, 4 bad"
+    (P.orientation_profile g 0)
+
+let () =
+  Alcotest.run "graph_properties"
+    [
+      suite "graph_properties"
+        [
+          case "degree stats" test_degree_stats;
+          case "degree stats of empty graph" test_degree_stats_empty;
+          case "density" test_density;
+          case "tree recognition" test_is_tree;
+          case "sink/source counts" test_sink_source_counts;
+          case "profile string" test_profile_string;
+        ];
+    ]

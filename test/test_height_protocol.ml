@@ -1,0 +1,126 @@
+open Lr_graph
+open Linkrev
+open Helpers
+module HP = Lr_routing.Height_protocol
+
+let test_initial_heights_realize_initial_graph () =
+  for seed = 0 to 4 do
+    let config = random_config ~seed 12 in
+    List.iter
+      (fun mode ->
+        let hs = HP.initial_heights mode config in
+        List.iter
+          (fun (u, v) ->
+            check_bool "edge from higher to lower" true
+              (Heights.compare_pr_height (Node.Map.find u hs) (Node.Map.find v hs)
+               > 0))
+          (Digraph.directed_edges config.Config.initial))
+      [ HP.Partial; HP.Full ]
+  done
+
+let test_converges_to_destination_orientation () =
+  for seed = 0 to 9 do
+    let config = random_config ~seed 18 in
+    List.iter
+      (fun mode ->
+        let r = HP.run ~mode config in
+        check_bool "completed" true r.HP.stats.Lr_sim.Network.completed;
+        check_bool "oriented" true r.HP.destination_oriented)
+      [ HP.Partial; HP.Full ]
+  done
+
+let test_converges_under_jitter () =
+  for seed = 0 to 4 do
+    let config = random_config ~seed 15 in
+    let r = HP.run ~jitter:(rng (seed + 100), 3.0) ~mode:HP.Partial config in
+    check_bool "oriented under jitter" true r.HP.destination_oriented
+  done
+
+let test_quiet_when_already_oriented () =
+  let config = Config.of_instance (Generators.good_chain 8) in
+  let r = HP.run ~mode:HP.Partial config in
+  check_int "no raises" 0 r.HP.total_raises;
+  check_int "no messages" 0 r.HP.stats.Lr_sim.Network.sent
+
+let test_destination_never_raises () =
+  for seed = 0 to 4 do
+    let config = random_config ~seed 12 in
+    let r = HP.run ~mode:HP.Partial config in
+    check_int "destination raises" 0
+      (Node.Map.find_or ~default:0 config.Config.destination r.HP.raises_per_node)
+  done
+
+let test_async_work_matches_sequential_pr () =
+  (* Link reversal work is schedule independent, and the async protocol
+     is just another schedule: per-node raises equal the sequential
+     executor's node steps. *)
+  for seed = 0 to 4 do
+    let config = random_config ~seed 12 in
+    let async = HP.run ~mode:HP.Partial config in
+    let seq =
+      Executor.run
+        ~scheduler:(Lr_automata.Scheduler.first ())
+        ~destination:config.Config.destination (Heights.pr_algo config)
+    in
+    check_bool "same per-node work" true
+      (Node.Map.equal Int.equal
+         (Node.Map.filter (fun _ c -> c > 0) async.HP.raises_per_node)
+         (Node.Map.filter (fun _ c -> c > 0) seq.Executor.node_steps))
+  done
+
+let test_bad_chain_message_cost_fr_vs_pr () =
+  (* On the bad chain FR does quadratic work, PR linear, and messages
+     scale with work. *)
+  let config = bad_chain 12 in
+  let pr = HP.run ~mode:HP.Partial config in
+  let fr = HP.run ~mode:HP.Full config in
+  check_bool "both oriented" true
+    (pr.HP.destination_oriented && fr.HP.destination_oriented);
+  check_bool "PR cheaper in raises" true (pr.HP.total_raises < fr.HP.total_raises);
+  check_bool "PR cheaper in messages" true
+    (pr.HP.stats.Lr_sim.Network.sent < fr.HP.stats.Lr_sim.Network.sent)
+
+let test_lossy_with_beacons_converges () =
+  (* 30% message loss stalls the bare protocol; periodic beacons repair
+     the stale views and convergence returns. *)
+  for seed = 0 to 4 do
+    let config = random_config ~seed 14 in
+    let r =
+      HP.run
+        ~drop:(rng (seed + 50), 0.3)
+        ~beacon:5.0 ~until:2000.0 ~mode:HP.Partial config
+    in
+    check_bool "oriented despite loss" true r.HP.destination_oriented
+  done
+
+let test_lossy_without_beacons_can_stall () =
+  (* Heavy loss with no retransmission leaves some instance stuck with
+     stale views: find one where convergence fails. *)
+  let stalled = ref false in
+  for seed = 0 to 19 do
+    if not !stalled then begin
+      let config = random_config ~seed 14 in
+      let r = HP.run ~drop:(rng (seed + 90), 0.8) ~mode:HP.Partial config in
+      if not r.HP.destination_oriented then stalled := true
+    end
+  done;
+  check_bool "some run stalls under 80% loss" true !stalled
+
+let () =
+  Alcotest.run "height_protocol"
+    [
+      suite "height_protocol"
+        [
+          case "initial heights realize G'_init"
+            test_initial_heights_realize_initial_graph;
+          case "converges destination-oriented" test_converges_to_destination_orientation;
+          case "converges under jitter" test_converges_under_jitter;
+          case "quiet when already oriented" test_quiet_when_already_oriented;
+          case "destination never raises" test_destination_never_raises;
+          case "async work = sequential work" test_async_work_matches_sequential_pr;
+          case "FR vs PR message cost on the bad chain"
+            test_bad_chain_message_cost_fr_vs_pr;
+          case "lossy links + beacons converge" test_lossy_with_beacons_converges;
+          case "heavy loss without beacons stalls" test_lossy_without_beacons_can_stall;
+        ];
+    ]

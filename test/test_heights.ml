@@ -1,0 +1,137 @@
+open Lr_graph
+open Linkrev
+open Helpers
+module A = Lr_automata
+
+let test_height_orders () =
+  let h a b id = { Heights.pa = a; pb = b; pid = id } in
+  check_bool "a dominates" true (Heights.compare_pr_height (h 0 9 9) (h 1 0 0) < 0);
+  check_bool "b breaks a-ties" true (Heights.compare_pr_height (h 1 2 9) (h 1 3 0) < 0);
+  check_bool "id breaks full ties" true (Heights.compare_pr_height (h 1 2 3) (h 1 2 4) < 0);
+  let f a id = { Heights.fa = a; fid = id } in
+  check_bool "fr a dominates" true (Heights.compare_fr_height (f 1 9) (f 2 0) < 0);
+  check_bool "fr id ties" true (Heights.compare_fr_height (f 1 3) (f 1 4) < 0)
+
+let test_initial_heights_realize_graph () =
+  for seed = 0 to 9 do
+    let config = random_config ~seed 12 in
+    check_bool "pr initial consistent" true
+      (Heights.pr_consistent (Heights.pr_initial config));
+    check_bool "fr initial consistent" true
+      (Heights.fr_consistent (Heights.fr_initial config));
+    Alcotest.check digraph_testable "pr graph is G'_init"
+      config.Config.initial (Heights.pr_initial config).Heights.pgraph
+  done
+
+let test_consistency_maintained () =
+  (* The cached orientation always equals the height-induced one. *)
+  for seed = 0 to 4 do
+    let config = random_config ~seed 10 in
+    let exec = run_random ~seed (Heights.pr_automaton config) in
+    List.iter
+      (fun s -> check_bool "consistent" true (Heights.pr_consistent s))
+      (A.Execution.states exec);
+    let exec = run_random ~seed (Heights.fr_automaton config) in
+    List.iter
+      (fun s -> check_bool "consistent" true (Heights.fr_consistent s))
+      (A.Execution.states exec)
+  done
+
+(* The central equivalence (Gafni–Bertsekas): the height formulations
+   and the list/direct formulations reverse the same edges under the
+   same schedule. *)
+let test_pr_heights_lockstep_with_list_pr () =
+  for seed = 0 to 14 do
+    let config = random_config ~seed 14 in
+    let dest = config.Config.destination in
+    let rec lockstep (s_list : Pr.state) (s_h : Heights.pr_state) n =
+      check_bool "graphs agree" true
+        (Digraph.equal s_list.Pr.graph s_h.Heights.pgraph);
+      if n > 5000 then Alcotest.fail "no termination"
+      else
+        let sinks = Node.Set.remove dest (Digraph.sinks s_list.Pr.graph) in
+        match Node.Set.min_elt_opt sinks with
+        | None -> ()
+        | Some u ->
+            lockstep
+              (Pr.apply config s_list (Node.Set.singleton u))
+              (Heights.pr_apply config s_h u)
+              (n + 1)
+    in
+    lockstep (Pr.initial config) (Heights.pr_initial config) 0
+  done
+
+let test_fr_heights_lockstep_with_fr () =
+  for seed = 0 to 14 do
+    let config = random_config ~seed 14 in
+    let dest = config.Config.destination in
+    let rec lockstep (s : Full_reversal.state) (s_h : Heights.fr_state) n =
+      check_bool "graphs agree" true
+        (Digraph.equal s.Full_reversal.graph s_h.Heights.fgraph);
+      if n > 5000 then Alcotest.fail "no termination"
+      else
+        let sinks = Node.Set.remove dest (Digraph.sinks s.Full_reversal.graph) in
+        match Node.Set.min_elt_opt sinks with
+        | None -> ()
+        | Some u ->
+            lockstep (Full_reversal.apply s u) (Heights.fr_apply config s_h u)
+              (n + 1)
+    in
+    lockstep (Full_reversal.initial config) (Heights.fr_initial config) 0
+  done
+
+let test_pr_heights_reverse_minimum_a_neighbours () =
+  let config = diamond () in
+  let s = Heights.pr_initial config in
+  let s' = Heights.pr_apply config s 3 in
+  (* all neighbours had a = 0, so all edges reverse *)
+  check_bool "3 -> 1" true (Digraph.dir s'.Heights.pgraph 3 1 = Digraph.Out);
+  check_bool "3 -> 2" true (Digraph.dir s'.Heights.pgraph 3 2 = Digraph.Out);
+  check_int "a incremented" 1 (Node.Map.find 3 s'.Heights.pheights).Heights.pa
+
+let test_fr_heights_rise_above_all () =
+  let config = diamond () in
+  let s = Heights.fr_initial config in
+  let s' = Heights.fr_apply config s 3 in
+  let h u = Node.Map.find u s'.Heights.fheights in
+  check_bool "above neighbour 1" true (Heights.compare_fr_height (h 3) (h 1) > 0);
+  check_bool "above neighbour 2" true (Heights.compare_fr_height (h 3) (h 2) > 0)
+
+let test_terminates_oriented () =
+  for seed = 0 to 9 do
+    let config = random_config ~seed 13 in
+    let check_algo (out : Executor.outcome) =
+      check_bool "quiescent" true out.Executor.quiescent;
+      check_bool "oriented" true out.Executor.destination_oriented
+    in
+    let dest = config.Config.destination in
+    check_algo
+      (Executor.run
+         ~scheduler:(A.Scheduler.random (rng seed))
+         ~destination:dest (Heights.pr_algo config));
+    check_algo
+      (Executor.run
+         ~scheduler:(A.Scheduler.random (rng seed))
+         ~destination:dest (Heights.fr_algo config))
+  done
+
+let () =
+  Alcotest.run "heights"
+    [
+      suite "orders"
+        [
+          case "lexicographic comparisons" test_height_orders;
+          case "initial heights realize G'_init" test_initial_heights_realize_graph;
+        ];
+      suite "equivalence"
+        [
+          case "orientation consistency maintained" test_consistency_maintained;
+          case "PR-heights == list PR, step for step"
+            test_pr_heights_lockstep_with_list_pr;
+          case "FR-heights == FR, step for step" test_fr_heights_lockstep_with_fr;
+          case "PR raise reverses min-a neighbours"
+            test_pr_heights_reverse_minimum_a_neighbours;
+          case "FR raise goes above all neighbours" test_fr_heights_rise_above_all;
+          case "both height automata terminate oriented" test_terminates_oriented;
+        ];
+    ]

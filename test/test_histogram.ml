@@ -1,0 +1,74 @@
+open Helpers
+module H = Lr_analysis.Histogram
+
+let lines s = String.split_on_char '\n' s |> List.filter (fun l -> l <> "")
+
+let test_empty () =
+  Alcotest.(check string) "placeholder" "(no data)\n" (H.render [])
+
+let test_bar_scaling () =
+  let out =
+    H.render ~width:10
+      [
+        { H.label = "a"; value = 10.0 };
+        { H.label = "b"; value = 5.0 };
+        { H.label = "c"; value = 0.0 };
+      ]
+  in
+  let count_hashes line =
+    String.fold_left (fun n c -> if c = '#' then n + 1 else n) 0 line
+  in
+  match lines out with
+  | [ la; lb; lc ] ->
+      check_int "max spans width" 10 (count_hashes la);
+      check_int "half" 5 (count_hashes lb);
+      check_int "zero" 0 (count_hashes lc)
+  | other -> Alcotest.failf "expected 3 lines, got %d" (List.length other)
+
+let test_labels_aligned () =
+  let out =
+    H.render [ { H.label = "x"; value = 1.0 }; { H.label = "long"; value = 2.0 } ]
+  in
+  match lines out with
+  | [ l1; l2 ] ->
+      check_int "same separator column" (String.index l1 '|') (String.index l2 '|')
+  | _ -> Alcotest.fail "two lines"
+
+let test_of_int_series () =
+  let s = H.of_int_series [ ("n=8", 16); ("n=16", 64) ] in
+  check_int "two entries" 2 (List.length s);
+  Alcotest.(check (float 1e-9)) "value" 16.0 (List.hd s).H.value
+
+let test_compare_renders_pairs () =
+  let out =
+    H.render_compare ~labels:("FR", "PR")
+      [ ("n=8", 28.0, 7.0); ("n=16", 120.0, 15.0) ]
+  in
+  check_int "two lines per row" 4 (List.length (lines out))
+
+let test_values_printed () =
+  let out = H.render [ { H.label = "a"; value = 42.0 } ] in
+  check_bool "value shown" true
+    (String.length out > 0
+    &&
+    let found = ref false in
+    String.iteri
+      (fun i _ ->
+        if i + 2 <= String.length out && String.sub out i 2 = "42" then
+          found := true)
+      out;
+    !found)
+
+let () =
+  Alcotest.run "histogram"
+    [
+      suite "histogram"
+        [
+          case "empty input" test_empty;
+          case "bars scale to the maximum" test_bar_scaling;
+          case "labels align" test_labels_aligned;
+          case "of_int_series" test_of_int_series;
+          case "paired comparison" test_compare_renders_pairs;
+          case "values printed" test_values_printed;
+        ];
+    ]

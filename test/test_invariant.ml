@@ -1,0 +1,60 @@
+open Helpers
+module A = Lr_automata
+
+let counter limit =
+  A.Automaton.make ~name:"counter" ~initial:0
+    ~enabled:(fun s -> if s < limit then [ `Inc ] else [])
+    ~step:(fun s `Inc -> s + 1)
+    ()
+
+let nonneg = A.Invariant.of_predicate ~name:"nonneg" (fun s -> s >= 0)
+let below n = A.Invariant.of_predicate ~name:"below" (fun s -> s < n)
+
+let test_of_predicate () =
+  check_bool "holds" true (nonneg.A.Invariant.check 3 = Ok ());
+  check_bool "fails" true (Result.is_error (nonneg.A.Invariant.check (-1)))
+
+let test_check_states_finds_first () =
+  match A.Invariant.check_states (below 2) [ 0; 1; 2; 3 ] with
+  | None -> Alcotest.fail "expected a violation"
+  | Some v ->
+      check_int "first violating index" 2 v.A.Invariant.state_index;
+      Alcotest.(check string) "name" "below" v.A.Invariant.invariant
+
+let test_check_execution () =
+  let exec = A.Execution.run ~scheduler:(A.Scheduler.first ()) (counter 5) in
+  expect_no_violation "nonneg" (A.Invariant.check_execution nonneg exec);
+  check_bool "holds_on" true (A.Invariant.holds_on nonneg exec);
+  check_bool "below 3 violated" false (A.Invariant.holds_on (below 3) exec)
+
+let test_all_conjunction () =
+  let both = A.Invariant.all ~name:"both" [ nonneg; below 10 ] in
+  check_bool "conjunction holds" true (both.A.Invariant.check 5 = Ok ());
+  (match both.A.Invariant.check 11 with
+  | Error msg -> check_bool "names failing conjunct" true
+      (String.length msg >= 5 && String.sub msg 0 5 = "below")
+  | Ok () -> Alcotest.fail "expected failure");
+  match both.A.Invariant.check (-2) with
+  | Error msg ->
+      check_bool "first conjunct reported" true
+        (String.length msg >= 6 && String.sub msg 0 6 = "nonneg")
+  | Ok () -> Alcotest.fail "expected failure"
+
+let test_violation_render () =
+  let v = { A.Invariant.invariant = "x"; state_index = 4; reason = "boom" } in
+  let s = Format.asprintf "%a" A.Invariant.pp_violation v in
+  Alcotest.(check string) "render" "invariant x violated at state 4: boom" s
+
+let () =
+  Alcotest.run "invariant"
+    [
+      suite "invariant"
+        [
+          case "of_predicate" test_of_predicate;
+          case "check_states finds the first violation"
+            test_check_states_finds_first;
+          case "check_execution" test_check_execution;
+          case "all is a conjunction" test_all_conjunction;
+          case "violation rendering" test_violation_render;
+        ];
+    ]

@@ -1,0 +1,127 @@
+open Lr_graph
+open Linkrev
+open Helpers
+module A = Lr_automata
+
+(* The equivalences the paper's context rests on, phrased as lockstep
+   runs: both formulations driven by the same schedule must stay
+   graph-equal at every step. *)
+
+let graphs_agree graph_of_b (sa : Pr.state) sb =
+  Digraph.equal sa.Pr.graph (graph_of_b sb)
+
+let test_list_pr_vs_height_pr () =
+  for seed = 0 to 9 do
+    let config = random_config ~seed 14 in
+    match
+      A.Lockstep.run
+        ~a:(One_step_pr.automaton config)
+        ~b:(Heights.pr_automaton config)
+        ~translate:(fun _ (One_step_pr.Reverse u) -> [ Heights.Reverse u ])
+        ~related:(graphs_agree (fun (s : Heights.pr_state) -> s.Heights.pgraph))
+        ~scheduler:(A.Scheduler.random (rng seed))
+        ()
+    with
+    | Error e -> Alcotest.fail e
+    | Ok o ->
+        check_bool "ran to quiescence" true o.A.Lockstep.quiescent;
+        check_bool "did some steps" true
+          (o.A.Lockstep.steps > 0
+          || Digraph.is_destination_oriented config.Config.initial
+               config.Config.destination)
+  done
+
+let test_fr_vs_height_fr () =
+  for seed = 0 to 9 do
+    let config = random_config ~seed 14 in
+    match
+      A.Lockstep.run
+        ~a:(Full_reversal.automaton config)
+        ~b:(Heights.fr_automaton config)
+        ~translate:(fun _ (Full_reversal.Reverse u) -> [ Heights.Reverse u ])
+        ~related:(fun (sa : Full_reversal.state) (sb : Heights.fr_state) ->
+          Digraph.equal sa.Full_reversal.graph sb.Heights.fgraph)
+        ~scheduler:(A.Scheduler.random (rng seed))
+        ()
+    with
+    | Error e -> Alcotest.fail e
+    | Ok o -> check_bool "quiescent" true o.A.Lockstep.quiescent
+  done
+
+let test_pr_vs_bll_zero_out () =
+  for seed = 0 to 9 do
+    let config = random_config ~seed 12 in
+    match
+      A.Lockstep.run
+        ~a:(One_step_pr.automaton config)
+        ~b:(Bll.automaton Bll.Zero_out config)
+        ~translate:(fun _ (One_step_pr.Reverse u) -> [ Bll.Reverse u ])
+        ~related:(graphs_agree (fun (s : Bll.state) -> s.Bll.graph))
+        ~scheduler:(A.Scheduler.random (rng seed))
+        ()
+    with
+    | Error e -> Alcotest.fail e
+    | Ok o -> check_bool "quiescent" true o.A.Lockstep.quiescent
+  done
+
+let test_detects_divergence () =
+  (* Pairing PR against FR must fail quickly on a graph where they
+     reverse different edge sets. *)
+  let config = diamond () in
+  (* drive to a state where a list is non-trivial: after 3 steps PR's
+     reversal differs from FR's *)
+  match
+    A.Lockstep.run
+      ~a:(One_step_pr.automaton config)
+      ~b:(Full_reversal.automaton config)
+      ~translate:(fun _ (One_step_pr.Reverse u) -> [ Full_reversal.Reverse u ])
+      ~related:(graphs_agree (fun (s : Full_reversal.state) -> s.Full_reversal.graph))
+      ~scheduler:(A.Scheduler.first ())
+      ()
+  with
+  | Error msg -> check_bool "pinpoints a step" true (String.length msg > 0)
+  | Ok _ -> Alcotest.fail "PR and FR must diverge on the diamond"
+
+let test_translate_can_fail_enabledness () =
+  let config = diamond () in
+  match
+    A.Lockstep.run
+      ~a:(One_step_pr.automaton config)
+      ~b:(One_step_pr.automaton config)
+      ~translate:(fun _ _ -> [ One_step_pr.Reverse 0 ])  (* destination! *)
+      ~related:(fun _ _ -> true)
+      ~scheduler:(A.Scheduler.first ())
+      ()
+  with
+  | Error msg -> check_bool "reports disabled action" true (String.length msg > 0)
+  | Ok _ -> Alcotest.fail "reverse(destination) is never enabled"
+
+let test_max_steps () =
+  let config = bad_chain 30 in
+  match
+    A.Lockstep.run
+      ~a:(One_step_pr.automaton config)
+      ~b:(One_step_pr.automaton config)
+      ~translate:(fun _ a -> [ a ])
+      ~related:(fun (a : Pr.state) (b : Pr.state) -> Pr.equal_state a b)
+      ~scheduler:(A.Scheduler.first ())
+      ~max_steps:5 ()
+  with
+  | Error e -> Alcotest.fail e
+  | Ok o ->
+      check_int "stopped at bound" 5 o.A.Lockstep.steps;
+      check_bool "not quiescent" false o.A.Lockstep.quiescent
+
+let () =
+  Alcotest.run "lockstep"
+    [
+      suite "lockstep"
+        [
+          case "list PR == height PR" test_list_pr_vs_height_pr;
+          case "FR == height FR" test_fr_vs_height_fr;
+          case "PR == BLL Zero_out" test_pr_vs_bll_zero_out;
+          case "divergence detected" test_detects_divergence;
+          case "disabled translations detected" test_translate_can_fail_enabledness;
+          case "max_steps respected" test_max_steps;
+        ];
+    ]

@@ -1,0 +1,150 @@
+open Lr_graph
+open Linkrev
+open Helpers
+module M = Lr_routing.Maintenance
+
+let test_create_stabilizes () =
+  for seed = 0 to 4 do
+    let config = random_config ~seed 14 in
+    List.iter
+      (fun rule ->
+        let m = M.create rule config in
+        check_bool "oriented after create" true (M.is_destination_oriented m);
+        check_bool "acyclic" true (Digraph.is_acyclic (M.graph m)))
+      [ M.Partial_reversal; M.Full_reversal ]
+  done
+
+let test_routes_exist () =
+  let config = random_config ~seed:3 16 in
+  let m = M.create M.Partial_reversal config in
+  Node.Set.iter
+    (fun u ->
+      match M.route m u with
+      | None -> Alcotest.failf "no route from %d" u
+      | Some path ->
+          (* route ends at the destination and follows directed edges *)
+          (match List.rev path with
+          | last :: _ -> check_int "ends at destination" (M.destination m) last
+          | [] -> Alcotest.fail "empty route");
+          let rec edges_ok = function
+            | a :: (b :: _ as rest) ->
+                check_bool "directed hop" true
+                  (Digraph.dir (M.graph m) a b = Digraph.Out);
+                edges_ok rest
+            | _ -> ()
+          in
+          edges_ok path)
+    (Config.nodes config)
+
+let test_fail_link_repairs () =
+  (* Fail every edge of a well-connected graph one at a time; each
+     failure either stabilizes or honestly reports a partition. *)
+  let config = random_config ~extra_edges:14 ~seed:5 12 in
+  List.iter
+    (fun (u, v) ->
+      let m = M.create M.Partial_reversal config in
+      match M.fail_link m u v with
+      | M.Stabilized _ ->
+          check_bool "oriented after repair" true (M.is_destination_oriented m);
+          check_bool "acyclic after repair" true (Digraph.is_acyclic (M.graph m))
+      | M.Partitioned lost ->
+          check_bool "lost nodes really cut" true
+            (Node.Set.for_all
+               (fun w -> not (Digraph.has_path (M.graph m) w (M.destination m)))
+               lost))
+    (Digraph.directed_edges config.Config.initial)
+
+let test_fail_link_absent_rejected () =
+  let config = diamond () in
+  let m = M.create M.Partial_reversal config in
+  check_bool "raises" true
+    (try ignore (M.fail_link m 1 2); false with Invalid_argument _ -> true)
+
+let test_partition_detected () =
+  (* A path cut in the middle partitions the far side. *)
+  let config = bad_chain 6 in
+  let m = M.create M.Partial_reversal config in
+  match M.fail_link m 2 3 with
+  | M.Partitioned lost ->
+      check_node_set "nodes 3..5 lost" (Node.Set.of_list [ 3; 4; 5 ]) lost;
+      check_bool "destination side still oriented" true
+        (M.is_destination_oriented m)
+  | M.Stabilized _ -> Alcotest.fail "expected a partition"
+
+let test_add_link_reconnects () =
+  let config = bad_chain 6 in
+  let m = M.create M.Partial_reversal config in
+  (match M.fail_link m 2 3 with M.Partitioned _ -> () | _ -> Alcotest.fail "cut");
+  M.add_link m 0 3;
+  check_bool "route restored for 4" true (M.route m 4 <> None);
+  check_bool "oriented again" true (M.is_destination_oriented m);
+  check_bool "acyclic" true (Digraph.is_acyclic (M.graph m))
+
+let test_add_link_duplicate_rejected () =
+  let config = diamond () in
+  let m = M.create M.Partial_reversal config in
+  check_bool "raises" true
+    (try M.add_link m 0 1; false with Invalid_argument _ -> true)
+
+let test_fail_node_crash () =
+  let config = random_config ~extra_edges:16 ~seed:7 12 in
+  let victim =
+    Node.Set.max_elt (Node.Set.remove config.Config.destination (Config.nodes config))
+  in
+  let m = M.create M.Partial_reversal config in
+  (match M.fail_node m victim with
+  | M.Stabilized _ -> check_bool "oriented" true (M.is_destination_oriented m)
+  | M.Partitioned lost -> check_bool "victim lost" true (Node.Set.mem victim lost));
+  check_bool "cannot fail the destination" true
+    (try ignore (M.fail_node m (M.destination m)); false
+     with Invalid_argument _ -> true)
+
+let test_work_accumulates () =
+  let config = bad_chain 8 in
+  let m = M.create M.Partial_reversal config in
+  let w0 = M.total_work m in
+  check_bool "initial stabilization did work" true (w0 > 0);
+  M.add_link m 0 7;
+  check_bool "work monotone" true (M.total_work m >= w0)
+
+let test_churn_sequence () =
+  (* A long random churn of fail/add keeps the structure sound. *)
+  let config = random_config ~extra_edges:20 ~seed:11 15 in
+  let m = M.create M.Partial_reversal config in
+  let r = rng 42 in
+  for _ = 1 to 40 do
+    let g = M.graph m in
+    let edges = Digraph.directed_edges g in
+    if Random.State.bool r && edges <> [] then begin
+      let u, v = List.nth edges (Random.State.int r (List.length edges)) in
+      ignore (M.fail_link m u v)
+    end
+    else begin
+      let nodes = Node.Set.elements (Digraph.nodes g) in
+      let pick () = List.nth nodes (Random.State.int r (List.length nodes)) in
+      let u = pick () and v = pick () in
+      if (not (Node.equal u v)) && not (Digraph.mem_edge g u v) then
+        M.add_link m u v
+    end;
+    check_bool "acyclic through churn" true (Digraph.is_acyclic (M.graph m));
+    check_bool "dest side oriented through churn" true
+      (M.is_destination_oriented m)
+  done
+
+let () =
+  Alcotest.run "maintenance"
+    [
+      suite "maintenance"
+        [
+          case "create stabilizes" test_create_stabilizes;
+          case "routes exist and follow edges" test_routes_exist;
+          case "link failures repaired" test_fail_link_repairs;
+          case "failing absent links rejected" test_fail_link_absent_rejected;
+          case "partitions detected honestly" test_partition_detected;
+          case "add_link reconnects partitions" test_add_link_reconnects;
+          case "duplicate links rejected" test_add_link_duplicate_rejected;
+          case "node crashes" test_fail_node_crash;
+          case "work accumulates" test_work_accumulates;
+          case "random churn stays sound" test_churn_sequence;
+        ];
+    ]

@@ -1,0 +1,94 @@
+open Helpers
+module MC = Lr_modelcheck.Modelcheck
+
+let expect_clean (r : MC.report) =
+  match r.MC.violation with
+  | None -> check_bool "states explored" true (r.MC.states > 0)
+  | Some v -> Alcotest.failf "%s: %s" r.MC.automaton v
+
+let test_diamond_full_check () =
+  List.iter expect_clean (MC.check_all (diamond ()))
+
+let test_bad_chain_full_check () =
+  List.iter expect_clean (MC.check_all (bad_chain 5))
+
+let test_sawtooth_full_check () =
+  List.iter expect_clean (MC.check_all (sawtooth 6))
+
+let test_exhaustive_3_nodes () =
+  (* Every connected DAG instance on <= 3 nodes, every destination,
+     every theorem. *)
+  List.iter
+    (fun config -> List.iter expect_clean (MC.check_all config))
+    (MC.exhaustive_families ~max_nodes:3)
+
+let test_exhaustive_families_counts () =
+  let fams = MC.exhaustive_families ~max_nodes:3 in
+  (* 2 nodes: 1 graph, 2 orientations, 2 destinations = 4 instances;
+     3 nodes: 54 (see test_generators).  Total 58. *)
+  check_int "instance count" 58 (List.length fams)
+
+let test_state_space_sizes_are_sane () =
+  (* NewPR distinguishes counts, so it must reach at least as many
+     states as there are distinct graphs along its executions; PR's
+     reachable set on the diamond is modest and must match between the
+     subset and singleton action disciplines. *)
+  let config = diamond () in
+  let pr = MC.check_pr_invariants config in
+  let one = MC.check_one_step_pr_invariants config in
+  check_int "same reachable states (subset steps add nothing)" pr.MC.states
+    one.MC.states
+
+let test_max_states_cap_reported () =
+  let config = bad_chain 6 in
+  let r = MC.check_newpr_invariants ~max_states:3 config in
+  check_bool "cap reported as violation" true (r.MC.violation <> None)
+
+let test_termination_check () =
+  List.iter
+    (fun config -> expect_clean (MC.check_termination config))
+    [ diamond (); bad_chain 5; sawtooth 6 ]
+
+let test_state_space_stats () =
+  (* On the bad chain PR's work is exactly n-1, and the state graph's
+     longest path must agree. *)
+  match MC.state_space_stats (bad_chain 5) with
+  | Error e -> Alcotest.fail e
+  | Ok stats ->
+      check_int "longest execution = n-1" 4 stats.MC.longest_execution;
+      check_bool "NewPR has at least as many states" true
+        (stats.MC.newpr_states >= stats.MC.pr_states)
+
+let test_state_space_stats_sawtooth () =
+  (* Sawtooth n: every execution has length (n/2)^2 + dummy steps in
+     NewPR; OneStepPR's longest execution is exactly (n/2)^2 because
+     work is schedule independent. *)
+  match MC.state_space_stats (sawtooth 6) with
+  | Error e -> Alcotest.fail e
+  | Ok stats -> check_int "longest = 9" 9 stats.MC.longest_execution
+
+let test_report_rendering () =
+  let r = MC.check_newpr_invariants (diamond ()) in
+  let s = Format.asprintf "%a" MC.pp_report r in
+  check_bool "mentions OK" true
+    (String.length s > 0 && String.sub s (String.length s - 2) 2 = "OK")
+
+let () =
+  Alcotest.run "modelcheck"
+    [
+      suite "modelcheck"
+        [
+          case "diamond: all checks" test_diamond_full_check;
+          case "bad chain: all checks" test_bad_chain_full_check;
+          case "sawtooth: all checks" test_sawtooth_full_check;
+          case "exhaustive over <= 3-node instances" test_exhaustive_3_nodes;
+          case "exhaustive family counts" test_exhaustive_families_counts;
+          case "PR and OneStepPR reach the same states"
+            test_state_space_sizes_are_sane;
+          case "state cap reported" test_max_states_cap_reported;
+          case "termination verified exactly" test_termination_check;
+          case "state-space stats: bad chain" test_state_space_stats;
+          case "state-space stats: sawtooth" test_state_space_stats_sawtooth;
+          case "report rendering" test_report_rendering;
+        ];
+    ]

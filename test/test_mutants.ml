@@ -1,0 +1,84 @@
+open Linkrev
+open Helpers
+module A = Lr_automata
+module MC = Lr_modelcheck.Modelcheck
+
+(* Mutation testing: the paper's invariant checkers must reject each
+   broken variant on some small instance, while the exhaustive model
+   checker accepts the real algorithms everywhere (test_modelcheck).
+   Search over every small instance, every reachable state of the
+   mutant. *)
+
+let search_violation automaton_of invariant_of =
+  MC.exhaustive_families ~max_nodes:4
+  |> List.exists (fun config ->
+         List.exists
+           (fun seed ->
+             let exec =
+               A.Execution.run ~max_steps:200
+                 ~scheduler:(A.Scheduler.random (rng seed))
+                 (automaton_of config)
+             in
+             A.Invariant.check_execution (invariant_of config) exec <> None)
+           [ 0; 1; 2 ])
+
+let test_reverse_listed_caught () =
+  check_bool "reverse-listed violates the invariants" true
+    (search_violation
+       (Mutants.pr_automaton Mutants.Reverse_listed)
+       Invariants.pr_all)
+
+let test_keep_list_caught () =
+  check_bool "keep-list violates the invariants" true
+    (search_violation
+       (Mutants.pr_automaton Mutants.Keep_list)
+       Invariants.pr_all)
+
+let test_no_record_caught () =
+  check_bool "no-record violates the invariants" true
+    (search_violation
+       (Mutants.pr_automaton Mutants.No_record)
+       Invariants.pr_all)
+
+let test_never_flip_caught () =
+  check_bool "never-flip violates the invariants" true
+    (search_violation
+       (Mutants.newpr_automaton Mutants.Never_flip)
+       Invariants.newpr_all)
+
+let test_start_odd_caught () =
+  check_bool "start-odd violates the invariants" true
+    (search_violation
+       (Mutants.newpr_automaton Mutants.Start_odd)
+       Invariants.newpr_all)
+
+let test_mutants_step_only_sinks () =
+  (* Mutants stay within the automaton discipline: disabled actions are
+     still rejected. *)
+  let config = diamond () in
+  let aut = Mutants.pr_automaton Mutants.Reverse_listed config in
+  check_bool "raises" true
+    (try ignore (aut.A.Automaton.step (Pr.initial config)
+                   (One_step_pr.Reverse 1)); false
+     with Invalid_argument _ -> true)
+
+let test_names () =
+  Alcotest.(check string) "pr name" "no-record"
+    (Mutants.pr_mutant_name Mutants.No_record);
+  Alcotest.(check string) "newpr name" "never-flip"
+    (Mutants.newpr_mutant_name Mutants.Never_flip)
+
+let () =
+  Alcotest.run "mutants"
+    [
+      suite "mutants"
+        [
+          case "reverse-listed caught" test_reverse_listed_caught;
+          case "keep-list caught" test_keep_list_caught;
+          case "no-record caught" test_no_record_caught;
+          case "never-flip caught" test_never_flip_caught;
+          case "start-odd caught" test_start_odd_caught;
+          case "mutants still respect enabledness" test_mutants_step_only_sinks;
+          case "mutant names" test_names;
+        ];
+    ]

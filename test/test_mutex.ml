@@ -1,0 +1,124 @@
+open Lr_graph
+open Linkrev
+open Helpers
+module X = Lr_routing.Mutex
+
+let test_create () =
+  let config = random_config ~seed:1 12 in
+  let mx = X.create config in
+  check_int "holder is destination" config.Config.destination (X.holder mx);
+  check_bool "oriented to holder" true (X.oriented_to_holder mx);
+  Alcotest.(check (list int)) "no pending" [] (X.pending mx)
+
+let test_request_queue_fifo () =
+  let config = random_config ~seed:2 10 in
+  let others =
+    Node.Set.elements (Node.Set.remove config.Config.destination (Config.nodes config))
+  in
+  let mx = X.create config in
+  List.iteri (fun i u -> if i < 3 then X.request mx u) others;
+  Alcotest.(check (list int)) "FIFO order"
+    (List.filteri (fun i _ -> i < 3) others)
+    (X.pending mx)
+
+let test_duplicate_and_holder_requests_ignored () =
+  let config = random_config ~seed:3 10 in
+  let mx = X.create config in
+  let u =
+    Node.Set.min_elt (Node.Set.remove config.Config.destination (Config.nodes config))
+  in
+  X.request mx u;
+  X.request mx u;
+  check_int "deduplicated" 1 (List.length (X.pending mx));
+  X.request mx (X.holder mx);
+  check_int "holder ignored" 1 (List.length (X.pending mx))
+
+let test_unknown_node_rejected () =
+  let config = diamond () in
+  let mx = X.create config in
+  check_bool "raises" true
+    (try X.request mx 99; false with Invalid_argument _ -> true)
+
+let test_grant_transfers_and_reorients () =
+  let config = random_config ~seed:4 14 in
+  let mx = X.create config in
+  let requesters =
+    Node.Set.elements (Node.Set.remove config.Config.destination (Config.nodes config))
+    |> List.filteri (fun i _ -> i < 4)
+  in
+  List.iter (X.request mx) requesters;
+  List.iter
+    (fun expected ->
+      match X.grant_next mx with
+      | None -> Alcotest.fail "pending request not served"
+      | Some (granted, _cost) ->
+          check_int "FIFO grant" expected granted;
+          check_int "holder updated" expected (X.holder mx);
+          check_bool "oriented to new holder" true (X.oriented_to_holder mx);
+          check_bool "acyclic" true (Digraph.is_acyclic (X.graph mx)))
+    requesters;
+  check_bool "queue drained" true (X.grant_next mx = None)
+
+let test_safety_single_holder () =
+  (* The holder is a function of the structure — at any time exactly one
+     node is "the destination" of the DAG. *)
+  let config = random_config ~seed:5 12 in
+  let mx = X.create config in
+  let everyone =
+    Node.Set.elements (Node.Set.remove config.Config.destination (Config.nodes config))
+  in
+  List.iter (X.request mx) everyone;
+  let rec drain () =
+    match X.grant_next mx with
+    | None -> ()
+    | Some _ ->
+        (* all nodes (but the holder) can still reach the holder *)
+        check_bool "everyone routes to the single holder" true
+          (X.oriented_to_holder mx);
+        drain ()
+  in
+  drain ()
+
+let test_liveness_every_request_served () =
+  let config = random_config ~seed:6 10 in
+  let mx = X.create config in
+  let all =
+    Node.Set.elements (Node.Set.remove config.Config.destination (Config.nodes config))
+  in
+  List.iter (X.request mx) all;
+  let served = ref [] in
+  let rec drain () =
+    match X.grant_next mx with
+    | None -> ()
+    | Some (r, _) ->
+        served := r :: !served;
+        drain ()
+  in
+  drain ();
+  Alcotest.(check (list int)) "all served in order" all (List.rev !served)
+
+let test_transfer_costs_are_finite_and_tracked () =
+  let config = bad_chain 8 in
+  let mx = X.create config in
+  X.request mx 7;
+  match X.grant_next mx with
+  | None -> Alcotest.fail "must grant"
+  | Some (r, cost) ->
+      check_int "granted the requester" 7 r;
+      check_bool "positive finite cost" true (cost > 0 && cost < 1000)
+
+let () =
+  Alcotest.run "mutex"
+    [
+      suite "mutex"
+        [
+          case "create" test_create;
+          case "requests queue FIFO" test_request_queue_fifo;
+          case "duplicates and holder ignored" test_duplicate_and_holder_requests_ignored;
+          case "unknown nodes rejected" test_unknown_node_rejected;
+          case "grants transfer and reorient" test_grant_transfers_and_reorients;
+          case "safety: single holder" test_safety_single_holder;
+          case "liveness: FIFO service" test_liveness_every_request_served;
+          case "transfer costs tracked" test_transfer_costs_are_finite_and_tracked;
+        ];
+    ]

@@ -1,0 +1,203 @@
+open Lr_graph
+open Helpers
+module N = Lr_sim.Network
+
+let test_flood_reaches_everyone () =
+  (* Proper flooding: forward on first receipt. *)
+  let topology =
+    Undirected.of_edges [ (0, 1); (1, 2); (2, 3); (1, 3); (3, 4) ]
+  in
+  let handler =
+    {
+      N.init =
+        (fun u nbrs ->
+          if Node.equal u 0 then
+            ( true,
+              Node.Set.fold (fun v acc -> { N.dest = v; msg = () } :: acc) nbrs [] )
+          else (false, []));
+      on_message =
+        (fun u seen ~from ()->
+          if seen then (true, [])
+          else
+            ( true,
+              Undirected.neighbors topology u |> Node.Set.remove from
+              |> Node.Set.elements
+              |> List.map (fun v -> { N.dest = v; msg = () }) ));
+    }
+  in
+  let net = N.create ~topology ~latency:(fun _ _ -> 1.0) handler in
+  let stats = N.run net in
+  check_bool "completed" true stats.N.completed;
+  List.iter (fun (_, seen) -> check_bool "reached" true seen) (N.states net);
+  check_bool "messages flowed" true (stats.N.sent > 0);
+  check_bool "all delivered" true (stats.N.delivered = stats.N.sent)
+
+let test_latency_accumulates () =
+  (* A 3-hop chain with latency 2.0 per hop: final time >= 6. *)
+  let topology = Undirected.of_edges [ (0, 1); (1, 2); (2, 3) ] in
+  let handler =
+    {
+      N.init =
+        (fun u _ ->
+          if Node.equal u 0 then ((), [ { N.dest = 1; msg = () } ]) else ((), []));
+      on_message =
+        (fun u () ~from:_ () ->
+          if u < 3 then ((), [ { N.dest = u + 1; msg = () } ]) else ((), []));
+    }
+  in
+  let net = N.create ~topology ~latency:(fun _ _ -> 2.0) handler in
+  let stats = N.run net in
+  check_bool "3 hops of latency 2" true (stats.N.final_time >= 6.0);
+  check_int "three deliveries" 3 stats.N.delivered
+
+let test_fifo_per_link_under_jitter () =
+  (* Sender 0 numbers its messages; receiver 1 must see them in order
+     even with jitter larger than the base latency. *)
+  let topology = Undirected.of_edges [ (0, 1) ] in
+  let handler =
+    {
+      N.init =
+        (fun u _ ->
+          if Node.equal u 0 then
+            ((0, []), List.init 20 (fun i -> { N.dest = 1; msg = i }))
+          else ((0, []), []));
+      on_message = (fun _ (n, log) ~from:_ i -> ((n + 1, i :: log), []));
+    }
+  in
+  let net =
+    N.create ~topology ~latency:(fun _ _ -> 0.1) ~jitter:(rng 3, 5.0) handler
+  in
+  ignore (N.run net);
+  let _, log = N.state net 1 in
+  Alcotest.(check (list int)) "in-order delivery" (List.init 20 Fun.id)
+    (List.rev log)
+
+let test_send_to_non_neighbour_rejected () =
+  let topology = Undirected.of_edges [ (0, 1); (2, 1) ] in
+  let handler =
+    {
+      N.init =
+        (fun u _ ->
+          if Node.equal u 0 then ((), [ { N.dest = 2; msg = () } ]) else ((), []));
+      on_message = (fun _ () ~from:_ () -> ((), []));
+    }
+  in
+  check_bool "raises" true
+    (try ignore (N.create ~topology ~latency:(fun _ _ -> 1.0) handler); false
+     with Invalid_argument _ -> true)
+
+let test_delivery_budget () =
+  (* Two nodes ping-pong forever; the budget must stop the run. *)
+  let topology = Undirected.of_edges [ (0, 1) ] in
+  let handler =
+    {
+      N.init =
+        (fun u _ ->
+          if Node.equal u 0 then ((), [ { N.dest = 1; msg = () } ]) else ((), []));
+      on_message = (fun u () ~from:_ () -> ((), [ { N.dest = 1 - u; msg = () } ]));
+    }
+  in
+  let net = N.create ~topology ~latency:(fun _ _ -> 1.0) handler in
+  let stats = N.run ~max_deliveries:50 net in
+  check_bool "not completed" false stats.N.completed;
+  check_int "budget respected" 50 stats.N.delivered
+
+let test_deterministic_given_seed () =
+  let run () =
+    let topology = Undirected.of_edges [ (0, 1); (1, 2); (0, 2) ] in
+    let handler =
+      {
+        N.init =
+          (fun u nbrs ->
+            ( 0,
+              if u = 0 then
+                Node.Set.elements nbrs |> List.map (fun v -> { N.dest = v; msg = 1 })
+              else [] ));
+        on_message =
+          (fun u acc ~from:_ i ->
+            ( acc + i,
+              if u <> 0 && acc < 3 then [ { N.dest = 0; msg = i + 1 } ] else []
+            ));
+      }
+    in
+    let net =
+      N.create ~topology ~latency:(fun _ _ -> 1.0) ~jitter:(rng 7, 0.3) handler
+    in
+    let stats = N.run net in
+    (stats.N.delivered, stats.N.final_time, N.state net 0)
+  in
+  check_bool "identical runs" true (run () = run ())
+
+let test_drop_loses_messages () =
+  let topology = Undirected.of_edges [ (0, 1) ] in
+  let handler =
+    {
+      N.init =
+        (fun u _ ->
+          if Node.equal u 0 then
+            (0, List.init 100 (fun _ -> { N.dest = 1; msg = () }))
+          else (0, []));
+      on_message = (fun _ n ~from:_ () -> (n + 1, []));
+    }
+  in
+  let net =
+    N.create ~topology ~latency:(fun _ _ -> 1.0) ~drop:(rng 5, 0.5) handler
+  in
+  let stats = N.run net in
+  let received = N.state net 1 in
+  check_int "sent counts all attempts" 100 stats.N.sent;
+  check_int "delivered + dropped = sent" 100 (stats.N.delivered + N.dropped net);
+  check_bool "some dropped" true (N.dropped net > 0);
+  check_int "receiver saw the survivors" stats.N.delivered received
+
+let test_timer_ticks_until_deadline () =
+  let topology = Undirected.of_edges [ (0, 1) ] in
+  let handler =
+    {
+      N.init = (fun _ _ -> (0, []));
+      on_message = (fun _ n ~from:_ () -> (n, []));
+    }
+  in
+  let tick _u n = (n + 1, []) in
+  let net =
+    N.create ~topology ~latency:(fun _ _ -> 1.0) ~timer:(2.0, tick) handler
+  in
+  let stats = N.run ~until:10.0 net in
+  check_bool "stopped at the deadline" true (stats.N.final_time <= 10.0);
+  (* ticks at 2,4,6,8,10 => 5 per node *)
+  check_int "node 0 ticked 5 times" 5 (N.state net 0);
+  check_int "node 1 ticked 5 times" 5 (N.state net 1)
+
+let test_timer_sends_count () =
+  let topology = Undirected.of_edges [ (0, 1) ] in
+  let handler =
+    {
+      N.init = (fun _ _ -> (0, []));
+      on_message = (fun _ n ~from:_ () -> (n + 1, []));
+    }
+  in
+  let tick u n =
+    (n, if Node.equal u 0 then [ { N.dest = 1; msg = () } ] else [])
+  in
+  let net =
+    N.create ~topology ~latency:(fun _ _ -> 0.5) ~timer:(1.0, tick) handler
+  in
+  ignore (N.run ~until:5.5 net);
+  check_bool "beacons delivered" true (N.state net 1 >= 4)
+
+let () =
+  Alcotest.run "network"
+    [
+      suite "network"
+        [
+          case "flooding reaches every node" test_flood_reaches_everyone;
+          case "latency accumulates over hops" test_latency_accumulates;
+          case "FIFO per link even under jitter" test_fifo_per_link_under_jitter;
+          case "sends to non-neighbours rejected" test_send_to_non_neighbour_rejected;
+          case "delivery budget stops livelock" test_delivery_budget;
+          case "deterministic given the seed" test_deterministic_given_seed;
+          case "drop loses messages but counts them" test_drop_loses_messages;
+          case "timers tick until the deadline" test_timer_ticks_until_deadline;
+          case "timer sends are delivered" test_timer_sends_count;
+        ];
+    ]

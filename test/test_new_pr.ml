@@ -1,0 +1,156 @@
+open Lr_graph
+open Linkrev
+open Helpers
+module A = Lr_automata
+
+let test_initial_counts_zero () =
+  let config = diamond () in
+  let s = New_pr.initial config in
+  Node.Set.iter
+    (fun u ->
+      check_int "count 0" 0 (New_pr.count s u);
+      check_bool "parity even" true (New_pr.parity s u = New_pr.Even))
+    (Config.nodes config)
+
+let test_even_step_reverses_in_nbrs () =
+  let config = diamond () in
+  let s = New_pr.apply config (New_pr.initial config) 3 in
+  (* 3's initial in-nbrs are {1, 2}: both edges flip. *)
+  check_bool "3 -> 1" true (Digraph.dir s.New_pr.graph 3 1 = Digraph.Out);
+  check_bool "3 -> 2" true (Digraph.dir s.New_pr.graph 3 2 = Digraph.Out);
+  check_int "count incremented" 1 (New_pr.count s 3);
+  check_bool "parity odd" true (New_pr.parity s 3 = New_pr.Odd)
+
+let test_odd_step_reverses_out_nbrs () =
+  (* Drive node 1 of the diamond to its second step: after 3 and then 1
+     step once each, 1's next step (odd parity) reverses its initial
+     out-neighbour 3 — when 1 is a sink again. *)
+  let config = diamond () in
+  let s = New_pr.apply config (New_pr.initial config) 3 in
+  let s = New_pr.apply config s 1 in
+  (* 1's first (even) step reversed in-nbrs {0}; edge to 3 stays in. *)
+  check_bool "1 -> 0 after even step" true (Digraph.dir s.New_pr.graph 1 0 = Digraph.Out);
+  check_bool "edge {1,3} untouched by 1" true (Digraph.dir s.New_pr.graph 1 3 = Digraph.In);
+  check_int "1 stepped once" 1 (New_pr.count s 1)
+
+let test_reversal_set_alternates () =
+  let config = diamond () in
+  let s0 = New_pr.initial config in
+  check_node_set "even: in-nbrs" (Config.in_nbrs config 3)
+    (New_pr.reversal_set config s0 3);
+  let s1 = New_pr.apply config s0 3 in
+  check_node_set "odd: out-nbrs" (Config.out_nbrs config 3)
+    (New_pr.reversal_set config s1 3)
+
+let test_dummy_step_initial_source () =
+  (* A node that starts as a source has in-nbrs = {} — its first step
+     (even parity) reverses nothing, only flips parity (paper §4.1). *)
+  let config =
+    Config.make_exn
+      (Digraph.of_directed_edges [ (1, 0); (1, 2); (2, 0) ])
+      ~destination:0
+  in
+  (* 1 is a source.  Make it a sink: 2 reverses? 2's edges: 1 -> 2 in,
+     2 -> 0 out; 2 is not a sink.  Orient manually instead: start from a
+     graph where 1 is a source and becomes a sink after one step by 2. *)
+  ignore config;
+  let config2 =
+    Config.make_exn (Digraph.of_directed_edges [ (1, 2); (0, 2) ]) ~destination:0
+  in
+  (* 1 is a source (only edge 1 -> 2).  2 is the sink; its even step
+     reverses in-nbrs {0, 1}: edge {1,2} now points to 1, making 1 a
+     sink.  1's even step has in-nbrs(1) = {} -> dummy. *)
+  let s = New_pr.apply config2 (New_pr.initial config2) 2 in
+  check_bool "1 became a sink" true (Digraph.is_sink s.New_pr.graph 1);
+  check_bool "dummy step detected" true (New_pr.is_dummy_step config2 s 1);
+  let s' = New_pr.apply config2 s 1 in
+  Alcotest.check digraph_testable "graph unchanged by dummy step" s.New_pr.graph
+    s'.New_pr.graph;
+  check_int "count still incremented" 1 (New_pr.count s' 1);
+  (* The follow-up odd step reverses out-nbrs = all nbrs of 1. *)
+  check_bool "still a sink" true (Digraph.is_sink s'.New_pr.graph 1);
+  let s'' = New_pr.apply config2 s' 1 in
+  check_bool "now reversed" true (Digraph.dir s''.New_pr.graph 1 2 = Digraph.Out)
+
+let test_counts_differ_by_at_most_one_between_neighbours () =
+  (* Invariant 4.2(a) exercised directly. *)
+  for seed = 0 to 9 do
+    let config = random_config ~seed 12 in
+    let exec = run_random ~seed (New_pr.automaton config) in
+    List.iter
+      (fun s ->
+        Undirected.iter_edges
+          (fun e ->
+            let cu = New_pr.count s (Edge.lo e)
+            and cv = New_pr.count s (Edge.hi e) in
+            check_bool "|Δcount| <= 1" true (abs (cu - cv) <= 1))
+          (Config.skeleton config))
+      (A.Execution.states exec)
+  done
+
+let test_terminates_oriented () =
+  for seed = 0 to 19 do
+    let config = random_config ~seed 15 in
+    let out =
+      Executor.run
+        ~scheduler:(A.Scheduler.random (rng seed))
+        ~destination:config.Config.destination (New_pr.algo config)
+    in
+    check_bool "quiescent" true out.Executor.quiescent;
+    check_bool "oriented" true out.Executor.destination_oriented
+  done
+
+let test_dummy_overhead_vs_pr () =
+  (* NewPR takes at least as many steps as OneStepPR; the difference is
+     exactly the dummy steps (paper §4.1 cost discussion). *)
+  for seed = 0 to 9 do
+    let config = random_config ~seed 12 in
+    let steps algo =
+      (Executor.run
+         ~scheduler:(A.Scheduler.first ())
+         ~destination:config.Config.destination algo)
+        .Executor.total_node_steps
+    in
+    check_bool "NewPR >= OneStepPR" true
+      (steps (New_pr.algo config) >= steps (One_step_pr.algo config))
+  done
+
+let test_step_rejects_disabled () =
+  let config = diamond () in
+  let aut = New_pr.automaton config in
+  check_bool "raises" true
+    (try ignore (aut.A.Automaton.step (New_pr.initial config) (New_pr.Reverse 0));
+         false
+     with Invalid_argument _ -> true)
+
+let test_canonical_key_includes_counts () =
+  let config = diamond () in
+  let s0 = New_pr.initial config in
+  let s1 = New_pr.apply config s0 3 in
+  let s2 = New_pr.apply config (New_pr.apply config s1 1) 3 in
+  (* s2's graph may coincide with some earlier graph, but counts differ,
+     so keys must differ from s0's. *)
+  check_bool "keys differ" false
+    (String.equal (New_pr.canonical_key s0) (New_pr.canonical_key s2))
+
+let () =
+  Alcotest.run "new_pr"
+    [
+      suite "mechanics"
+        [
+          case "initial counts are zero" test_initial_counts_zero;
+          case "even parity reverses initial in-nbrs" test_even_step_reverses_in_nbrs;
+          case "odd parity reverses initial out-nbrs" test_odd_step_reverses_out_nbrs;
+          case "reversal set alternates" test_reversal_set_alternates;
+          case "dummy steps flip parity only" test_dummy_step_initial_source;
+          case "step rejects disabled actions" test_step_rejects_disabled;
+          case "canonical keys include counts" test_canonical_key_includes_counts;
+        ];
+      suite "behaviour"
+        [
+          case "neighbour counts differ by at most 1"
+            test_counts_differ_by_at_most_one_between_neighbours;
+          case "terminates destination-oriented" test_terminates_oriented;
+          case "dummy-step overhead vs OneStepPR" test_dummy_overhead_vs_pr;
+        ];
+    ]

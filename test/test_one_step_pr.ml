@@ -1,0 +1,84 @@
+open Lr_graph
+open Linkrev
+open Helpers
+module A = Lr_automata
+
+let test_apply_is_singleton_pr () =
+  for seed = 0 to 9 do
+    let config = random_config ~seed 12 in
+    (* Run OneStepPR for a while; at every step, compare with PR's
+       singleton application. *)
+    let exec = run_random ~seed (One_step_pr.automaton config) in
+    List.iter
+      (fun { A.Execution.before; action = One_step_pr.Reverse u; after } ->
+        let via_pr = Pr.apply config before (Node.Set.singleton u) in
+        check_bool "identical to PR singleton" true (Pr.equal_state via_pr after))
+      exec.A.Execution.steps
+  done
+
+let test_enabled_is_one_per_sink () =
+  let config = sawtooth 9 in
+  let aut = One_step_pr.automaton config in
+  let s = One_step_pr.initial config in
+  let enabled = aut.A.Automaton.enabled s in
+  check_int "one action per sink"
+    (Node.Set.cardinal (Pr.sinks config s))
+    (List.length enabled)
+
+let test_step_rejects_non_sink () =
+  let config = diamond () in
+  let aut = One_step_pr.automaton config in
+  check_bool "raises" true
+    (try ignore (aut.A.Automaton.step (One_step_pr.initial config)
+                   (One_step_pr.Reverse 1)); false
+     with Invalid_argument _ -> true)
+
+let test_destination_disabled () =
+  let config =
+    Config.make_exn (Digraph.of_directed_edges [ (1, 0) ]) ~destination:0
+  in
+  let aut = One_step_pr.automaton config in
+  check_bool "destination sink has no action" true
+    (aut.A.Automaton.enabled (One_step_pr.initial config) = [])
+
+let test_terminates_oriented () =
+  for seed = 0 to 9 do
+    let config = random_config ~seed 15 in
+    let out =
+      Executor.run
+        ~scheduler:(A.Scheduler.random (rng seed))
+        ~destination:config.Config.destination (One_step_pr.algo config)
+    in
+    check_bool "quiescent" true out.Executor.quiescent;
+    check_bool "oriented" true out.Executor.destination_oriented
+  done
+
+let test_same_final_graph_as_pr () =
+  (* Confluence: PR with concurrent steps and OneStepPR reach the same
+     quiescent orientation. *)
+  for seed = 0 to 9 do
+    let config = random_config ~seed 12 in
+    let final algo =
+      (Executor.run
+         ~scheduler:(A.Scheduler.random (rng seed))
+         ~destination:config.Config.destination algo)
+        .Executor.final_graph
+    in
+    Alcotest.check digraph_testable "same quiescent graph"
+      (final (Pr.algo ~mode:Pr.Singletons_and_max config))
+      (final (One_step_pr.algo config))
+  done
+
+let () =
+  Alcotest.run "one_step_pr"
+    [
+      suite "one_step_pr"
+        [
+          case "apply = PR on a singleton" test_apply_is_singleton_pr;
+          case "enabled lists one action per sink" test_enabled_is_one_per_sink;
+          case "step rejects non-sinks" test_step_rejects_non_sink;
+          case "destination never enabled" test_destination_disabled;
+          case "terminates destination-oriented" test_terminates_oriented;
+          case "confluent with concurrent PR" test_same_final_graph_as_pr;
+        ];
+    ]

@@ -1,0 +1,103 @@
+open Lr_graph
+open Helpers
+
+(* 0 <- 1 <- 2, 0 <- 3, 2 - 3 disconnected in direction *)
+let g () = Digraph.of_directed_edges [ (1, 0); (2, 1); (3, 0); (2, 3) ]
+
+let test_distances () =
+  let d = Path.distances (g ()) 0 in
+  check_int "self" 0 (Node.Map.find 0 d);
+  check_int "one hop" 1 (Node.Map.find 1 d);
+  check_int "two hops via 1 or 3" 2 (Node.Map.find 2 d);
+  check_int "one hop" 1 (Node.Map.find 3 d)
+
+let test_distances_unreachable () =
+  let g = Digraph.of_directed_edges [ (0, 1); (2, 1) ] in
+  let d = Path.distances g 0 in
+  check_bool "1 cannot reach 0" false (Node.Map.mem 1 d);
+  check_bool "2 cannot reach 0" false (Node.Map.mem 2 d)
+
+let test_shortest_path () =
+  match Path.shortest_path (g ()) 2 0 with
+  | None -> Alcotest.fail "path exists"
+  | Some p ->
+      check_int "length 3 nodes" 3 (List.length p);
+      check_int "starts at 2" 2 (List.hd p);
+      check_int "ends at 0" 0 (List.nth p 2)
+
+let test_shortest_path_none () =
+  check_bool "no reverse path" true (Path.shortest_path (g ()) 0 2 = None);
+  check_bool "unknown node" true (Path.shortest_path (g ()) 9 0 = None)
+
+let test_shortest_path_is_shortest () =
+  for seed = 0 to 9 do
+    let config = random_config ~seed 15 in
+    let graph = config.Linkrev.Config.initial in
+    let dest = config.Linkrev.Config.destination in
+    let d = Path.distances graph dest in
+    Node.Set.iter
+      (fun u ->
+        match Path.shortest_path graph u dest with
+        | Some p ->
+            check_int "path length = BFS distance"
+              (Node.Map.find u d)
+              (List.length p - 1)
+        | None ->
+            check_bool "consistent with distances" false (Node.Map.mem u d))
+      (Digraph.nodes graph)
+  done
+
+let test_undirected_distances () =
+  let skel = Undirected.of_edges [ (0, 1); (1, 2); (2, 3) ] in
+  let d = Path.undirected_distances skel 0 in
+  check_int "end of path" 3 (Node.Map.find 3 d)
+
+let test_eccentricity_and_diameter () =
+  let skel = Undirected.of_edges [ (0, 1); (1, 2); (2, 3) ] in
+  Alcotest.(check (option int)) "endpoint" (Some 3) (Path.eccentricity skel 0);
+  Alcotest.(check (option int)) "middle" (Some 2) (Path.eccentricity skel 1);
+  Alcotest.(check (option int)) "diameter" (Some 3) (Path.diameter skel);
+  let split = Undirected.of_edges [ (0, 1); (2, 3) ] in
+  Alcotest.(check (option int)) "disconnected" None (Path.diameter split)
+
+let test_stretch () =
+  (* good chain routes along the skeleton's shortest paths: stretch 1 *)
+  let inst = Generators.good_chain 6 in
+  Alcotest.(check (option (float 1e-9))) "chain stretch" (Some 1.0)
+    (Path.stretch inst.Generators.graph 0);
+  (* non-oriented graph has no stretch *)
+  let bad = Generators.bad_chain 6 in
+  check_bool "not oriented" true (Path.stretch bad.Generators.graph 0 = None)
+
+let test_stretch_after_reversal () =
+  (* after PR runs, the graph is destination-oriented, so stretch is
+     defined and >= 1 *)
+  for seed = 0 to 4 do
+    let config = random_config ~seed 14 in
+    let out =
+      Linkrev.Executor.run
+        ~scheduler:(Lr_automata.Scheduler.first ())
+        ~destination:config.Linkrev.Config.destination
+        (Linkrev.Pr.algo ~mode:Linkrev.Pr.Singletons config)
+    in
+    match Path.stretch out.Linkrev.Executor.final_graph config.Linkrev.Config.destination with
+    | None -> Alcotest.fail "oriented graph must have stretch"
+    | Some s -> check_bool "stretch >= 1" true (s >= 1.0)
+  done
+
+let () =
+  Alcotest.run "path"
+    [
+      suite "path"
+        [
+          case "distances" test_distances;
+          case "unreachable nodes absent" test_distances_unreachable;
+          case "shortest path" test_shortest_path;
+          case "missing paths" test_shortest_path_none;
+          case "shortest path matches BFS distance" test_shortest_path_is_shortest;
+          case "undirected distances" test_undirected_distances;
+          case "eccentricity and diameter" test_eccentricity_and_diameter;
+          case "stretch of oriented graphs" test_stretch;
+          case "stretch after reversal" test_stretch_after_reversal;
+        ];
+    ]

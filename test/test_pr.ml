@@ -1,0 +1,192 @@
+open Lr_graph
+open Linkrev
+open Helpers
+module A = Lr_automata
+
+let test_initial_state () =
+  let config = diamond () in
+  let s = Pr.initial config in
+  Alcotest.check digraph_testable "initial graph" config.Config.initial
+    s.Pr.graph;
+  Node.Set.iter
+    (fun u -> check_node_set "empty list" Node.Set.empty (Pr.list_of s u))
+    (Config.nodes config)
+
+let test_sinks_excludes_destination () =
+  (* chain 1 -> 0 with destination 0: 0 is a graph sink but not a PR sink. *)
+  let config =
+    Config.make_exn (Digraph.of_directed_edges [ (1, 0) ]) ~destination:0
+  in
+  check_node_set "no eligible sink" Node.Set.empty
+    (Pr.sinks config (Pr.initial config))
+
+let test_first_step_reverses_all () =
+  (* An empty list means nbrs \ list = all neighbours. *)
+  let config = diamond () in
+  let s = Pr.apply config (Pr.initial config) (Node.Set.singleton 3) in
+  check_bool "3 -> 1" true (Digraph.dir s.Pr.graph 3 1 = Digraph.Out);
+  check_bool "3 -> 2" true (Digraph.dir s.Pr.graph 3 2 = Digraph.Out);
+  check_node_set "3's list emptied" Node.Set.empty (Pr.list_of s 3);
+  check_node_set "1 recorded 3" (Node.Set.singleton 3) (Pr.list_of s 1);
+  check_node_set "2 recorded 3" (Node.Set.singleton 3) (Pr.list_of s 2)
+
+let test_second_step_skips_listed_neighbours () =
+  (* After 3 reverses, 1 is a sink with list [3]; it must reverse only
+     the edge to 0 and leave the edge to 3 incoming. *)
+  let config = diamond () in
+  let s = Pr.apply config (Pr.initial config) (Node.Set.singleton 3) in
+  check_bool "1 is now a sink" true (Digraph.is_sink s.Pr.graph 1);
+  let s = Pr.apply config s (Node.Set.singleton 1) in
+  check_bool "1 -> 0 reversed" true (Digraph.dir s.Pr.graph 1 0 = Digraph.Out);
+  check_bool "edge to 3 kept incoming" true (Digraph.dir s.Pr.graph 1 3 = Digraph.In);
+  check_node_set "list emptied" Node.Set.empty (Pr.list_of s 1)
+
+let test_full_list_reverses_everything () =
+  (* Path 0(dest) - 1 - 2 oriented 0 -> 1 <- 2.  The initial sink 1
+     reverses everything; leaf 2 then becomes a sink whose list {1}
+     covers all its neighbours — the paper's [list = nbrs] branch. *)
+  let config =
+    Config.make_exn (Digraph.of_directed_edges [ (0, 1); (2, 1) ]) ~destination:0
+  in
+  let s0 = Pr.initial config in
+  let s1 = Pr.apply config s0 (Node.Set.singleton 1) in
+  check_bool "2 became a sink" true (Digraph.is_sink s1.Pr.graph 2);
+  check_node_set "full list" (Config.nbrs config 2) (Pr.list_of s1 2);
+  let s2 = Pr.apply config s1 (Node.Set.singleton 2) in
+  check_bool "2 reversed everything" true (Digraph.dir s2.Pr.graph 2 1 = Digraph.Out);
+  check_node_set "list emptied" Node.Set.empty (Pr.list_of s2 2)
+
+let test_set_step_equals_sequential () =
+  (* reverse(S) must equal applying members one at a time (sinks are
+     pairwise non-adjacent, so the order is irrelevant). *)
+  let config = sawtooth 9 in
+  let s0 = Pr.initial config in
+  let sinks = Pr.sinks config s0 in
+  check_bool "several sinks" true (Node.Set.cardinal sinks >= 3);
+  let together = Pr.apply config s0 sinks in
+  let one_by_one =
+    Node.Set.fold (fun u s -> Pr.apply config s (Node.Set.singleton u)) sinks s0
+  in
+  check_bool "same state" true (Pr.equal_state together one_by_one)
+
+let test_no_two_adjacent_sinks () =
+  for seed = 0 to 9 do
+    let config = random_config ~seed 14 in
+    let exec = run_random ~seed (Pr.automaton ~mode:Pr.Singletons config) in
+    List.iter
+      (fun s ->
+        let sinks = Pr.sinks config s in
+        Node.Set.iter
+          (fun u ->
+            Node.Set.iter
+              (fun v ->
+                if not (Node.equal u v) then
+                  check_bool "sinks are pairwise non-adjacent" false
+                    (Undirected.mem_edge (Config.skeleton config) u v))
+              sinks)
+          sinks)
+      (A.Execution.states exec)
+  done
+
+let test_automaton_rejects_disabled () =
+  let config = diamond () in
+  let aut = Pr.automaton config in
+  check_bool "raises on non-sink" true
+    (try ignore (aut.A.Automaton.step (Pr.initial config)
+                   (Pr.Reverse (Node.Set.singleton 1))); false
+     with Invalid_argument _ -> true)
+
+let test_enabled_modes () =
+  let config = sawtooth 9 in
+  let s = Pr.initial config in
+  let count mode =
+    List.length ((Pr.automaton ~mode config).A.Automaton.enabled s)
+  in
+  let k = Node.Set.cardinal (Pr.sinks config s) in
+  check_int "singletons" k (count Pr.Singletons);
+  check_int "singletons+max" (k + 1) (count Pr.Singletons_and_max);
+  check_int "all subsets" ((1 lsl k) - 1) (count Pr.All_subsets)
+
+let test_termination_and_orientation () =
+  for seed = 0 to 19 do
+    let config = random_config ~seed 16 in
+    let out =
+      Executor.run
+        ~scheduler:(A.Scheduler.random (rng seed))
+        ~destination:config.Config.destination
+        (Pr.algo ~mode:Pr.Singletons config)
+    in
+    check_bool "quiescent" true out.Executor.quiescent;
+    check_bool "destination oriented" true out.Executor.destination_oriented
+  done
+
+let test_work_on_bad_chain_is_linear () =
+  (* PR resolves the all-away chain in exactly n-1 steps. *)
+  let config = bad_chain 12 in
+  let out =
+    Executor.run ~scheduler:(A.Scheduler.first ()) ~destination:0
+      (Pr.algo ~mode:Pr.Singletons config)
+  in
+  check_int "n-1 steps" 11 out.Executor.total_node_steps
+
+let test_work_on_sawtooth_is_quadratic () =
+  (* The Θ(n_b²) family: exactly (n/2)² node steps. *)
+  List.iter
+    (fun n ->
+      let config = sawtooth n in
+      let out =
+        Executor.run ~scheduler:(A.Scheduler.first ()) ~destination:0
+          (Pr.algo ~mode:Pr.Singletons config)
+      in
+      check_int
+        (Printf.sprintf "(n/2)^2 at n=%d" n)
+        (n / 2 * (n / 2))
+        out.Executor.total_node_steps)
+    [ 4; 8; 12; 16 ]
+
+let test_schedule_independent_work () =
+  (* Link reversal work is schedule-independent (Gafni–Bertsekas):
+     every fair execution performs the same per-node step counts. *)
+  let config = sawtooth 10 in
+  let run sched =
+    (Executor.run ~scheduler:sched ~destination:0
+       (Pr.algo ~mode:Pr.Singletons config)).Executor.node_steps
+  in
+  let reference = run (A.Scheduler.first ()) in
+  List.iter
+    (fun sched ->
+      check_bool "same node steps" true
+        (Node.Map.equal Int.equal reference (run sched)))
+    [ A.Scheduler.last (); A.Scheduler.random (rng 4); A.Scheduler.random (rng 9) ]
+
+let test_canonical_key_distinguishes_lists () =
+  let config = diamond () in
+  let s0 = Pr.initial config in
+  let s1 = Pr.apply config s0 (Node.Set.singleton 3) in
+  check_bool "different keys" false
+    (String.equal (Pr.canonical_key s0) (Pr.canonical_key s1))
+
+let () =
+  Alcotest.run "pr"
+    [
+      suite "mechanics"
+        [
+          case "initial state" test_initial_state;
+          case "destination is never a PR sink" test_sinks_excludes_destination;
+          case "first step reverses all edges" test_first_step_reverses_all;
+          case "listed neighbours are skipped" test_second_step_skips_listed_neighbours;
+          case "full list reverses everything" test_full_list_reverses_everything;
+          case "reverse(S) = sequential singletons" test_set_step_equals_sequential;
+          case "sinks are pairwise non-adjacent" test_no_two_adjacent_sinks;
+          case "step rejects disabled actions" test_automaton_rejects_disabled;
+          case "enabled-action modes" test_enabled_modes;
+        ];
+      suite "behaviour"
+        [
+          case "terminates destination-oriented" test_termination_and_orientation;
+          case "bad chain costs n-1" test_work_on_bad_chain_is_linear;
+          case "sawtooth costs (n/2)^2" test_work_on_sawtooth_is_quadratic;
+          case "work is schedule independent" test_schedule_independent_work;
+          case "canonical keys include lists" test_canonical_key_distinguishes_lists;
+        ];
+    ]

@@ -1,0 +1,237 @@
+(* Property-based tests (qcheck): the paper's invariants and the
+   cross-formulation equivalences over randomly generated instances and
+   schedules. *)
+
+open Lr_graph
+open Linkrev
+module A = Lr_automata
+module Q = QCheck
+
+(* Generator for (config, seed): a random connected DAG instance plus a
+   scheduler seed.  Shrinking is not very meaningful here, so sizes stay
+   small enough to diagnose by hand. *)
+let gen_instance =
+  Q.Gen.(
+    let* n = int_range 2 14 in
+    let* extra = int_range 0 (n * (n - 1) / 4) in
+    let* graph_seed = int_range 0 1_000_000 in
+    let* sched_seed = int_range 0 1_000_000 in
+    return (n, extra, graph_seed, sched_seed))
+
+let arb_instance =
+  Q.make
+    ~print:(fun (n, extra, gs, ss) ->
+      Printf.sprintf "n=%d extra=%d graph_seed=%d sched_seed=%d" n extra gs ss)
+    gen_instance
+
+let config_of (n, extra, graph_seed, _) =
+  Config.of_instance
+    (Generators.random_connected_dag
+       (Random.State.make [| 0xfeed; graph_seed |])
+       ~n ~extra_edges:extra)
+
+let sched_of (_, _, _, sched_seed) =
+  A.Scheduler.random (Random.State.make [| 0xcafe; sched_seed |])
+
+let count = 150
+
+let prop name f = Q.Test.make ~count ~name arb_instance f
+
+(* 1. Acyclicity of every automaton along random executions. *)
+let acyclicity_props =
+  [
+    prop "PR states are acyclic (Thm 5.5)" (fun inst ->
+        let config = config_of inst in
+        let exec =
+          A.Execution.run ~scheduler:(sched_of inst)
+            (Pr.automaton ~mode:Pr.Singletons_and_max config)
+        in
+        List.for_all
+          (fun (s : Pr.state) -> Digraph.is_acyclic s.Pr.graph)
+          (A.Execution.states exec));
+    prop "NewPR states are acyclic (Thm 4.3)" (fun inst ->
+        let config = config_of inst in
+        let exec =
+          A.Execution.run ~scheduler:(sched_of inst) (New_pr.automaton config)
+        in
+        List.for_all
+          (fun (s : New_pr.state) -> Digraph.is_acyclic s.New_pr.graph)
+          (A.Execution.states exec));
+    prop "FR states are acyclic" (fun inst ->
+        let config = config_of inst in
+        let exec =
+          A.Execution.run ~scheduler:(sched_of inst)
+            (Full_reversal.automaton config)
+        in
+        List.for_all
+          (fun (s : Full_reversal.state) ->
+            Digraph.is_acyclic s.Full_reversal.graph)
+          (A.Execution.states exec));
+  ]
+
+(* 2. The paper's invariants as properties. *)
+let invariant_props =
+  [
+    prop "Invariants 3.1/3.2 + corollaries hold along PR" (fun inst ->
+        let config = config_of inst in
+        let exec =
+          A.Execution.run ~scheduler:(sched_of inst)
+            (Pr.automaton ~mode:Pr.Singletons_and_max config)
+        in
+        A.Invariant.holds_on (Invariants.pr_all config) exec);
+    prop "Invariants 4.1/4.2 hold along NewPR" (fun inst ->
+        let config = config_of inst in
+        let exec =
+          A.Execution.run ~scheduler:(sched_of inst) (New_pr.automaton config)
+        in
+        A.Invariant.holds_on (Invariants.newpr_all config) exec);
+  ]
+
+(* 3. Termination + destination orientation. *)
+let termination_props =
+  [
+    prop "PR terminates destination-oriented" (fun inst ->
+        let config = config_of inst in
+        let out =
+          Executor.run ~scheduler:(sched_of inst)
+            ~destination:config.Config.destination
+            (Pr.algo ~mode:Pr.Singletons config)
+        in
+        out.Executor.quiescent && out.Executor.destination_oriented);
+    prop "NewPR terminates destination-oriented" (fun inst ->
+        let config = config_of inst in
+        let out =
+          Executor.run ~scheduler:(sched_of inst)
+            ~destination:config.Config.destination (New_pr.algo config)
+        in
+        out.Executor.quiescent && out.Executor.destination_oriented);
+    prop "work is schedule independent (PR)" (fun inst ->
+        let config = config_of inst in
+        let run sched =
+          (Executor.run ~scheduler:sched
+             ~destination:config.Config.destination
+             (Pr.algo ~mode:Pr.Singletons config))
+            .Executor.node_steps
+        in
+        Node.Map.equal Int.equal
+          (run (sched_of inst))
+          (run (A.Scheduler.first ())));
+  ]
+
+(* 4. Simulation relations. *)
+let simulation_props =
+  [
+    prop "R' checks along random executions" (fun inst ->
+        let config = config_of inst in
+        Result.is_ok
+          (Simulation_rel.check_r_prime ~scheduler:(sched_of inst) config));
+    prop "R checks along random executions" (fun inst ->
+        let config = config_of inst in
+        Result.is_ok (Simulation_rel.check_r ~scheduler:(sched_of inst) config));
+    prop "reverse direction checks along random executions" (fun inst ->
+        let config = config_of inst in
+        Result.is_ok
+          (Simulation_rel.check_r_reverse ~scheduler:(sched_of inst) config));
+  ]
+
+(* 5. Cross-formulation equivalences. *)
+let equivalence_props =
+  [
+    prop "PR-heights == list PR under any schedule" (fun inst ->
+        let config = config_of inst in
+        let dest = config.Config.destination in
+        let rng = Random.State.make [| 0xd00d; match inst with _, _, _, s -> s |] in
+        let rec lockstep (s_l : Pr.state) (s_h : Heights.pr_state) fuel =
+          Digraph.equal s_l.Pr.graph s_h.Heights.pgraph
+          && (fuel = 0
+             ||
+             let sinks = Node.Set.remove dest (Digraph.sinks s_l.Pr.graph) in
+             match Node.Set.elements sinks with
+             | [] -> true
+             | sinks ->
+                 let u = List.nth sinks (Random.State.int rng (List.length sinks)) in
+                 lockstep
+                   (Pr.apply config s_l (Node.Set.singleton u))
+                   (Heights.pr_apply config s_h u)
+                   (fuel - 1))
+        in
+        lockstep (Pr.initial config) (Heights.pr_initial config) 2000);
+    prop "BLL Zero_out == PR under any schedule" (fun inst ->
+        let config = config_of inst in
+        let dest = config.Config.destination in
+        let rec lockstep (s_pr : Pr.state) (s_bll : Bll.state) fuel =
+          Digraph.equal s_pr.Pr.graph s_bll.Bll.graph
+          && (fuel = 0
+             ||
+             let sinks = Node.Set.remove dest (Digraph.sinks s_pr.Pr.graph) in
+             match Node.Set.min_elt_opt sinks with
+             | None -> true
+             | Some u ->
+                 lockstep
+                   (Pr.apply config s_pr (Node.Set.singleton u))
+                   (Bll.apply Bll.Zero_out config s_bll u)
+                   (fuel - 1))
+        in
+        lockstep (Pr.initial config) (Bll.initial config) 2000);
+    prop "quiescent graph identical across PR formulations" (fun inst ->
+        let config = config_of inst in
+        let final algo =
+          (Executor.run ~scheduler:(sched_of inst)
+             ~destination:config.Config.destination algo)
+            .Executor.final_graph
+        in
+        let g1 = final (Pr.algo ~mode:Pr.Singletons config) in
+        let g2 = final (New_pr.algo config) in
+        let g3 = final (Heights.pr_algo config) in
+        Digraph.equal g1 g2 && Digraph.equal g2 g3);
+  ]
+
+(* 6. Structural graph properties. *)
+let graph_props =
+  [
+    prop "reversals preserve the skeleton" (fun inst ->
+        let config = config_of inst in
+        let exec =
+          A.Execution.run ~scheduler:(sched_of inst)
+            (Pr.automaton ~mode:Pr.Singletons config)
+        in
+        List.for_all
+          (fun (s : Pr.state) ->
+            Undirected.equal
+              (Digraph.skeleton s.Pr.graph)
+              (Config.skeleton config))
+          (A.Execution.states exec));
+    prop "good nodes never reverse" (fun inst ->
+        let config = config_of inst in
+        let good =
+          Node.Set.remove config.Config.destination
+            (Digraph.reaches config.Config.initial config.Config.destination)
+        in
+        let out =
+          Executor.run ~scheduler:(sched_of inst)
+            ~destination:config.Config.destination
+            (Pr.algo ~mode:Pr.Singletons config)
+        in
+        Node.Set.for_all
+          (fun u -> Node.Map.find_or ~default:0 u out.Executor.node_steps = 0)
+          good);
+    prop "quiescence iff destination-oriented (connected graphs)" (fun inst ->
+        let config = config_of inst in
+        let out =
+          Executor.run ~scheduler:(sched_of inst)
+            ~destination:config.Config.destination (New_pr.algo config)
+        in
+        Bool.equal out.Executor.quiescent out.Executor.destination_oriented);
+  ]
+
+let () =
+  let to_alcotest = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "properties"
+    [
+      ("acyclicity", to_alcotest acyclicity_props);
+      ("invariants", to_alcotest invariant_props);
+      ("termination", to_alcotest termination_props);
+      ("simulation", to_alcotest simulation_props);
+      ("equivalence", to_alcotest equivalence_props);
+      ("graph", to_alcotest graph_props);
+    ]

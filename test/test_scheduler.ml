@@ -1,0 +1,65 @@
+open Helpers
+module A = Lr_automata
+
+let test_first_last () =
+  let pick sched = sched () [ 1; 2; 3 ] in
+  Alcotest.(check (option int)) "first" (Some 1) (pick (A.Scheduler.first ()));
+  Alcotest.(check (option int)) "last" (Some 3) (pick (A.Scheduler.last ()));
+  Alcotest.(check (option int)) "first of empty" None
+    (A.Scheduler.first () () [])
+
+let test_random_in_range () =
+  let sched = A.Scheduler.random (rng 1) in
+  for _ = 1 to 50 do
+    match sched () [ 10; 20; 30 ] with
+    | Some x -> check_bool "member" true (List.mem x [ 10; 20; 30 ])
+    | None -> Alcotest.fail "nonempty pick"
+  done;
+  Alcotest.(check (option int)) "empty" None (sched () [])
+
+let test_random_deterministic () =
+  let run seed =
+    let sched = A.Scheduler.random (rng seed) in
+    List.init 20 (fun _ -> Option.get (sched () [ 1; 2; 3; 4; 5 ]))
+  in
+  Alcotest.(check (list int)) "same seed same picks" (run 7) (run 7)
+
+let test_round_robin_rotates () =
+  let sched = A.Scheduler.round_robin ~index:Fun.id () in
+  let picks = List.init 6 (fun _ -> Option.get (sched () [ 1; 2; 3 ])) in
+  Alcotest.(check (list int)) "cyclic" [ 1; 2; 3; 1; 2; 3 ] picks
+
+let test_round_robin_skips_disabled () =
+  let sched = A.Scheduler.round_robin ~index:Fun.id () in
+  ignore (sched () [ 1; 2; 3 ]);
+  (* cursor at 1; 2 missing -> should pick 3, then wrap to 1 *)
+  Alcotest.(check (option int)) "skip to 3" (Some 3) (sched () [ 1; 3 ]);
+  Alcotest.(check (option int)) "wrap" (Some 1) (sched () [ 1; 2 ])
+
+let test_greedy () =
+  let sched = A.Scheduler.greedy ~score:(fun x -> -x) () in
+  Alcotest.(check (option int)) "min by negated score" (Some 1)
+    (sched () [ 3; 1; 2 ]);
+  let sched2 = A.Scheduler.greedy ~score:Fun.id () in
+  Alcotest.(check (option int)) "max" (Some 3) (sched2 () [ 3; 1; 2 ])
+
+let test_stop_after () =
+  let sched = A.Scheduler.stop_after 2 (A.Scheduler.first ()) in
+  Alcotest.(check (option int)) "1st" (Some 1) (sched () [ 1 ]);
+  Alcotest.(check (option int)) "2nd" (Some 1) (sched () [ 1 ]);
+  Alcotest.(check (option int)) "refuses 3rd" None (sched () [ 1 ])
+
+let () =
+  Alcotest.run "scheduler"
+    [
+      suite "scheduler"
+        [
+          case "first/last" test_first_last;
+          case "random picks members" test_random_in_range;
+          case "random is seed-deterministic" test_random_deterministic;
+          case "round robin rotates" test_round_robin_rotates;
+          case "round robin skips disabled" test_round_robin_skips_disabled;
+          case "greedy" test_greedy;
+          case "stop_after" test_stop_after;
+        ];
+    ]

@@ -1,0 +1,81 @@
+open Lr_graph
+open Helpers
+
+let test_digraph_round_trip () =
+  for seed = 0 to 9 do
+    let inst = Generators.random_connected_dag (rng seed) ~n:15 ~extra_edges:10 in
+    let s = Serial.digraph_to_string inst.Generators.graph in
+    match Serial.digraph_of_string s with
+    | Error e -> Alcotest.fail e
+    | Ok g -> Alcotest.check digraph_testable "round trip" inst.Generators.graph g
+  done
+
+let test_isolated_nodes_survive () =
+  let g = Digraph.add_node (Digraph.of_directed_edges [ (0, 1) ]) 7 in
+  match Serial.digraph_of_string (Serial.digraph_to_string g) with
+  | Error e -> Alcotest.fail e
+  | Ok g' ->
+      check_bool "isolated node kept" true (Node.Set.mem 7 (Digraph.nodes g'))
+
+let test_instance_round_trip () =
+  let inst = Generators.sawtooth 8 in
+  match Serial.instance_of_string (Serial.instance_to_string inst) with
+  | Error e -> Alcotest.fail e
+  | Ok inst' ->
+      Alcotest.check digraph_testable "graph" inst.Generators.graph
+        inst'.Generators.graph;
+      check_int "destination" inst.Generators.destination
+        inst'.Generators.destination
+
+let test_comments_and_blanks () =
+  let src = "# a comment\n\n0 1\n  # indented comment\n1 2\n" in
+  match Serial.digraph_of_string src with
+  | Error e -> Alcotest.fail e
+  | Ok g -> check_int "two edges" 2 (Digraph.num_edges g)
+
+let test_parse_errors () =
+  let bad s = Result.is_error (Serial.digraph_of_string s) in
+  check_bool "garbage" true (bad "hello world extra\n");
+  check_bool "non-integers" true (bad "a b\n");
+  check_bool "self loop" true (bad "3 3\n")
+
+let test_instance_errors () =
+  check_bool "missing destination" true
+    (Result.is_error (Serial.instance_of_string "0 1\n"));
+  check_bool "two destinations" true
+    (Result.is_error (Serial.instance_of_string "destination 0\ndestination 1\n0 1\n"));
+  check_bool "destination not a node" true
+    (Result.is_error (Serial.instance_of_string "destination 9\n0 1\n"))
+
+let test_file_round_trip () =
+  let path = Filename.temp_file "linkrev" ".graph" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let inst = Generators.bad_chain 6 in
+      Serial.save_instance path inst;
+      match Serial.load_instance path with
+      | Error e -> Alcotest.fail e
+      | Ok inst' ->
+          Alcotest.check digraph_testable "graph" inst.Generators.graph
+            inst'.Generators.graph)
+
+let test_load_missing_file () =
+  check_bool "missing file is an Error" true
+    (Result.is_error (Serial.load_instance "/nonexistent/path.graph"))
+
+let () =
+  Alcotest.run "serial"
+    [
+      suite "serial"
+        [
+          case "digraph round trip" test_digraph_round_trip;
+          case "isolated nodes survive" test_isolated_nodes_survive;
+          case "instance round trip" test_instance_round_trip;
+          case "comments and blank lines" test_comments_and_blanks;
+          case "parse errors" test_parse_errors;
+          case "instance validation" test_instance_errors;
+          case "file round trip" test_file_round_trip;
+          case "missing files reported" test_load_missing_file;
+        ];
+    ]

@@ -1,0 +1,113 @@
+open Helpers
+module A = Lr_automata
+
+(* A counts by 1, B counts by 1 too; relation: equal values.  Each A
+   step corresponds to exactly one B step. *)
+let counter name limit =
+  A.Automaton.make ~name ~initial:0
+    ~enabled:(fun s -> if s < limit then [ `Inc ] else [])
+    ~step:(fun s `Inc -> s + 1)
+    ()
+
+(* B counts by 1 but A counts by 2: each A step needs two B steps. *)
+let double_counter limit =
+  A.Automaton.make ~name:"double" ~initial:0
+    ~enabled:(fun s -> if s < limit then [ `Inc2 ] else [])
+    ~step:(fun s `Inc2 -> s + 2)
+    ()
+
+let eq_rel a b = if a = b then Ok () else Error "values differ"
+
+let test_guided_one_to_one () =
+  let a = counter "A" 5 in
+  let exec = A.Execution.run ~scheduler:(A.Scheduler.first ()) a in
+  let guided =
+    {
+      A.Simulation.name = "id";
+      relation = eq_rel;
+      initial_b = 0;
+      correspond = (fun _ `Inc _ -> [ `Inc ]);
+    }
+  in
+  match A.Simulation.check_guided ~b:(counter "B" 5) guided exec with
+  | Error e -> Alcotest.fail e
+  | Ok exec_b -> check_int "matching length" 5 (A.Execution.length exec_b)
+
+let test_guided_one_to_two () =
+  let exec = A.Execution.run ~scheduler:(A.Scheduler.first ()) (double_counter 6) in
+  let guided =
+    {
+      A.Simulation.name = "double";
+      relation = eq_rel;
+      initial_b = 0;
+      correspond = (fun _ `Inc2 _ -> [ `Inc; `Inc ]);
+    }
+  in
+  match A.Simulation.check_guided ~b:(counter "B" 6) guided exec with
+  | Error e -> Alcotest.fail e
+  | Ok exec_b -> check_int "two B steps per A step" 6 (A.Execution.length exec_b)
+
+let test_guided_detects_broken_relation () =
+  let exec = A.Execution.run ~scheduler:(A.Scheduler.first ()) (counter "A" 3) in
+  let broken =
+    {
+      A.Simulation.name = "broken";
+      relation = eq_rel;
+      initial_b = 0;
+      correspond = (fun _ `Inc _ -> []);  (* B never moves *)
+    }
+  in
+  match A.Simulation.check_guided ~b:(counter "B" 3) broken exec with
+  | Error msg -> check_bool "mentions step" true (String.contains msg '1')
+  | Ok _ -> Alcotest.fail "must detect the broken correspondence"
+
+let test_guided_detects_disabled_action () =
+  let exec = A.Execution.run ~scheduler:(A.Scheduler.first ()) (counter "A" 3) in
+  let stuck =
+    {
+      A.Simulation.name = "stuck";
+      relation = (fun _ _ -> Ok ());
+      initial_b = 0;
+      correspond = (fun _ `Inc _ -> [ `Inc; `Inc ]);  (* overruns B's limit *)
+    }
+  in
+  match A.Simulation.check_guided ~b:(counter "B" 2) stuck exec with
+  | Error msg -> check_bool "reports disabled" true (String.length msg > 0)
+  | Ok _ -> Alcotest.fail "B's action must become disabled"
+
+let test_searched_finds_path () =
+  let exec = A.Execution.run ~scheduler:(A.Scheduler.first ()) (double_counter 6) in
+  match
+    A.Simulation.check_searched ~b:(counter "B" 6) ~name:"search"
+      ~relation:(fun a b -> a = b)
+      ~initial_b:0 ~max_depth:3 ~key:string_of_int exec
+  with
+  | Error e -> Alcotest.fail e
+  | Ok exec_b -> check_int "found" 6 (A.Execution.length exec_b)
+
+let test_searched_depth_limit () =
+  let exec = A.Execution.run ~scheduler:(A.Scheduler.first ()) (double_counter 6) in
+  match
+    A.Simulation.check_searched ~b:(counter "B" 6) ~name:"search"
+      ~relation:(fun a b -> a = b)
+      ~initial_b:0 ~max_depth:1 ~key:string_of_int exec
+  with
+  | Error msg -> check_bool "depth exceeded" true (String.length msg > 0)
+  | Ok _ -> Alcotest.fail "depth 1 cannot match a two-step jump"
+
+let () =
+  Alcotest.run "simulation"
+    [
+      suite "guided"
+        [
+          case "one-to-one correspondence" test_guided_one_to_one;
+          case "one-to-two correspondence" test_guided_one_to_two;
+          case "broken relation detected" test_guided_detects_broken_relation;
+          case "disabled B action detected" test_guided_detects_disabled_action;
+        ];
+      suite "searched"
+        [
+          case "finds multi-step matches" test_searched_finds_path;
+          case "respects the depth bound" test_searched_depth_limit;
+        ];
+    ]

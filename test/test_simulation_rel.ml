@@ -1,0 +1,188 @@
+open Lr_graph
+open Linkrev
+open Helpers
+module A = Lr_automata
+
+let schedulers seed =
+  [
+    ("first", A.Scheduler.first ());
+    ("last", A.Scheduler.last ());
+    ("random", A.Scheduler.random (rng seed));
+  ]
+
+let test_r_prime_on_random () =
+  (* Lemma 5.1 / Theorem 5.2 along whole executions, including
+     concurrent reverse(S) steps. *)
+  for seed = 0 to 9 do
+    let config = random_config ~seed 12 in
+    List.iter
+      (fun (name, sched) ->
+        match Simulation_rel.check_r_prime ~scheduler:sched config with
+        | Ok _ -> ()
+        | Error e -> Alcotest.failf "R' failed under %s: %s" name e)
+      (schedulers seed)
+  done
+
+let test_r_prime_counts_steps () =
+  (* A reverse(S) step corresponds to exactly |S| OneStepPR steps. *)
+  let config = sawtooth 11 in
+  let exec_a =
+    run_random ~seed:2 (Pr.automaton ~mode:Pr.Singletons_and_max config)
+  in
+  let expected =
+    List.fold_left
+      (fun acc { A.Execution.action = Pr.Reverse set; _ } ->
+        acc + Node.Set.cardinal set)
+      0 exec_a.A.Execution.steps
+  in
+  match
+    A.Simulation.check_guided ~b:(One_step_pr.automaton config)
+      (Simulation_rel.r_prime config) exec_a
+  with
+  | Error e -> Alcotest.fail e
+  | Ok exec_b -> check_int "|S| steps each" expected (A.Execution.length exec_b)
+
+let test_r_on_random () =
+  for seed = 0 to 9 do
+    let config = random_config ~seed 12 in
+    List.iter
+      (fun (name, sched) ->
+        match Simulation_rel.check_r ~scheduler:sched config with
+        | Ok _ -> ()
+        | Error e -> Alcotest.failf "R failed under %s: %s" name e)
+      (schedulers seed)
+  done
+
+let test_r_uses_dummy_steps () =
+  (* Lemma 5.3's two-step case: a full list induces a dummy NewPR step
+     followed by a real one, so the NewPR execution is strictly longer
+     on graphs with initial sinks/sources that step twice. *)
+  let config =
+    Config.make_exn (Digraph.of_directed_edges [ (0, 1); (2, 1) ]) ~destination:0
+  in
+  let exec_a =
+    A.Execution.run ~scheduler:(A.Scheduler.first ()) (One_step_pr.automaton config)
+  in
+  match
+    A.Simulation.check_guided ~b:(New_pr.automaton config)
+      (Simulation_rel.r config) exec_a
+  with
+  | Error e -> Alcotest.fail e
+  | Ok exec_b ->
+      check_bool "NewPR needed extra dummy steps" true
+        (A.Execution.length exec_b > A.Execution.length exec_a)
+
+let test_r_composed_on_random () =
+  for seed = 0 to 9 do
+    let config = random_config ~seed 12 in
+    match
+      Simulation_rel.check_r_composed
+        ~scheduler:(A.Scheduler.random (rng seed))
+        config
+    with
+    | Ok _ -> ()
+    | Error e -> Alcotest.failf "composed failed: %s" e
+  done
+
+let test_r_reverse_on_random () =
+  (* The paper's future-work direction. *)
+  for seed = 0 to 9 do
+    let config = random_config ~seed 12 in
+    List.iter
+      (fun (name, sched) ->
+        match Simulation_rel.check_r_reverse ~scheduler:sched config with
+        | Ok _ -> ()
+        | Error e -> Alcotest.failf "reverse failed under %s: %s" name e)
+      (schedulers seed)
+  done
+
+let test_r_reverse_dummy_maps_to_empty () =
+  (* NewPR dummy steps correspond to zero OneStepPR steps, so the
+     OneStepPR execution is the shorter one. *)
+  let config =
+    Config.make_exn (Digraph.of_directed_edges [ (0, 1); (2, 1) ]) ~destination:0
+  in
+  let exec_a =
+    A.Execution.run ~scheduler:(A.Scheduler.first ()) (New_pr.automaton config)
+  in
+  match
+    A.Simulation.check_guided ~b:(One_step_pr.automaton config)
+      (Simulation_rel.r_reverse config) exec_a
+  with
+  | Error e -> Alcotest.fail e
+  | Ok exec_b ->
+      check_bool "dummy steps dropped" true
+        (A.Execution.length exec_b < A.Execution.length exec_a)
+
+let test_relations_preserve_graphs () =
+  (* The defining guarantee: both executions end with the same oriented
+     graph. *)
+  for seed = 0 to 9 do
+    let config = random_config ~seed 10 in
+    let exec_a =
+      run_random ~seed (Pr.automaton ~mode:Pr.Singletons_and_max config)
+    in
+    (match
+       A.Simulation.check_guided ~b:(New_pr.automaton config)
+         (Simulation_rel.r_composed config) exec_a
+     with
+    | Error e -> Alcotest.fail e
+    | Ok exec_b ->
+        let final_a = (A.Execution.final exec_a).Pr.graph in
+        let final_b = (A.Execution.final exec_b).New_pr.graph in
+        Alcotest.check digraph_testable "same final graph" final_a final_b)
+  done
+
+let test_graphs_equal_helper () =
+  let g1 = Digraph.of_directed_edges [ (0, 1) ] in
+  let g2 = Digraph.of_directed_edges [ (1, 0) ] in
+  check_bool "equal" true (Result.is_ok (Simulation_rel.graphs_equal g1 g1));
+  check_bool "different" true (Result.is_error (Simulation_rel.graphs_equal g1 g2))
+
+let test_named_families () =
+  List.iter
+    (fun config ->
+      (match Simulation_rel.check_r_prime ~scheduler:(A.Scheduler.first ()) config with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "R': %s" e);
+      (match Simulation_rel.check_r ~scheduler:(A.Scheduler.first ()) config with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "R: %s" e);
+      match Simulation_rel.check_r_reverse ~scheduler:(A.Scheduler.first ()) config with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "R-reverse: %s" e)
+    [
+      diamond ();
+      bad_chain 9;
+      sawtooth 10;
+      Config.of_instance (Generators.grid ~rows:3 ~cols:3);
+      Config.of_instance (Generators.star ~center:0 ~leaves:5 ~inward:false);
+      Config.of_instance (Generators.half_bad_chain 9);
+    ]
+
+let () =
+  Alcotest.run "simulation_rel"
+    [
+      suite "r_prime"
+        [
+          case "PR -> OneStepPR on random configs" test_r_prime_on_random;
+          case "reverse(S) expands to |S| steps" test_r_prime_counts_steps;
+        ];
+      suite "r"
+        [
+          case "OneStepPR -> NewPR on random configs" test_r_on_random;
+          case "full lists expand to dummy + real step" test_r_uses_dummy_steps;
+        ];
+      suite "composition"
+        [
+          case "PR -> NewPR composed" test_r_composed_on_random;
+          case "final graphs coincide" test_relations_preserve_graphs;
+          case "graphs_equal" test_graphs_equal_helper;
+        ];
+      suite "future work"
+        [
+          case "NewPR -> OneStepPR on random configs" test_r_reverse_on_random;
+          case "dummy steps map to empty sequences" test_r_reverse_dummy_maps_to_empty;
+          case "all relations on named families" test_named_families;
+        ];
+    ]

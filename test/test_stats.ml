@@ -1,0 +1,75 @@
+open Helpers
+module S = Lr_analysis.Stats
+
+let feq = Alcotest.(check (float 1e-9))
+
+let test_mean () =
+  feq "mean" 2.0 (S.mean [ 1.0; 2.0; 3.0 ]);
+  feq "empty" 0.0 (S.mean [])
+
+let test_stddev () =
+  feq "constant" 0.0 (S.stddev [ 4.0; 4.0; 4.0 ]);
+  feq "singleton" 0.0 (S.stddev [ 7.0 ]);
+  feq "alternating" 1.0 (S.stddev [ 1.0; 3.0; 1.0; 3.0; 1.0; 3.0 ])
+
+let test_stddev_known_value () =
+  (* population stddev of [2;4;4;4;5;5;7;9] is 2 *)
+  feq "classic example" 2.0 (S.stddev [ 2.; 4.; 4.; 4.; 5.; 5.; 7.; 9. ])
+
+let test_median () =
+  feq "odd count" 3.0 (S.median [ 5.0; 1.0; 3.0 ]);
+  feq "nearest-rank even" 2.0 (S.median [ 1.0; 2.0; 3.0; 4.0 ])
+
+let test_percentile () =
+  let xs = List.init 100 (fun i -> float_of_int (i + 1)) in
+  feq "p50" 50.0 (S.percentile 50.0 xs);
+  feq "p99" 99.0 (S.percentile 99.0 xs);
+  feq "p100" 100.0 (S.percentile 100.0 xs);
+  feq "p0 clamps" 1.0 (S.percentile 0.0 xs)
+
+let test_min_max () =
+  feq "min" 1.0 (S.minimum [ 3.0; 1.0; 2.0 ]);
+  feq "max" 3.0 (S.maximum [ 3.0; 1.0; 2.0 ])
+
+let test_linear_fit () =
+  let slope, intercept = S.linear_fit [ (0.0, 1.0); (1.0, 3.0); (2.0, 5.0) ] in
+  feq "slope" 2.0 slope;
+  feq "intercept" 1.0 intercept
+
+let test_linear_fit_rejects_degenerate () =
+  check_bool "one point" true
+    (try ignore (S.linear_fit [ (1.0, 1.0) ]); false
+     with Invalid_argument _ -> true);
+  check_bool "zero variance" true
+    (try ignore (S.linear_fit [ (1.0, 1.0); (1.0, 2.0) ]); false
+     with Invalid_argument _ -> true)
+
+let test_growth_exponent () =
+  (* y = 3 x^2 exactly -> exponent 2 *)
+  let quad = List.map (fun x -> (x, 3.0 *. x *. x)) [ 2.0; 4.0; 8.0; 16.0 ] in
+  feq "quadratic" 2.0 (S.growth_exponent quad);
+  let lin = List.map (fun x -> (x, 5.0 *. x)) [ 2.0; 4.0; 8.0 ] in
+  feq "linear" 1.0 (S.growth_exponent lin)
+
+let test_growth_exponent_drops_nonpositive () =
+  let pts = (0.0, 0.0) :: List.map (fun x -> (x, x *. x)) [ 2.0; 4.0; 8.0 ] in
+  feq "ignores zero point" 2.0 (S.growth_exponent pts)
+
+let () =
+  Alcotest.run "stats"
+    [
+      suite "stats"
+        [
+          case "mean" test_mean;
+          case "stddev" test_stddev;
+          case "stddev known value" test_stddev_known_value;
+          case "median" test_median;
+          case "percentile (nearest rank)" test_percentile;
+          case "min/max" test_min_max;
+          case "linear fit" test_linear_fit;
+          case "linear fit rejects degenerate input" test_linear_fit_rejects_degenerate;
+          case "growth exponent" test_growth_exponent;
+          case "growth exponent drops non-positive points"
+            test_growth_exponent_drops_nonpositive;
+        ];
+    ]

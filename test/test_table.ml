@@ -1,0 +1,58 @@
+open Helpers
+module T = Lr_analysis.Table
+
+let sample () =
+  T.make ~headers:[ "name"; "value" ] [ [ "alpha"; "1" ]; [ "b"; "22" ] ]
+
+let contains ~sub s =
+  let n = String.length s and m = String.length sub in
+  let rec loop i = i + m <= n && (String.sub s i m = sub || loop (i + 1)) in
+  m = 0 || loop 0
+
+let test_make_validates_width () =
+  check_bool "short row rejected" true
+    (try ignore (T.make ~headers:[ "a"; "b" ] [ [ "x" ] ]); false
+     with Invalid_argument _ -> true)
+
+let test_render_contains_cells () =
+  let s = T.render (sample ()) in
+  check_bool "header" true (contains ~sub:"name" s);
+  check_bool "cell" true (contains ~sub:"alpha" s);
+  check_bool "separators" true (contains ~sub:"+" s)
+
+let test_render_alignment () =
+  (* all lines have equal width *)
+  let lines =
+    String.split_on_char '\n' (T.render (sample ()))
+    |> List.filter (fun l -> l <> "")
+  in
+  let widths = List.map String.length lines in
+  check_int "uniform width" 1 (List.length (List.sort_uniq compare widths))
+
+let test_csv () =
+  let csv = T.to_csv (sample ()) in
+  Alcotest.(check string) "csv" "name,value\nalpha,1\nb,22\n" csv
+
+let test_csv_escaping () =
+  let t = T.make ~headers:[ "x" ] [ [ "a,b" ]; [ "q\"uote" ] ] in
+  let csv = T.to_csv t in
+  check_bool "comma quoted" true (contains ~sub:"\"a,b\"" csv);
+  check_bool "quote doubled" true (contains ~sub:"\"q\"\"uote\"" csv)
+
+let test_empty_rows () =
+  let t = T.make ~headers:[ "only" ] [] in
+  check_bool "renders" true (String.length (T.render t) > 0)
+
+let () =
+  Alcotest.run "table"
+    [
+      suite "table"
+        [
+          case "row width validated" test_make_validates_width;
+          case "render contains all cells" test_render_contains_cells;
+          case "render lines align" test_render_alignment;
+          case "csv output" test_csv;
+          case "csv escaping" test_csv_escaping;
+          case "empty tables render" test_empty_rows;
+        ];
+    ]

@@ -1,0 +1,70 @@
+open Linkrev
+open Helpers
+module T = Theorems
+
+let expect_ok label = function
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "%s: %s" label e
+
+let families () =
+  [
+    diamond ();
+    bad_chain 10;
+    sawtooth 10;
+    Config.of_instance (Lr_graph.Generators.grid ~rows:3 ~cols:3);
+    Config.of_instance (Lr_graph.Generators.binary_tree ~depth:3);
+    Config.of_instance (Lr_graph.Generators.half_bad_chain 9);
+    Config.of_instance (Lr_graph.Generators.star ~center:0 ~leaves:6 ~inward:false);
+  ]
+
+let on_all check label =
+  List.iter (fun config -> expect_ok label (check config)) (families ());
+  for seed = 0 to 9 do
+    expect_ok label (check (random_config ~seed 15))
+  done
+
+let test_confluence () = on_all (T.confluence ~seed:1) "confluence"
+
+let test_schedule_independence () =
+  on_all (T.schedule_independent_work ~seed:2) "schedule independence"
+
+let test_good_nodes () =
+  on_all (T.good_nodes_never_reverse ~seed:3) "good nodes"
+
+let test_bound () =
+  on_all (T.termination_upper_bound ~seed:4) "quadratic envelope"
+
+let test_quiescence () =
+  on_all (T.quiescence_is_destination_orientation ~seed:5) "quiescence"
+
+let test_all_bundle () =
+  List.iter
+    (fun (label, result) -> expect_ok label result)
+    (T.all (random_config ~seed:11 12))
+
+let test_bound_is_tight_enough_to_mean_something () =
+  (* The envelope must be in the right ballpark: the sawtooth hits a
+     constant fraction of it. *)
+  let config = sawtooth 20 in
+  let nb = Lr_graph.Node.Set.cardinal (Config.bad_nodes config) in
+  let out = Lr_analysis.Work.run_one Lr_analysis.Work.PR config in
+  let envelope = 2 * nb * (nb + 1) in
+  check_bool "within envelope" true (out.Executor.total_node_steps <= envelope);
+  check_bool "at least 10% of envelope" true
+    (10 * out.Executor.total_node_steps >= envelope)
+
+let () =
+  Alcotest.run "theorems"
+    [
+      suite "theorems"
+        [
+          case "confluence (unique final graph)" test_confluence;
+          case "schedule-independent work" test_schedule_independence;
+          case "good nodes never reverse" test_good_nodes;
+          case "quadratic work envelope" test_bound;
+          case "quiescence = orientation" test_quiescence;
+          case "bundled checks" test_all_bundle;
+          case "the envelope is meaningfully tight"
+            test_bound_is_tight_enough_to_mean_something;
+        ];
+    ]

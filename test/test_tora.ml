@@ -1,0 +1,156 @@
+open Lr_graph
+open Helpers
+module T = Lr_routing.Tora
+
+let make ?(n = 20) ?(extra = 20) ?(seed = 0) () =
+  T.create (random_config ~extra_edges:extra ~seed n)
+
+let test_height_order () =
+  let lvl tau oid r = { T.tau; oid; reflected = r } in
+  let h ?(tau = 0) ?(oid = 0) ?(r = false) delta id =
+    T.Height { level = lvl tau oid r; delta; id }
+  in
+  check_bool "tau dominates" true (T.compare_height (h 9 9) (h ~tau:1 0 0) < 0);
+  check_bool "reflection raises" true
+    (T.compare_height (h ~r:false 9 9) (h ~r:true 0 0) < 0);
+  check_bool "delta orders within level" true (T.compare_height (h 1 9) (h 2 0) < 0);
+  check_bool "null is extremal" true (T.compare_height (h 0 0) T.Null < 0)
+
+let test_create_routes_everyone () =
+  let t = make () in
+  Alcotest.(check (float 1e-9)) "all routed" 1.0 (T.routed_fraction t);
+  check_bool "acyclic" true (T.acyclic t)
+
+let test_create_deltas_are_distances () =
+  let config = bad_chain 6 in
+  let t = T.create config in
+  for u = 0 to 5 do
+    match T.height t u with
+    | T.Height { delta; _ } -> check_int "delta = hops" u delta
+    | T.Null -> Alcotest.fail "chain is connected"
+  done
+
+let test_routes_descend () =
+  let t = make ~seed:3 () in
+  Node.Set.iter
+    (fun u ->
+      match T.route t u with
+      | None -> Alcotest.failf "no route from %d" u
+      | Some path ->
+          check_int "ends at destination" (T.destination t)
+            (List.nth path (List.length path - 1)))
+    (Undirected.nodes (T.skeleton t))
+
+let test_single_failure_repaired () =
+  (* In a 2-connected-ish graph a single link failure must be repaired
+     with routes restored for everyone. *)
+  let t = make ~extra:25 ~seed:5 () in
+  let e = Edge.Set.min_elt (Undirected.edges (T.skeleton t)) in
+  let u, v = Edge.endpoints e in
+  (match T.fail_link t u v with
+  | T.Maintained _ -> ()
+  | T.Partition_detected _ -> () (* possible if {u,v} was a bridge *));
+  check_bool "still acyclic" true (T.acyclic t)
+
+let test_failure_on_chain_partitions () =
+  (* Cutting a chain must fire case 4 (partition detection) for the
+     side away from the destination. *)
+  let t = T.create (bad_chain 6) in
+  match T.fail_link t 2 3 with
+  | T.Partition_detected { cleared; _ } ->
+      check_node_set "nodes 3..5 cleared" (Node.Set.of_list [ 3; 4; 5 ]) cleared;
+      List.iter
+        (fun u -> check_bool "cleared to Null" true (T.height t u = T.Null))
+        [ 3; 4; 5 ];
+      check_bool "destination side still routed" true (T.has_route t 2)
+  | T.Maintained _ -> Alcotest.fail "expected partition detection"
+
+let test_reconnect_after_partition () =
+  let t = T.create (bad_chain 6) in
+  (match T.fail_link t 2 3 with
+  | T.Partition_detected _ -> ()
+  | T.Maintained _ -> Alcotest.fail "expected partition");
+  (match T.add_link t 0 4 with _ -> ());
+  Alcotest.(check (float 1e-9)) "everyone routed again" 1.0 (T.routed_fraction t);
+  check_bool "acyclic" true (T.acyclic t)
+
+let test_reference_levels_created () =
+  (* A repairable failure must make at least one node leave the zero
+     reference level (case 1 fires at the failure point). *)
+  let config =
+    Linkrev.Config.make_exn
+      (Digraph.of_directed_edges
+         [ (1, 0); (2, 1); (3, 2); (3, 4); (4, 0) ])
+      ~destination:0
+  in
+  let t = T.create config in
+  match T.fail_link t 1 0 with
+  | T.Maintained { reactions } ->
+      check_bool "some reactions" true (reactions > 0);
+      check_bool "node 1 re-routed via 2..4" true (T.has_route t 1);
+      let nonzero_level =
+        List.exists
+          (fun u ->
+            match T.height t u with
+            | T.Height { level; _ } -> level.T.tau > 0
+            | T.Null -> false)
+          [ 1; 2; 3 ]
+      in
+      check_bool "a new reference level exists" true nonzero_level
+  | T.Partition_detected _ -> Alcotest.fail "graph remains connected"
+
+let test_churn_keeps_safety () =
+  let t = make ~n:25 ~extra:25 ~seed:9 () in
+  let r = rng 123 in
+  for _ = 1 to 60 do
+    let edges = Edge.Set.elements (Undirected.edges (T.skeleton t)) in
+    if edges <> [] then begin
+      let e = List.nth edges (Random.State.int r (List.length edges)) in
+      let u, v = Edge.endpoints e in
+      (match T.fail_link t u v with
+      | T.Maintained _ -> ()
+      | T.Partition_detected { cleared; _ } ->
+          (* heal with a fresh link into the cleared region *)
+          (match Node.Set.choose_opt cleared with
+          | Some w when not (Undirected.mem_edge (T.skeleton t) w (T.destination t))
+            ->
+              ignore (T.add_link t w (T.destination t))
+          | _ -> ()));
+      check_bool "acyclic through churn" true (T.acyclic t)
+    end
+  done
+
+let test_fail_absent_link_rejected () =
+  let t = T.create (diamond ()) in
+  check_bool "raises" true
+    (try ignore (T.fail_link t 1 2); false with Invalid_argument _ -> true)
+
+let test_add_existing_link_rejected () =
+  let t = T.create (diamond ()) in
+  check_bool "raises" true
+    (try ignore (T.add_link t 0 1); false with Invalid_argument _ -> true)
+
+let test_pp_height () =
+  let s = Format.asprintf "%a" T.pp_height T.Null in
+  Alcotest.(check string) "null" "null" s
+
+let () =
+  Alcotest.run "tora"
+    [
+      suite "tora"
+        [
+          case "height ordering" test_height_order;
+          case "creation routes everyone" test_create_routes_everyone;
+          case "creation deltas are hop counts" test_create_deltas_are_distances;
+          case "routes descend to the destination" test_routes_descend;
+          case "single failures repaired" test_single_failure_repaired;
+          case "bridge failure detected as partition"
+            test_failure_on_chain_partitions;
+          case "reconnection restores routes" test_reconnect_after_partition;
+          case "failures spawn reference levels" test_reference_levels_created;
+          case "safety under churn" test_churn_keeps_safety;
+          case "absent links rejected" test_fail_absent_link_rejected;
+          case "duplicate links rejected" test_add_existing_link_rejected;
+          case "height printing" test_pp_height;
+        ];
+    ]

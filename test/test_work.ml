@@ -1,0 +1,94 @@
+open Lr_graph
+open Helpers
+module W = Lr_analysis.Work
+
+let test_run_one_terminates () =
+  let config = bad_chain 8 in
+  List.iter
+    (fun algo ->
+      let out = W.run_one algo config in
+      check_bool (W.algorithm_name algo ^ " quiescent") true
+        out.Linkrev.Executor.quiescent;
+      check_bool (W.algorithm_name algo ^ " oriented") true
+        out.Linkrev.Executor.destination_oriented)
+    [ W.FR; W.PR; W.NewPR; W.FR_heights; W.PR_heights ]
+
+let test_sweep_rows () =
+  let rows =
+    W.sweep W.PR ~family:Generators.bad_chain ~sizes:[ 4; 8; 16 ] ()
+  in
+  check_int "three rows" 3 (List.length rows);
+  List.iter
+    (fun r ->
+      check_int "bad = n-1" (r.W.n - 1) r.W.bad;
+      check_bool "ok" true (r.W.quiescent && r.W.oriented))
+    rows
+
+let test_fr_quadratic_on_bad_chain () =
+  let rows =
+    W.sweep W.FR ~family:Generators.bad_chain ~sizes:[ 8; 16; 32; 64 ] ()
+  in
+  let e = W.exponent rows in
+  check_bool (Printf.sprintf "exponent ~2 (got %.2f)" e) true
+    (e > 1.8 && e < 2.2)
+
+let test_pr_linear_on_bad_chain () =
+  let rows =
+    W.sweep W.PR ~family:Generators.bad_chain ~sizes:[ 8; 16; 32; 64 ] ()
+  in
+  let e = W.exponent rows in
+  check_bool (Printf.sprintf "exponent ~1 (got %.2f)" e) true
+    (e > 0.8 && e < 1.2)
+
+let test_pr_quadratic_on_sawtooth () =
+  let rows =
+    W.sweep W.PR ~family:Generators.sawtooth ~sizes:[ 8; 16; 32; 64 ] ()
+  in
+  let e = W.exponent rows in
+  check_bool (Printf.sprintf "exponent ~2 (got %.2f)" e) true
+    (e > 1.8 && e < 2.2)
+
+let test_heights_match_direct_work () =
+  (* FR and FR-heights (resp. PR and PR-heights) do identical work. *)
+  List.iter
+    (fun n ->
+      let w algo =
+        match W.sweep algo ~family:Generators.sawtooth ~sizes:[ n ] () with
+        | [ r ] -> r.W.work
+        | _ -> Alcotest.fail "one row"
+      in
+      check_int "PR = PR-heights" (w W.PR) (w W.PR_heights);
+      check_int "FR = FR-heights" (w W.FR) (w W.FR_heights))
+    [ 6; 10; 14 ]
+
+let test_rows_to_table () =
+  let rows = W.sweep W.PR ~family:Generators.bad_chain ~sizes:[ 4 ] () in
+  let t = W.rows_to_table W.PR rows in
+  check_bool "renders" true (String.length (Lr_analysis.Table.render t) > 0)
+
+let test_newpr_work_at_least_pr () =
+  List.iter
+    (fun n ->
+      let w algo =
+        match W.sweep algo ~family:Generators.sawtooth ~sizes:[ n ] () with
+        | [ r ] -> r.W.work
+        | _ -> Alcotest.fail "one row"
+      in
+      check_bool "NewPR >= PR (dummy steps)" true (w W.NewPR >= w W.PR))
+    [ 6; 10; 14 ]
+
+let () =
+  Alcotest.run "work"
+    [
+      suite "work"
+        [
+          case "every algorithm terminates oriented" test_run_one_terminates;
+          case "sweep produces rows" test_sweep_rows;
+          case "FR is quadratic on the bad chain" test_fr_quadratic_on_bad_chain;
+          case "PR is linear on the bad chain" test_pr_linear_on_bad_chain;
+          case "PR is quadratic on the sawtooth" test_pr_quadratic_on_sawtooth;
+          case "height variants match exactly" test_heights_match_direct_work;
+          case "NewPR pays dummy-step overhead" test_newpr_work_at_least_pr;
+          case "rows_to_table" test_rows_to_table;
+        ];
+    ]
