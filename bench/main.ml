@@ -8,13 +8,19 @@
 
    Run everything:      dune exec bench/main.exe
    Run one experiment:  dune exec bench/main.exe -- t1
-   (ids: t1 t2 t3 t4 t5 f1 f2 f3 f4 f5 f6 f7 f8 micro)                              *)
+   (ids: t1 t2 t3 t4 t5 f1 f2 f3 f4 f5 f6 f7 f8 f9 parallel micro)
+
+   --jobs N (or -j N) runs the trial loops on an N-domain pool; trial
+   results are identical for every N (deterministic per-trial seeding).  *)
 
 open Lr_graph
 open Linkrev
 module A = Lr_automata
 module W = Lr_analysis.Work
 module T = Lr_analysis.Table
+module P = Lr_parallel.Pool
+
+let jobs = ref 1
 
 let section id title =
   Printf.printf "\n################ %s — %s ################\n\n" id title
@@ -28,58 +34,75 @@ let random_config ~seed n =
 (* ------------------------------------------------------------------ *)
 (* D-T1: acyclicity (Theorems 4.3 / 5.5) over many random executions. *)
 
+let t1_automata_states config seed =
+  [
+    ( "PR",
+      List.map
+        (fun (s : Pr.state) -> s.Pr.graph)
+        (A.Execution.states
+           (A.Execution.run
+              ~scheduler:(A.Scheduler.random (rng seed))
+              (Pr.automaton ~mode:Pr.Singletons_and_max config))) );
+    ( "OneStepPR",
+      List.map
+        (fun (s : Pr.state) -> s.Pr.graph)
+        (A.Execution.states
+           (A.Execution.run
+              ~scheduler:(A.Scheduler.random (rng (seed + 1)))
+              (One_step_pr.automaton config))) );
+    ( "NewPR",
+      List.map
+        (fun (s : New_pr.state) -> s.New_pr.graph)
+        (A.Execution.states
+           (A.Execution.run
+              ~scheduler:(A.Scheduler.random (rng (seed + 2)))
+              (New_pr.automaton config))) );
+    ( "FR",
+      List.map
+        (fun (s : Full_reversal.state) -> s.Full_reversal.graph)
+        (A.Execution.states
+           (A.Execution.run
+              ~scheduler:(A.Scheduler.random (rng (seed + 3)))
+              (Full_reversal.automaton config))) );
+  ]
+
+let t1_sizes = [ 10; 25; 50; 100; 200 ]
+
+let t1_trials =
+  Array.of_list
+    (List.concat_map
+       (fun n -> List.init 10 (fun seed -> (n, seed)))
+       t1_sizes)
+
+(* One self-contained trial: everything (instance, schedulers) is
+   derived from the trial's (n, seed), so the pool can run trials in
+   any interleaving without changing a single count. *)
+let t1_trial (n, seed) =
+  let config = random_config ~seed:(seed + (1000 * n)) n in
+  List.map
+    (fun (name, graphs) ->
+      let cyclic =
+        List.fold_left
+          (fun acc g -> if Digraph.is_acyclic g then acc else acc + 1)
+          0 graphs
+      in
+      (name, List.length graphs, cyclic))
+    (t1_automata_states config seed)
+
+let t1_run ~jobs =
+  P.map_range ~jobs (Array.length t1_trials) (fun i -> t1_trial t1_trials.(i))
+
 let t1 () =
   section "D-T1" "acyclicity in every observed state (Thm 4.3 / 5.5)";
-  let automata_states config seed =
-    [
-      ( "PR",
-        List.map
-          (fun (s : Pr.state) -> s.Pr.graph)
-          (A.Execution.states
-             (A.Execution.run
-                ~scheduler:(A.Scheduler.random (rng seed))
-                (Pr.automaton ~mode:Pr.Singletons_and_max config))) );
-      ( "OneStepPR",
-        List.map
-          (fun (s : Pr.state) -> s.Pr.graph)
-          (A.Execution.states
-             (A.Execution.run
-                ~scheduler:(A.Scheduler.random (rng (seed + 1)))
-                (One_step_pr.automaton config))) );
-      ( "NewPR",
-        List.map
-          (fun (s : New_pr.state) -> s.New_pr.graph)
-          (A.Execution.states
-             (A.Execution.run
-                ~scheduler:(A.Scheduler.random (rng (seed + 2)))
-                (New_pr.automaton config))) );
-      ( "FR",
-        List.map
-          (fun (s : Full_reversal.state) -> s.Full_reversal.graph)
-          (A.Execution.states
-             (A.Execution.run
-                ~scheduler:(A.Scheduler.random (rng (seed + 3)))
-                (Full_reversal.automaton config))) );
-    ]
-  in
+  let per_trial = t1_run ~jobs:!jobs in
   let totals = Hashtbl.create 8 in
   let violations = ref 0 in
-  let sizes = [ 10; 25; 50; 100; 200 ] in
-  List.iter
-    (fun n ->
-      for seed = 0 to 9 do
-        let config = random_config ~seed:(seed + (1000 * n)) n in
-        List.iter
-          (fun (name, graphs) ->
-            List.iter
-              (fun g ->
-                let k = Hashtbl.find_opt totals name |> Option.value ~default:0 in
-                Hashtbl.replace totals name (k + 1);
-                if not (Digraph.is_acyclic g) then incr violations)
-              graphs)
-          (automata_states config seed)
-      done)
-    sizes;
+  Array.iter
+    (List.iter (fun (name, states, cyclic) ->
+         let k = Hashtbl.find_opt totals name |> Option.value ~default:0 in
+         Hashtbl.replace totals name (k + states);
+         violations := !violations + cyclic))
+    per_trial;
   let rows =
     [ "PR"; "OneStepPR"; "NewPR"; "FR" ]
     |> List.map (fun name ->
@@ -275,11 +298,22 @@ let t5 () =
 (* ------------------------------------------------------------------ *)
 (* D-F1: the Θ(n_b²) worst case, for FR and PR on their bad families. *)
 
+let f1_sizes = [ 8; 16; 32; 64; 128; 256 ]
+
+(* The three D-F1 sweeps as one flat row list — deterministic families,
+   so the pool and the sequential loop must agree exactly. *)
+let f1_run ~jobs =
+  [
+    W.sweep ~jobs W.FR ~family:Generators.bad_chain ~sizes:f1_sizes ();
+    W.sweep ~jobs W.PR ~family:Generators.sawtooth ~sizes:f1_sizes ();
+    W.sweep ~jobs W.PR ~family:Generators.bad_chain ~sizes:f1_sizes ();
+  ]
+
 let f1 () =
   section "D-F1" "worst-case work: Theta(nb^2) for both FR and PR (cited bound)";
-  let sizes = [ 8; 16; 32; 64; 128; 256 ] in
+  let sizes = f1_sizes in
   let run algo family name expected =
-    let rows = W.sweep algo ~family ~sizes () in
+    let rows = W.sweep ~jobs:!jobs algo ~family ~sizes () in
     T.print ~title:(Printf.sprintf "%s on %s" (W.algorithm_name algo) name)
       (W.rows_to_table algo rows);
     Printf.printf "growth exponent: %.2f (%s)\n\n" (W.exponent rows) expected
@@ -702,45 +736,146 @@ let f8 () =
 (* D-F9: scale — the array engine on large instances. *)
 
 let f9 () =
-  section "D-F9" "scale: the array engine (lr_fast) on large instances";
+  section "D-F9" "scale: the array engines (lr_fast) on large instances";
   let module F = Lr_fast.Fast_engine in
+  let module FN = Lr_fast.Fast_new_pr in
   let time f =
     let t0 = Sys.time () in
     let r = f () in
     (r, Sys.time () -. t0)
   in
+  let pr rule inst () =
+    let engine, t_build = time (fun () -> F.create inst) in
+    let out, t_run = time (fun () -> F.run rule engine) in
+    (out, t_build, t_run)
+  in
+  let newpr inst () =
+    let engine, t_build = time (fun () -> FN.create inst) in
+    let out, t_run = time (fun () -> FN.run engine) in
+    (out, t_build, t_run)
+  in
   let rows =
     List.map
-      (fun (name, rule, inst) ->
-        let engine, t_build = time (fun () -> F.create inst) in
-        let out, t_run = time (fun () -> F.run rule engine) in
+      (fun (name, inst, runner) ->
+        let (out : Lr_fast.Fast_outcome.t), t_build, t_run = runner () in
         [
           name;
           string_of_int (Lr_graph.Digraph.num_nodes inst.Generators.graph);
-          string_of_int out.F.work;
-          string_of_bool (out.F.quiescent && out.F.destination_oriented);
+          string_of_int out.work;
+          string_of_bool (out.quiescent && out.destination_oriented);
           Printf.sprintf "%.0f ms" (1000.0 *. (t_build +. t_run));
-          (if out.F.work = 0 then "-"
-           else Printf.sprintf "%.0f ns" (1e9 *. t_run /. float_of_int out.F.work));
+          (if out.work = 0 then "-"
+           else Printf.sprintf "%.0f ns" (1e9 *. t_run /. float_of_int out.work));
         ])
-      [
-        ("PR sawtooth 2k (10^6 steps)", F.Partial, Generators.sawtooth 2_000);
-        ("PR sawtooth 6k (9*10^6 steps)", F.Partial, Generators.sawtooth 6_000);
-        ("FR bad chain 4k (8*10^6 steps)", F.Full, Generators.bad_chain 4_000);
-        ( "PR random 100k nodes",
-          F.Partial,
-          Generators.random_connected_dag (rng 3) ~n:100_000 ~extra_edges:50_000 );
-        ( "PR unit disk 20k nodes",
-          F.Partial,
-          Generators.unit_disk (rng 4) ~n:20_000 ~radius:0.02 );
-      ]
+      (let saw2k = Generators.sawtooth 2_000 in
+       let saw6k = Generators.sawtooth 6_000 in
+       let chain4k = Generators.bad_chain 4_000 in
+       let rand100k =
+         Generators.random_connected_dag (rng 3) ~n:100_000 ~extra_edges:50_000
+       in
+       let disk20k = Generators.unit_disk (rng 4) ~n:20_000 ~radius:0.02 in
+       [
+         ("PR sawtooth 2k (10^6 steps)", saw2k, pr F.Partial saw2k);
+         ("PR sawtooth 6k (9*10^6 steps)", saw6k, pr F.Partial saw6k);
+         ("FR bad chain 4k (8*10^6 steps)", chain4k, pr F.Full chain4k);
+         ("PR random 100k nodes", rand100k, pr F.Partial rand100k);
+         ("PR unit disk 20k nodes", disk20k, pr F.Partial disk20k);
+         ("NewPR sawtooth 6k", saw6k, newpr saw6k);
+         ("NewPR bad chain 4k", chain4k, newpr chain4k);
+         ("NewPR random 100k nodes", rand100k, newpr rand100k);
+       ])
   in
-  T.print ~title:"array engine: work, wall time, cost per reversal"
+  T.print ~title:"array engines: work, wall time, cost per reversal"
     (T.make
        ~headers:[ "instance"; "nodes"; "work"; "correct"; "time"; "per step" ]
        rows);
   Printf.printf
-    "note: the engine is differentially tested against the persistent automata\n(same work, same per-node counts, same final graph) in test_fast_engine.ml.\n"
+    "note: both engines are differentially tested against the persistent automata\n(same work, same per-node counts, same final graph) in test_fast_engine.ml\nand test_fast_new_pr.ml.\n"
+
+(* ------------------------------------------------------------------ *)
+(* D-P1: the domain pool — speedup and scheduling-independence. *)
+
+type parallel_result = {
+  id : string;
+  trials : int;
+  seq_seconds : float;
+  par_seconds : float;
+  identical : bool;
+}
+
+let write_parallel_json ~file ~par_jobs results =
+  let oc = open_out file in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      Printf.fprintf oc
+        "{\n  \"generated_by\": \"bench/main.exe parallel\",\n\
+        \  \"jobs\": %d,\n\
+        \  \"recommended_domains\": %d,\n\
+        \  \"experiments\": [\n" par_jobs
+        (P.recommended_jobs ());
+      List.iteri
+        (fun i r ->
+          Printf.fprintf oc
+            "    {\"id\": %S, \"trials\": %d, \"seq_seconds\": %.4f, \
+             \"par_seconds\": %.4f, \"speedup\": %.2f, \
+             \"identical_outcomes\": %b}%s\n"
+            r.id r.trials r.seq_seconds r.par_seconds
+            (r.seq_seconds /. Float.max 1e-9 r.par_seconds)
+            r.identical
+            (if i = List.length results - 1 then "" else ","))
+        results;
+      Printf.fprintf oc "  ]\n}\n")
+
+let parallel () =
+  section "D-P1" "domain pool: wall-clock speedup with identical per-seed outcomes";
+  let par_jobs = if !jobs > 1 then !jobs else P.recommended_jobs () in
+  let measure id trials run =
+    (* sequential first so the parallel pass runs against a warm heap *)
+    let seq_out, seq_seconds = P.timed (fun () -> run ~jobs:1) in
+    let par_out, par_seconds = P.timed (fun () -> run ~jobs:par_jobs) in
+    { id; trials; seq_seconds; par_seconds; identical = seq_out = par_out }
+  in
+  let results =
+    [
+      measure "D-T1 trial sweep (50 random-DAG acyclicity trials)"
+        (Array.length t1_trials)
+        (fun ~jobs -> `T1 (t1_run ~jobs));
+      measure "D-F1 work sweeps (FR/PR on bad chain and sawtooth)"
+        (3 * List.length f1_sizes)
+        (fun ~jobs -> `F1 (f1_run ~jobs));
+    ]
+  in
+  T.print
+    ~title:
+      (Printf.sprintf "sequential vs %d-domain pool (host reports %d domains)"
+         par_jobs (P.recommended_jobs ()))
+    (T.make
+       ~headers:
+         [ "experiment"; "trials"; "jobs=1"; Printf.sprintf "jobs=%d" par_jobs;
+           "speedup"; "identical outcomes" ]
+       (List.map
+          (fun r ->
+            [
+              r.id;
+              string_of_int r.trials;
+              Printf.sprintf "%.3f s" r.seq_seconds;
+              Printf.sprintf "%.3f s" r.par_seconds;
+              Printf.sprintf "%.2fx" (r.seq_seconds /. Float.max 1e-9 r.par_seconds);
+              string_of_bool r.identical;
+            ])
+          results));
+  let file = "BENCH_parallel.json" in
+  write_parallel_json ~file ~par_jobs results;
+  Printf.printf "wrote %s\n" file;
+  if List.exists (fun r -> not r.identical) results then begin
+    Printf.printf "FAILURE: pool and sequential outcomes differ\n";
+    exit 1
+  end;
+  if P.recommended_jobs () = 1 then
+    Printf.printf
+      "note: this host exposes a single domain; speedup ~1.0x is expected here\n\
+       and the pool only shows its >= 2x gain on multicore hardware.\n"
 
 (* ------------------------------------------------------------------ *)
 (* D-B1: Bechamel micro-benchmarks. *)
@@ -824,12 +959,36 @@ let experiments =
     ("t1", t1); ("t2", t2); ("t3", t3); ("t4", t4); ("t5", t5);
     ("f1", f1); ("f2", f2); ("f3", f3); ("f4", f4); ("f5", f5);
     ("f6", f6); ("f7", f7); ("f8", f8); ("f9", f9);
-    ("micro", micro);
+    ("parallel", parallel); ("micro", micro);
   ]
 
+(* Strip --jobs N / -j N / --jobs=N; everything else is an experiment id. *)
+let parse_args argv =
+  let set_jobs v =
+    match int_of_string_opt v with
+    | Some j when j >= 1 -> jobs := j
+    | _ ->
+        Printf.eprintf "--jobs expects a positive integer, got %S\n" v;
+        exit 1
+  in
+  let rec loop acc = function
+    | [] -> List.rev acc
+    | ("--jobs" | "-j") :: v :: rest ->
+        set_jobs v;
+        loop acc rest
+    | [ ("--jobs" | "-j") ] ->
+        Printf.eprintf "--jobs expects a value\n";
+        exit 1
+    | arg :: rest when String.length arg > 7 && String.sub arg 0 7 = "--jobs=" ->
+        set_jobs (String.sub arg 7 (String.length arg - 7));
+        loop acc rest
+    | arg :: rest -> loop (arg :: acc) rest
+  in
+  loop [] (List.tl (Array.to_list argv))
+
 let () =
-  match Array.to_list Sys.argv with
-  | _ :: ((_ :: _) as picked) ->
+  match parse_args Sys.argv with
+  | _ :: _ as picked ->
       List.iter
         (fun id ->
           match List.assoc_opt id experiments with
@@ -839,4 +998,4 @@ let () =
                 (String.concat ", " (List.map fst experiments));
               exit 1)
         picked
-  | _ -> List.iter (fun (_, f) -> f ()) experiments
+  | [] -> List.iter (fun (_, f) -> f ()) experiments

@@ -56,6 +56,14 @@ let n_arg =
 let seed_arg =
   Arg.(value & opt int 0 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
 
+let jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:
+          "Run independent work items on $(docv) domains \
+           (Lr_parallel.Pool; results are identical for every N).")
+
 let algo_arg =
   Arg.(
     value
@@ -162,15 +170,17 @@ let sweep_cmd =
       & opt (some string) None
       & info [ "csv" ] ~docv:"FILE" ~doc:"Also write the rows as CSV to $(docv).")
   in
-  let sweep family sizes seed algo csv =
-    let rng = Random.State.make [| 0xc11; seed |] in
+  let sweep family sizes seed algo csv jobs =
+    (* one RNG per size, derived from (seed, n): domain-safe under the
+       pool and reproducible whatever the job count *)
     let family_fn n =
+      let rng = Random.State.make [| 0xc11; seed; n |] in
       match family_of_string rng family n with
       | Ok inst -> inst
       | Error e -> failwith e
     in
     match
-      Lr_analysis.Work.sweep ~seed algo ~family:family_fn ~sizes ()
+      Lr_analysis.Work.sweep ~seed ~jobs algo ~family:family_fn ~sizes ()
     with
     | rows ->
         let table = Lr_analysis.Work.rows_to_table algo rows in
@@ -193,7 +203,10 @@ let sweep_cmd =
         `Ok ()
   in
   let term =
-    Term.(ret (const sweep $ family_arg $ sizes_arg $ seed_arg $ algo_arg $ csv_arg))
+    Term.(
+      ret
+        (const sweep $ family_arg $ sizes_arg $ seed_arg $ algo_arg $ csv_arg
+        $ jobs_arg))
   in
   Cmd.v (Cmd.info "sweep" ~doc:"Work scaling over a size sweep.") term
 
@@ -206,13 +219,21 @@ let check_cmd =
       & info [ "max-nodes" ] ~docv:"N"
           ~doc:"Model-check every connected DAG instance up to $(docv) nodes (4 is fast, 5 is slow).")
   in
-  let check max_nodes =
-    let fams = Lr_modelcheck.Modelcheck.exhaustive_families ~max_nodes in
-    Format.printf "model checking %d instances (<= %d nodes)...@."
-      (List.length fams) max_nodes;
+  let check max_nodes jobs =
+    let fams =
+      Array.of_list (Lr_modelcheck.Modelcheck.exhaustive_families ~max_nodes)
+    in
+    Format.printf "model checking %d instances (<= %d nodes, %d jobs)...@."
+      (Array.length fams) max_nodes jobs;
+    (* each instance's checks are independent: fan the instances out
+       over the pool, print in deterministic instance order after *)
+    let reports =
+      Lr_parallel.Pool.map_range ~jobs (Array.length fams) (fun i ->
+          Lr_modelcheck.Modelcheck.check_all fams.(i))
+    in
     let checks = ref 0 and violations = ref 0 in
-    List.iter
-      (fun config ->
+    Array.iteri
+      (fun i rs ->
         List.iter
           (fun r ->
             incr checks;
@@ -221,13 +242,13 @@ let check_cmd =
             | Some v ->
                 incr violations;
                 Format.printf "VIOLATION: %s — %s@.  on instance %a@."
-                  r.Lr_modelcheck.Modelcheck.automaton v Config.pp config)
-          (Lr_modelcheck.Modelcheck.check_all config))
-      fams;
+                  r.Lr_modelcheck.Modelcheck.automaton v Config.pp fams.(i))
+          rs)
+      reports;
     Format.printf "%d checks, %d violations@." !checks !violations;
     if !violations = 0 then `Ok () else `Error (false, "violations found")
   in
-  let term = Term.(ret (const check $ max_nodes_arg)) in
+  let term = Term.(ret (const check $ max_nodes_arg $ jobs_arg)) in
   Cmd.v
     (Cmd.info "check"
        ~doc:"Exhaustively verify the paper's invariants and theorems on small instances.")

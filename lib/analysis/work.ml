@@ -41,22 +41,25 @@ type row = {
   oriented : bool;
 }
 
-let sweep ?seed ?max_steps algorithm ~family ~sizes () =
-  List.map
-    (fun n ->
-      let inst = family n in
-      let config = Config.of_instance inst in
-      let out = run_one ?seed ?max_steps algorithm config in
-      {
-        n;
-        nodes = Node.Set.cardinal (Config.nodes config);
-        bad = Node.Set.cardinal (Config.bad_nodes config);
-        work = out.Executor.total_node_steps;
-        edge_reversals = out.Executor.edge_reversals;
-        quiescent = out.Executor.quiescent;
-        oriented = out.Executor.destination_oriented;
-      })
-    sizes
+let sweep ?seed ?max_steps ?(jobs = 1) algorithm ~family ~sizes () =
+  let sizes = Array.of_list sizes in
+  let one n =
+    let inst = family n in
+    let config = Config.of_instance inst in
+    let out = run_one ?seed ?max_steps algorithm config in
+    {
+      n;
+      nodes = Node.Set.cardinal (Config.nodes config);
+      bad = Node.Set.cardinal (Config.bad_nodes config);
+      work = out.Executor.total_node_steps;
+      edge_reversals = out.Executor.edge_reversals;
+      quiescent = out.Executor.quiescent;
+      oriented = out.Executor.destination_oriented;
+    }
+  in
+  Array.to_list
+    (Lr_parallel.Pool.map_range ~jobs (Array.length sizes) (fun i ->
+         one sizes.(i)))
 
 let exponent rows =
   rows

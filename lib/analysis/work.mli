@@ -30,11 +30,17 @@ type row = {
 val sweep :
   ?seed:int ->
   ?max_steps:int ->
+  ?jobs:int ->
   algorithm ->
   family:(int -> Generators.instance) ->
   sizes:int list ->
   unit ->
   row list
+(** With [jobs > 1] the sizes run on a domain pool
+    ({!Lr_parallel.Pool.map_range}); rows come back in size order
+    either way.  [family] must then be domain-safe: derive any
+    randomness from [n] and the seed, never from shared mutable
+    state. *)
 
 val exponent : row list -> float
 (** Growth exponent of [work] against [bad] (log-log slope); rows with

@@ -31,13 +31,12 @@ let make ~name ~initial ~enabled ~step ?is_enabled ?equal_state ?pp_state
 
 let quiescent t s = t.enabled s = []
 
-let reachable ?(max_states = 1_000_000) ~key t =
+let fold_reachable ?(max_states = 1_000_000) ~key t ~init ~f =
   let seen = Hashtbl.create 1024 in
-  let order = ref [] in
   let queue = Queue.create () in
   Hashtbl.replace seen (key t.initial) ();
   Queue.add t.initial queue;
-  order := [ t.initial ];
+  let acc = ref (f init t.initial) in
   let exception Too_many in
   try
     while not (Queue.is_empty queue) do
@@ -49,12 +48,19 @@ let reachable ?(max_states = 1_000_000) ~key t =
           if not (Hashtbl.mem seen k) then begin
             if Hashtbl.length seen >= max_states then raise Too_many;
             Hashtbl.replace seen k ();
-            order := s' :: !order;
+            acc := f !acc s';
             Queue.add s' queue
           end)
         (t.enabled s)
     done;
-    Ok (List.rev !order)
+    Ok !acc
   with Too_many ->
     Error
       (Printf.sprintf "%s: more than %d reachable states" t.name max_states)
+
+let iter_reachable ?max_states ~key t ~f =
+  fold_reachable ?max_states ~key t ~init:() ~f:(fun () s -> f s)
+
+let reachable ?max_states ~key t =
+  Result.map List.rev
+    (fold_reachable ?max_states ~key t ~init:[] ~f:(fun acc s -> s :: acc))

@@ -41,8 +41,31 @@ val make :
 val quiescent : ('s, 'a) t -> 's -> bool
 (** No action enabled. *)
 
+val fold_reachable :
+  ?max_states:int ->
+  key:('s -> 'k) ->
+  ('s, 'a) t ->
+  init:'b ->
+  f:('b -> 's -> 'b) ->
+  ('b, string) result
+(** Breadth-first fold over all reachable states in discovery order
+    (the initial state first), visiting each state exactly once.  [key]
+    maps a state to a canonical hash key: two states are revisited as
+    one iff their keys are equal — use {!Statekey.t} for an
+    allocation-light key, or any other hashable type.  States are
+    {e streamed}: nothing is accumulated beyond the visited-key set, so
+    exhaustive sweeps run in memory proportional to the key set, not
+    the state set.  [Error] when [max_states] (default [1_000_000]) is
+    exceeded. *)
+
+val iter_reachable :
+  ?max_states:int ->
+  key:('s -> 'k) ->
+  ('s, 'a) t ->
+  f:('s -> unit) ->
+  (unit, string) result
+
 val reachable :
-  ?max_states:int -> key:('s -> string) -> ('s, 'a) t -> ('s list, string) result
-(** Breadth-first enumeration of all reachable states, using [key] as a
-    canonical hash key.  [Error] when [max_states] (default [1_000_000])
-    is exceeded. *)
+  ?max_states:int -> key:('s -> 'k) -> ('s, 'a) t -> ('s list, string) result
+(** All reachable states as a list, in discovery order (convenience
+    wrapper over {!fold_reachable}; prefer the fold for large spaces). *)

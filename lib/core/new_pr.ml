@@ -48,6 +48,18 @@ let canonical_key s =
     s.counts;
   Buffer.contents buf
 
+let state_key s =
+  let b = Lr_automata.Statekey.builder () in
+  Lr_automata.Statekey.add_array b (Digraph.orientation_bits s.graph);
+  Node.Map.iter
+    (fun u c ->
+      if c <> 0 then begin
+        Lr_automata.Statekey.add b u;
+        Lr_automata.Statekey.add b c
+      end)
+    s.counts;
+  Lr_automata.Statekey.build b
+
 let pp_state ppf s =
   Format.fprintf ppf "@[<v>%a@,counts: %a@]" Digraph.pp s.graph
     (Node.Map.pp Format.pp_print_int)

@@ -38,5 +38,10 @@ val automaton : Config.t -> (state, action) Lr_automata.Automaton.t
 val algo : Config.t -> (state, action) Algo.t
 val equal_state : state -> state -> bool
 val canonical_key : state -> string
+
+val state_key : state -> Lr_automata.Statekey.t
+(** Hashed compact key (orientation bitset + non-zero counters); see
+    {!Pr.state_key}. *)
+
 val pp_state : Format.formatter -> state -> unit
 val pp_action : Format.formatter -> action -> unit

@@ -36,12 +36,18 @@ let is_enabled config s (Reverse set) =
   && (not (Node.Set.mem config.Config.destination set))
   && Node.Set.for_all (Digraph.is_sink s.graph) set
 
-(* All non-empty subsets of [set]. *)
+(* All non-empty subsets of [set], in no particular order (every caller
+   is order-insensitive).  Accumulator-front construction: each round
+   prepends the subsets gaining [u], so the whole enumeration is linear
+   in its 2^k - 1 output instead of quadratic from repeated append. *)
 let nonempty_subsets set =
   let elements = Node.Set.elements set in
   List.fold_left
     (fun acc u ->
-      acc @ List.map (Node.Set.add u) (Node.Set.empty :: acc))
+      List.fold_left
+        (fun out s -> Node.Set.add u s :: out)
+        acc
+        (Node.Set.empty :: acc))
     [] elements
 
 let enabled mode config s =
@@ -78,6 +84,19 @@ let canonical_key s =
       end)
     s.lists;
   Buffer.contents buf
+
+let state_key s =
+  let b = Lr_automata.Statekey.builder () in
+  Lr_automata.Statekey.add_array b (Digraph.orientation_bits s.graph);
+  Node.Map.iter
+    (fun u l ->
+      if not (Node.Set.is_empty l) then begin
+        Lr_automata.Statekey.add b u;
+        Lr_automata.Statekey.add b (Node.Set.cardinal l);
+        Node.Set.iter (Lr_automata.Statekey.add b) l
+      end)
+    s.lists;
+  Lr_automata.Statekey.build b
 
 let pp_state ppf s =
   Format.fprintf ppf "@[<v>%a@,lists: %a@]" Digraph.pp s.graph

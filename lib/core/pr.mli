@@ -43,5 +43,12 @@ val automaton :
 val algo : ?mode:mode -> Config.t -> (state, action) Algo.t
 val equal_state : state -> state -> bool
 val canonical_key : state -> string
+
+val state_key : state -> Lr_automata.Statekey.t
+(** Hashed compact key — orientation bitset plus the non-empty lists —
+    for model-checking frontiers.  Distinguishes states of one
+    automaton (fixed skeleton), like {!canonical_key}, without building
+    a string. *)
+
 val pp_state : Format.formatter -> state -> unit
 val pp_action : Format.formatter -> action -> unit

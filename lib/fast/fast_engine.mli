@@ -16,7 +16,7 @@ open Lr_graph
 
 type rule = Partial | Full
 
-type outcome = {
+type outcome = Fast_outcome.t = {
   work : int;  (** Total node steps. *)
   steps_per_node : int array;  (** Indexed by node id. *)
   edge_reversals : int;
@@ -32,6 +32,10 @@ val create : Generators.instance -> t
     {!Lr_graph.Generators} outputs, which satisfy this). *)
 
 val of_config : Linkrev.Config.t -> t
+
+val of_core : Fast_graph.t -> t
+(** A fresh engine over an already-built flat graph (shares the
+    immutable adjacency, copies the orientation). *)
 
 val run : ?max_steps:int -> rule -> t -> outcome
 (** Run to quiescence (default step bound [10_000_000]).  The engine is

@@ -1,0 +1,55 @@
+open Lr_graph
+
+type t = {
+  n : int;
+  destination : int;
+  nbrs : int array array;
+  mirror : int array array;
+  out0 : bool array array;
+}
+
+let of_instance inst =
+  let g = inst.Generators.graph in
+  let nodes = Digraph.nodes g in
+  let n = Node.Set.cardinal nodes in
+  if not (Node.Set.equal nodes (Node.Set.of_range 0 (n - 1))) then
+    invalid_arg "Fast_graph.of_instance: node ids must be 0..n-1";
+  let nbrs =
+    Array.init n (fun u ->
+        Array.of_list (Node.Set.elements (Digraph.neighbors g u)))
+  in
+  (* Mirror slots in one pass over all adjacency entries.  The rows are
+     sorted, so sweeping [u] upward visits the occurrences of [u] inside
+     each [nbrs.(w)] in row order: a per-node cursor is exactly the
+     index of [u] in [nbrs.(w)].  O(sum of degrees), where the old
+     per-pair linear scan was O(sum of degrees squared). *)
+  let mirror = Array.init n (fun u -> Array.make (Array.length nbrs.(u)) 0) in
+  let cursor = Array.make n 0 in
+  for u = 0 to n - 1 do
+    let row = nbrs.(u) in
+    for i = 0 to Array.length row - 1 do
+      let w = row.(i) in
+      mirror.(u).(i) <- cursor.(w);
+      cursor.(w) <- cursor.(w) + 1
+    done
+  done;
+  let out0 =
+    Array.init n (fun u ->
+        Array.map (fun w -> Digraph.dir g u w = Digraph.Out) nbrs.(u))
+  in
+  { n; destination = inst.Generators.destination; nbrs; mirror; out0 }
+
+let of_config config =
+  of_instance
+    {
+      Generators.graph = config.Linkrev.Config.initial;
+      destination = config.Linkrev.Config.destination;
+    }
+
+let degree t u = Array.length t.nbrs.(u)
+
+let initial_out t = Array.map Array.copy t.out0
+
+let initial_in_degree t =
+  Array.init t.n (fun u ->
+      Array.fold_left (fun acc o -> if o then acc else acc + 1) 0 t.out0.(u))

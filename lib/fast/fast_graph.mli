@@ -1,0 +1,35 @@
+(** Shared flat-array view of an instance, the common substrate of the
+    mutable engines ({!Fast_engine}, {!Fast_new_pr}).
+
+    Adjacency as int arrays, plus for every slot [(u, i)] the {e mirror}
+    slot: the index of [u] inside the adjacency row of its [i]-th
+    neighbour, so an edge flip updates both endpoints in O(1) without
+    any search.  [out0] is the initial orientation — engines copy it
+    and mutate the copy, so one [Fast_graph.t] can seed many runs. *)
+
+open Lr_graph
+
+type t = private {
+  n : int;
+  destination : int;
+  nbrs : int array array;  (** [nbrs.(u)] = neighbour ids, ascending. *)
+  mirror : int array array;
+      (** [mirror.(u).(i)] = index of [u] inside [nbrs.(w)] where
+          [w = nbrs.(u).(i)]. *)
+  out0 : bool array array;
+      (** Initial orientation: [out0.(u).(i)] iff the edge to
+          [nbrs.(u).(i)] starts outgoing at [u].  Do not mutate. *)
+}
+
+val of_instance : Generators.instance -> t
+(** Node ids must be [0 .. n-1]; @raise Invalid_argument otherwise
+    (use {!Lr_graph.Generators} outputs, which satisfy this). *)
+
+val of_config : Linkrev.Config.t -> t
+val degree : t -> int -> int
+
+val initial_out : t -> bool array array
+(** A fresh mutable copy of [out0]. *)
+
+val initial_in_degree : t -> int array
+(** Per-node initial in-degree, computed from [out0]. *)

@@ -1,7 +1,5 @@
 open Lr_graph
 
-type rule = Partial | Full
-
 type outcome = Fast_outcome.t = {
   work : int;
   steps_per_node : int array;
@@ -12,12 +10,12 @@ type outcome = Fast_outcome.t = {
 
 type t = {
   core : Fast_graph.t;
+  init_in_slots : int array array;
+      (** Per node, the slots of initially incoming edges — the even
+          reversal set. *)
+  init_out_slots : int array array;  (** The odd reversal set. *)
+  counts : int array;  (** NewPR's per-node step counter. *)
   out_ : bool array array;
-      (** [out_.(u).(i)]: edge to [core.nbrs.(u).(i)] currently
-          outgoing.  Invariant: [out_.(u).(i) = not
-          out_.(w).(mirror.(u).(i))]. *)
-  listed : bool array array;  (** PR's [list[u]] membership per slot. *)
-  list_count : int array;
   in_deg : int array;
   queued : bool array;
   queue : int Queue.t;
@@ -39,15 +37,31 @@ let enqueue_if_sink t u =
     Queue.add u t.queue
   end
 
+let slots_where core value =
+  Array.init core.Fast_graph.n (fun u ->
+      let row = core.Fast_graph.out0.(u) in
+      let k = ref 0 in
+      Array.iter (fun o -> if Bool.equal o value then incr k) row;
+      let slots = Array.make !k 0 in
+      let j = ref 0 in
+      Array.iteri
+        (fun i o ->
+          if Bool.equal o value then begin
+            slots.(!j) <- i;
+            incr j
+          end)
+        row;
+      slots)
+
 let of_core core =
   let n = core.Fast_graph.n in
   let t =
     {
       core;
+      init_in_slots = slots_where core false;
+      init_out_slots = slots_where core true;
+      counts = Array.make n 0;
       out_ = Fast_graph.initial_out core;
-      listed =
-        Array.init n (fun u -> Array.make (Fast_graph.degree core u) false);
-      list_count = Array.make n 0;
       in_deg = Fast_graph.initial_in_degree core;
       queued = Array.make n false;
       queue = Queue.create ();
@@ -63,8 +77,9 @@ let of_core core =
 
 let create inst = of_core (Fast_graph.of_instance inst)
 let of_config config = of_core (Fast_graph.of_config config)
+let count t u = t.counts.(u)
 
-(* Reverse slot [i] of node [u]: the edge becomes outgoing at [u]. *)
+(* Reverse slot [i] of sink [u]: the edge becomes outgoing at [u]. *)
 let flip t u i =
   let w = t.core.Fast_graph.nbrs.(u).(i) in
   let j = t.core.Fast_graph.mirror.(u).(i) in
@@ -73,35 +88,25 @@ let flip t u i =
   t.in_deg.(u) <- t.in_deg.(u) - 1;
   t.in_deg.(w) <- t.in_deg.(w) + 1;
   t.edge_reversals <- t.edge_reversals + 1;
-  (* the neighbour records the reversal in its list *)
-  if not t.listed.(w).(j) then begin
-    t.listed.(w).(j) <- true;
-    t.list_count.(w) <- t.list_count.(w) + 1
-  end;
   enqueue_if_sink t w
 
-let step rule t u =
-  let d = degree t u in
+(* Algorithm 2: a sink with even count reverses the edges to its
+   *initial* in-neighbours, with odd count its initial out-neighbours;
+   the counter always increments.  When the chosen slot set is empty
+   (initial sources on even parity, initial sinks on odd) this is a
+   dummy step: only the parity flips, and [u] remains a sink. *)
+let step t u =
   t.steps_per_node.(u) <- t.steps_per_node.(u) + 1;
   t.work <- t.work + 1;
-  (match rule with
-  | Full ->
-      for i = 0 to d - 1 do
-        flip t u i
-      done
-  | Partial ->
-      let full = t.list_count.(u) = d in
-      for i = 0 to d - 1 do
-        if full || not t.listed.(u).(i) then flip t u i
-      done);
-  (* empty list[u] *)
-  if t.list_count.(u) > 0 then begin
-    Array.fill t.listed.(u) 0 d false;
-    t.list_count.(u) <- 0
-  end
+  let slots =
+    if t.counts.(u) land 1 = 0 then t.init_in_slots.(u)
+    else t.init_out_slots.(u)
+  in
+  t.counts.(u) <- t.counts.(u) + 1;
+  (* [u] is a sink, so every chosen edge is currently incoming. *)
+  Array.iter (fun i -> flip t u i) slots
 
 let destination_oriented t =
-  (* BFS over incoming edges from the destination. *)
   let n = t.core.Fast_graph.n in
   let seen = Array.make n false in
   let q = Queue.create () in
@@ -112,7 +117,6 @@ let destination_oriented t =
     let u = Queue.pop q in
     Array.iteri
       (fun i w ->
-        (* edge points toward u iff it is incoming at u *)
         if (not t.out_.(u).(i)) && not seen.(w) then begin
           seen.(w) <- true;
           incr reached;
@@ -122,7 +126,7 @@ let destination_oriented t =
   done;
   !reached = n
 
-let run ?(max_steps = 10_000_000) rule t =
+let run ?(max_steps = 10_000_000) t =
   let budget = ref max_steps in
   let exhausted = ref false in
   let continue_ = ref true in
@@ -135,16 +139,14 @@ let run ?(max_steps = 10_000_000) rule t =
           if !budget = 0 then begin
             exhausted := true;
             continue_ := false;
-            (* put it back so a later run can resume *)
             t.queued.(u) <- true;
             Queue.add u t.queue
           end
           else begin
             decr budget;
-            step rule t u;
-            (* u may still be a sink only in the degenerate isolated
-               case, which is_sink excludes; neighbours were enqueued
-               by flip. *)
+            step t u;
+            (* after a dummy step [u] is still a sink and must run
+               again with the flipped parity *)
             enqueue_if_sink t u
           end
   done;

@@ -1,0 +1,46 @@
+(** A mutable, array-based engine for {!Linkrev.New_pr} — Algorithm 2,
+    the paper's static formulation of Partial Reversal.
+
+    Same construction as {!Fast_engine}, same allocation-free hot path:
+    adjacency, mirror slots and the current orientation live in flat
+    arrays, and the per-node initial in/out-neighbour sets are
+    precomputed as slot arrays so a reversal touches exactly the edges
+    it flips.  Dummy steps (initial sources at even parity, initial
+    sinks at odd) cost O(1): the counter increments and the node is
+    requeued.
+
+    Differentially tested against the persistent {!Linkrev.New_pr}
+    automaton — same total work, same per-node step counts, same final
+    orientation, acyclic at every observed state — in
+    [test_fast_new_pr.ml]. *)
+
+open Lr_graph
+
+type outcome = Fast_outcome.t = {
+  work : int;  (** Total node steps, dummy steps included. *)
+  steps_per_node : int array;  (** Indexed by node id. *)
+  edge_reversals : int;  (** Excludes dummy steps. *)
+  quiescent : bool;  (** False only when [max_steps] was hit. *)
+  destination_oriented : bool;
+}
+
+type t
+
+val create : Generators.instance -> t
+(** Node ids must be [0 .. n-1]; @raise Invalid_argument otherwise. *)
+
+val of_config : Linkrev.Config.t -> t
+
+val of_core : Fast_graph.t -> t
+(** A fresh engine over an already-built flat graph. *)
+
+val count : t -> int -> int
+(** NewPR's per-node counter in the current state. *)
+
+val run : ?max_steps:int -> t -> outcome
+(** Run to quiescence (default step bound [10_000_000]).  Re-running
+    continues from the final state, as in {!Fast_engine.run}. *)
+
+val to_digraph : t -> Digraph.t
+(** Snapshot of the current orientation (small instances; used by the
+    differential tests). *)

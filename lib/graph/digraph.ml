@@ -212,6 +212,21 @@ let compare g1 g2 =
 
 let equal g1 g2 = compare g1 g2 = 0
 
+let orientation_bits g =
+  let m = Edge.Map.cardinal g.orient in
+  let words = Array.make (((m + 62) / 63) + 1) 0 in
+  words.(0) <- m;
+  let i = ref 0 in
+  Edge.Map.iter
+    (fun _ toward_hi ->
+      if toward_hi then begin
+        let w = 1 + (!i / 63) in
+        words.(w) <- words.(w) lor (1 lsl (!i mod 63))
+      end;
+      incr i)
+    g.orient;
+  words
+
 let canonical_key g =
   let buf = Buffer.create 128 in
   Node.Set.iter (fun u -> Buffer.add_string buf (Printf.sprintf "n%d;" u))

@@ -112,4 +112,12 @@ val canonical_key : t -> string
 (** Deterministic key usable for hashing states in a model checker:
     equal graphs (same skeleton, same orientation) yield equal keys. *)
 
+val orientation_bits : t -> int array
+(** The orientation packed into a bitset, one bit per skeleton edge in
+    canonical (sorted) edge order, prefixed by the edge count.  Among
+    graphs sharing one skeleton — the only situation a link reversal
+    state space ever compares — equal bit arrays iff equal graphs.
+    A few machine words instead of a [canonical_key] string; the basis
+    of the model checker's hashed frontier keys. *)
+
 val pp : Format.formatter -> t -> unit

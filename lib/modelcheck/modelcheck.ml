@@ -16,8 +16,27 @@ let pp_report ppf r =
 
 let nodes_of config = Node.Set.cardinal (Config.nodes config)
 
+(* Stream the reachable set (hashed frontier keys, no state list): count
+   the states and remember the first invariant violation. *)
 let check_invariant_on_reachable ~max_states ~key aut inv config name =
-  match A.Automaton.reachable ~max_states ~key aut with
+  let check (count, violation) s =
+    let violation =
+      match violation with
+      | Some _ -> violation
+      | None -> (
+          match inv.A.Invariant.check s with
+          | Ok () -> None
+          | Error reason ->
+              Some
+                {
+                  A.Invariant.invariant = inv.A.Invariant.name;
+                  state_index = count;
+                  reason;
+                })
+    in
+    (count + 1, violation)
+  in
+  match A.Automaton.fold_reachable ~max_states ~key aut ~init:(0, None) ~f:check with
   | Error e ->
       {
         automaton = name;
@@ -25,38 +44,42 @@ let check_invariant_on_reachable ~max_states ~key aut inv config name =
         states = 0;
         violation = Some e;
       }
-  | Ok states ->
-      let violation =
-        Option.map
-          (fun v -> Format.asprintf "%a" A.Invariant.pp_violation v)
-          (A.Invariant.check_states inv states)
-      in
+  | Ok (states, violation) ->
       {
         automaton = name;
         instance_nodes = nodes_of config;
-        states = List.length states;
-        violation;
+        states;
+        violation =
+          Option.map
+            (fun v -> Format.asprintf "%a" A.Invariant.pp_violation v)
+            violation;
       }
 
 let check_pr_invariants ?(max_states = 500_000) config =
-  check_invariant_on_reachable ~max_states ~key:Pr.canonical_key
+  check_invariant_on_reachable ~max_states ~key:Pr.state_key
     (Pr.automaton ~mode:Pr.All_subsets config)
     (Invariants.pr_all config) config "PR invariants"
 
 let check_one_step_pr_invariants ?(max_states = 500_000) config =
-  check_invariant_on_reachable ~max_states ~key:Pr.canonical_key
+  check_invariant_on_reachable ~max_states ~key:Pr.state_key
     (One_step_pr.automaton config)
     (Invariants.pr_all config) config "OneStepPR invariants"
 
 let check_newpr_invariants ?(max_states = 500_000) config =
-  check_invariant_on_reachable ~max_states ~key:New_pr.canonical_key
+  check_invariant_on_reachable ~max_states ~key:New_pr.state_key
     (New_pr.automaton config)
     (Invariants.newpr_all config) config "NewPR invariants"
 
-(* For every reachable state of [aut_a], some enumerated state of
-   [aut_b] satisfies [related]. *)
-let check_existential ~max_states ~key_a ~key_b aut_a aut_b related config
-    name =
+(* For every reachable state of [aut_a], some reachable state of
+   [aut_b] satisfies [related].
+
+   Every relation checked here entails equal oriented graphs, so the
+   B side is indexed by its graph's orientation bitset ([bits_a]/
+   [bits_b] must be that projection): each A state only scans the B
+   states sharing its orientation — near-linear overall, where the old
+   version rescanned the whole B list per A state, O(|A|·|B|). *)
+let check_existential ~max_states ~key_a ~key_b ~bits_a ~bits_b aut_a aut_b
+    related config name =
   let fail violation =
     {
       automaton = name;
@@ -65,85 +88,104 @@ let check_existential ~max_states ~key_a ~key_b aut_a aut_b related config
       violation = Some violation;
     }
   in
-  match A.Automaton.reachable ~max_states ~key:key_a aut_a with
+  let index = Hashtbl.create 1024 in
+  let index_b () =
+    A.Automaton.iter_reachable ~max_states ~key:key_b aut_b ~f:(fun t ->
+        let bits = bits_b t in
+        Hashtbl.replace index bits
+          (t :: Option.value ~default:[] (Hashtbl.find_opt index bits)))
+  in
+  match index_b () with
   | Error e -> fail e
-  | Ok states_a -> (
-      match A.Automaton.reachable ~max_states ~key:key_b aut_b with
+  | Ok () -> (
+      let check (count, violation) s =
+        let violation =
+          match violation with
+          | Some _ -> violation
+          | None ->
+              let candidates =
+                Option.value ~default:[] (Hashtbl.find_opt index (bits_a s))
+              in
+              if List.exists (fun t -> related s t) candidates then None
+              else
+                Some
+                  (Format.asprintf "state %a has no related partner"
+                     aut_a.A.Automaton.pp_state s)
+        in
+        (count + 1, violation)
+      in
+      match
+        A.Automaton.fold_reachable ~max_states ~key:key_a aut_a ~init:(0, None)
+          ~f:check
+      with
       | Error e -> fail e
-      | Ok states_b ->
-          let violation =
-            List.find_map
-              (fun s ->
-                if List.exists (fun t -> related s t) states_b then None
-                else
-                  Some
-                    (Format.asprintf "state %s has no related partner"
-                       (key_a s)))
-              states_a
-          in
+      | Ok (states, violation) ->
           {
             automaton = name;
             instance_nodes = nodes_of config;
-            states = List.length states_a;
+            states;
             violation;
           })
 
+let pr_bits (s : Pr.state) = Digraph.orientation_bits s.Pr.graph
+let newpr_bits (t : New_pr.state) = Digraph.orientation_bits t.New_pr.graph
+
 let check_theorem_5_2 ?(max_states = 200_000) config =
-  check_existential ~max_states ~key_a:Pr.canonical_key
-    ~key_b:Pr.canonical_key
+  check_existential ~max_states ~key_a:Pr.state_key ~key_b:Pr.state_key
+    ~bits_a:pr_bits ~bits_b:pr_bits
     (Pr.automaton ~mode:Pr.All_subsets config)
     (One_step_pr.automaton config)
     (fun s t -> Result.is_ok ((Simulation_rel.r_prime config).relation s t))
     config "Theorem 5.2 (R' existence)"
 
 let check_theorem_5_4 ?(max_states = 200_000) config =
-  check_existential ~max_states ~key_a:Pr.canonical_key
-    ~key_b:New_pr.canonical_key
+  check_existential ~max_states ~key_a:Pr.state_key ~key_b:New_pr.state_key
+    ~bits_a:pr_bits ~bits_b:newpr_bits
     (One_step_pr.automaton config)
     (New_pr.automaton config)
     (fun s t -> Result.is_ok ((Simulation_rel.r config).relation s t))
     config "Theorem 5.4 (R existence)"
 
 let check_reverse_theorem ?(max_states = 200_000) config =
-  check_existential ~max_states ~key_a:New_pr.canonical_key
-    ~key_b:Pr.canonical_key
+  check_existential ~max_states ~key_a:New_pr.state_key ~key_b:Pr.state_key
+    ~bits_a:newpr_bits ~bits_b:pr_bits
     (New_pr.automaton config)
     (One_step_pr.automaton config)
     (fun t s -> Result.is_ok ((Simulation_rel.r_reverse config).relation t s))
     config "Reverse direction (future work)"
 
-(* Explicit state graph of an automaton: keys plus successor lists. *)
+(* Explicit state graph of an automaton: hashed keys plus successor
+   lists, streamed straight into the table. *)
 let state_graph ~max_states ~key (aut : ('s, 'a) A.Automaton.t) =
-  match A.Automaton.reachable ~max_states ~key aut with
+  let succs = A.Statekey.Table.create 1024 in
+  let record keys s =
+    let ks = key s in
+    let outs =
+      List.map (fun a -> key (aut.A.Automaton.step s a))
+        (aut.A.Automaton.enabled s)
+    in
+    A.Statekey.Table.replace succs ks (s, outs);
+    ks :: keys
+  in
+  match A.Automaton.fold_reachable ~max_states ~key aut ~init:[] ~f:record with
   | Error e -> Error e
-  | Ok states ->
-      let succs = Hashtbl.create (List.length states) in
-      List.iter
-        (fun s ->
-          let ks = key s in
-          let outs =
-            List.map (fun a -> key (aut.A.Automaton.step s a))
-              (aut.A.Automaton.enabled s)
-          in
-          Hashtbl.replace succs ks (s, outs))
-        states;
-      Ok (List.map key states, succs)
+  | Ok keys -> Ok (List.rev keys, succs)
 
 (* Longest path in a DAG of states; [None] when a cycle exists. *)
 let longest_path keys succs =
-  let memo = Hashtbl.create (List.length keys) in
+  let memo = A.Statekey.Table.create (List.length keys) in
   let exception Cycle in
   let rec depth k =
-    match Hashtbl.find_opt memo k with
+    match A.Statekey.Table.find_opt memo k with
     | Some `Visiting -> raise Cycle
     | Some (`Done d) -> d
     | None ->
-        Hashtbl.replace memo k `Visiting;
-        let _, outs = Hashtbl.find succs k in
+        A.Statekey.Table.replace memo k `Visiting;
+        let _, outs = A.Statekey.Table.find succs k in
         let d =
           List.fold_left (fun acc k' -> max acc (1 + depth k')) 0 outs
         in
-        Hashtbl.replace memo k (`Done d);
+        A.Statekey.Table.replace memo k (`Done d);
         d
   in
   try Some (List.fold_left (fun acc k -> max acc (depth k)) 0 keys)
@@ -160,7 +202,7 @@ let check_termination ?(max_states = 200_000) config =
     }
   in
   match
-    state_graph ~max_states ~key:Pr.canonical_key (One_step_pr.automaton config)
+    state_graph ~max_states ~key:Pr.state_key (One_step_pr.automaton config)
   with
   | Error e -> fail e
   | Ok (keys, succs) -> (
@@ -170,7 +212,7 @@ let check_termination ?(max_states = 200_000) config =
           let bad_terminal =
             List.find_opt
               (fun k ->
-                let (s : Pr.state), outs = Hashtbl.find succs k in
+                let (s : Pr.state), outs = A.Statekey.Table.find succs k in
                 outs = []
                 && not
                      (Lr_graph.Digraph.is_destination_oriented s.Pr.graph
@@ -183,7 +225,11 @@ let check_termination ?(max_states = 200_000) config =
             states = List.length keys;
             violation =
               Option.map
-                (fun k -> "terminal state not destination-oriented: " ^ k)
+                (fun k ->
+                  let s, _ = A.Statekey.Table.find succs k in
+                  Format.asprintf
+                    "terminal state not destination-oriented: %a" Pr.pp_state
+                    s)
                 bad_terminal;
           })
 
@@ -196,21 +242,16 @@ type space_stats = {
 let state_space_stats ?(max_states = 200_000) config =
   let ( let* ) = Result.bind in
   let* keys, succs =
-    state_graph ~max_states ~key:Pr.canonical_key (One_step_pr.automaton config)
+    state_graph ~max_states ~key:Pr.state_key (One_step_pr.automaton config)
   in
   let* longest =
     Option.to_result ~none:"cyclic state graph" (longest_path keys succs)
   in
-  let* newpr =
-    A.Automaton.reachable ~max_states ~key:New_pr.canonical_key
-      (New_pr.automaton config)
+  let* newpr_states =
+    A.Automaton.fold_reachable ~max_states ~key:New_pr.state_key
+      (New_pr.automaton config) ~init:0 ~f:(fun n _ -> n + 1)
   in
-  Ok
-    {
-      pr_states = List.length keys;
-      newpr_states = List.length newpr;
-      longest_execution = longest;
-    }
+  Ok { pr_states = List.length keys; newpr_states; longest_execution = longest }
 
 let check_all ?max_states config =
   [

@@ -5,7 +5,13 @@
     to ~5 nodes the reachable state spaces of PR, OneStepPR and NewPR
     are small enough to enumerate outright, so the invariants and the
     existential halves of Theorems 5.2 / 5.4 can be checked exactly
-    rather than sampled. *)
+    rather than sampled.
+
+    Enumeration streams states through {!Lr_automata.Automaton.fold_reachable}
+    with hashed {!Lr_automata.Statekey} frontiers (no string keys, no
+    materialized state lists), and the existential checks index the B
+    side by orientation bitset, so each A state scans only the B states
+    sharing its oriented graph. *)
 
 type report = {
   automaton : string;

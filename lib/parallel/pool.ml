@@ -1,0 +1,63 @@
+let recommended_jobs () = max 1 (Domain.recommended_domain_count ())
+
+let trial_rng trial = Random.State.make [| 0x70a1; trial |]
+
+(* Chunked work-stealing over [0, n): workers race on an atomic cursor
+   and claim [chunk] indices at a time.  Each result lands in its own
+   slot of a shared array, so the output is identical whatever the
+   interleaving — determinism comes from indexing, not scheduling. *)
+let map_range ?chunk ~jobs n f =
+  if n < 0 then invalid_arg "Pool.map_range: negative range";
+  let jobs = max 1 (min jobs n) in
+  if jobs <= 1 then Array.init n f
+  else begin
+    let chunk =
+      match chunk with
+      | Some c when c > 0 -> c
+      | Some _ -> invalid_arg "Pool.map_range: chunk must be positive"
+      | None -> max 1 (n / (jobs * 8))
+    in
+    let results = Array.make n None in
+    let cursor = Atomic.make 0 in
+    let failure = Atomic.make None in
+    let worker () =
+      let continue_ = ref true in
+      while !continue_ do
+        let lo = Atomic.fetch_and_add cursor chunk in
+        if lo >= n || Atomic.get failure <> None then continue_ := false
+        else
+          let hi = min n (lo + chunk) in
+          try
+            for i = lo to hi - 1 do
+              results.(i) <- Some (f i)
+            done
+          with e ->
+            let bt = Printexc.get_raw_backtrace () in
+            ignore (Atomic.compare_and_set failure None (Some (e, bt)));
+            continue_ := false
+      done
+    in
+    let domains = List.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    List.iter Domain.join domains;
+    (match Atomic.get failure with
+    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+    | None -> ());
+    Array.map
+      (function
+        | Some v -> v
+        | None ->
+            (* unreachable: every index below the cursor was written *)
+            assert false)
+      results
+  end
+
+let run_trials ?chunk ~jobs ~trials f =
+  Array.to_list
+    (map_range ?chunk ~jobs trials (fun trial ->
+         f ~trial ~rng:(trial_rng trial)))
+
+let timed f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)

@@ -1,0 +1,47 @@
+(** Domain-parallel trial running (OCaml 5 multicore).
+
+    The experiment suite is embarrassingly parallel: hundreds of
+    independent trials, each deriving everything it needs — instance,
+    scheduler, RNG — from its own index.  This pool spreads such index
+    ranges over a fixed set of {!Domain}s with chunked work-stealing,
+    and guarantees {e scheduling-independent results}: outputs are
+    written to per-index slots and per-trial RNGs are seeded from the
+    trial index alone, so [jobs = 1] and [jobs = 64] produce identical
+    values in identical order.
+
+    Trial functions must be self-contained: build state from the index
+    (or the provided RNG), share nothing mutable, and in particular
+    never touch the global [Random] state. *)
+
+val recommended_jobs : unit -> int
+(** [Domain.recommended_domain_count], floored at 1. *)
+
+val map_range : ?chunk:int -> jobs:int -> int -> (int -> 'a) -> 'a array
+(** [map_range ~jobs n f] is [[| f 0; ...; f (n-1) |]], computed by
+    [jobs] domains (the caller participates; [jobs - 1] are spawned).
+    [chunk] is the number of consecutive indices a worker claims at a
+    time (default [n / (jobs * 8)], floored at 1); larger chunks
+    amortize cursor contention, smaller chunks balance ragged trial
+    times.  If any [f i] raises, the first exception observed is
+    re-raised in the caller after all workers stop.
+    @raise Invalid_argument on a negative [n] or non-positive chunk. *)
+
+val run_trials :
+  ?chunk:int ->
+  jobs:int ->
+  trials:int ->
+  (trial:int -> rng:Random.State.t -> 'a) ->
+  'a list
+(** [run_trials ~jobs ~trials f] maps [f] over trial indices
+    [0 .. trials-1], handing each trial a private RNG deterministically
+    seeded from its index ({!trial_rng}); results in trial order. *)
+
+val trial_rng : int -> Random.State.t
+(** The per-trial RNG [run_trials] provides: seeded from the trial
+    index only, hence reproducible across runs, job counts and
+    scheduling orders. *)
+
+val timed : (unit -> 'a) -> 'a * float
+(** Result plus wall-clock seconds ([Unix.gettimeofday], not
+    [Sys.time]: CPU time aggregates across domains and would hide any
+    parallel speedup). *)

@@ -1,0 +1,104 @@
+open Helpers
+module P = Lr_parallel.Pool
+
+let int_array = Alcotest.(array int)
+
+let test_map_range_matches_sequential () =
+  List.iter
+    (fun n ->
+      let expected = Array.init n (fun i -> (i * 37) - (i mod 5)) in
+      List.iter
+        (fun jobs ->
+          Alcotest.check int_array
+            (Printf.sprintf "n=%d jobs=%d" n jobs)
+            expected
+            (P.map_range ~jobs n (fun i -> (i * 37) - (i mod 5))))
+        [ 1; 2; 3; 8 ])
+    [ 0; 1; 7; 100; 1000 ]
+
+let test_map_range_chunk_sizes () =
+  let expected = Array.init 100 succ in
+  List.iter
+    (fun chunk ->
+      Alcotest.check int_array
+        (Printf.sprintf "chunk=%d" chunk)
+        expected
+        (P.map_range ~chunk ~jobs:4 100 succ))
+    [ 1; 3; 64; 1000 ]
+
+let test_map_range_propagates_exceptions () =
+  check_bool "raises" true
+    (try
+       ignore
+         (P.map_range ~jobs:4 100 (fun i ->
+              if i = 57 then failwith "trial 57 exploded" else i));
+       false
+     with Failure m -> String.equal m "trial 57 exploded")
+
+let test_map_range_rejects_bad_args () =
+  check_bool "negative n raises" true
+    (try ignore (P.map_range ~jobs:2 (-1) Fun.id); false
+     with Invalid_argument _ -> true);
+  check_bool "zero chunk raises" true
+    (try ignore (P.map_range ~chunk:0 ~jobs:2 10 Fun.id); false
+     with Invalid_argument _ -> true)
+
+(* The pool's contract: per-trial RNGs are seeded from the trial index
+   alone, so outputs cannot depend on the worker interleaving. *)
+let test_run_trials_deterministic () =
+  let trial ~trial ~rng =
+    List.init (1 + (trial mod 4)) (fun _ -> Random.State.int rng 1_000_000)
+  in
+  let seq = P.run_trials ~jobs:1 ~trials:40 trial in
+  List.iter
+    (fun jobs ->
+      check_bool
+        (Printf.sprintf "jobs=%d equals jobs=1" jobs)
+        true
+        (seq = P.run_trials ~jobs ~trials:40 trial))
+    [ 2; 4; 8 ]
+
+(* A realistic trial: run the PR engine on a random instance derived
+   from the trial index, compare pooled vs sequential sweeps. *)
+let test_run_trials_engine_workload () =
+  let module F = Lr_fast.Fast_engine in
+  let trial ~trial ~rng:_ =
+    let config = random_config ~seed:trial 24 in
+    let out = F.run F.Partial (F.of_config config) in
+    (out.F.work, out.F.edge_reversals, out.F.destination_oriented)
+  in
+  let seq = P.run_trials ~jobs:1 ~trials:12 trial in
+  let par = P.run_trials ~jobs:3 ~trials:12 trial in
+  check_bool "identical per-seed outcomes" true (seq = par);
+  check_int "all trials ran" 12 (List.length seq)
+
+let test_trial_rng_reproducible () =
+  let a = Random.State.int (P.trial_rng 5) 1_000_000 in
+  let b = Random.State.int (P.trial_rng 5) 1_000_000 in
+  let c = Random.State.int (P.trial_rng 6) 1_000_000 in
+  check_int "same trial, same stream" a b;
+  check_bool "different trials differ" true (a <> c)
+
+let test_recommended_jobs_positive () =
+  check_bool "at least one domain" true (P.recommended_jobs () >= 1)
+
+let () =
+  Alcotest.run "pool"
+    [
+      suite "map_range"
+        [
+          case "matches sequential for all job counts"
+            test_map_range_matches_sequential;
+          case "chunk size does not affect results" test_map_range_chunk_sizes;
+          case "worker exceptions propagate" test_map_range_propagates_exceptions;
+          case "bad arguments rejected" test_map_range_rejects_bad_args;
+        ];
+      suite "run_trials"
+        [
+          case "deterministic across job counts" test_run_trials_deterministic;
+          case "engine workload pooled = sequential"
+            test_run_trials_engine_workload;
+          case "trial rng reproducible" test_trial_rng_reproducible;
+          case "recommended_jobs >= 1" test_recommended_jobs_positive;
+        ];
+    ]
