@@ -8,10 +8,12 @@
 
    Run everything:      dune exec bench/main.exe
    Run one experiment:  dune exec bench/main.exe -- t1
-   (ids: t1 t2 t3 t4 t5 f1 f2 f3 f4 f5 f6 f7 f8 f9 parallel micro)
+   (ids: t1 t2 t3 t4 t5 f1 f2 f3 f4 f5 f6 f7 f8 f9 parallel trace micro)
 
    --jobs N (or -j N) runs the trial loops on an N-domain pool; trial
-   results are identical for every N (deterministic per-trial seeding).  *)
+   results are identical for every N (deterministic per-trial seeding).
+   --trials N truncates the trial loops of t1/f1/parallel/trace so a CI
+   smoke run finishes in seconds.  *)
 
 open Lr_graph
 open Linkrev
@@ -21,6 +23,10 @@ module T = Lr_analysis.Table
 module P = Lr_parallel.Pool
 
 let jobs = ref 1
+
+(* --trials N truncates the trial loops of t1/f1/parallel/trace so CI
+   smoke runs finish in seconds; 0 (the default) = full scale. *)
+let trials = ref 0
 
 let section id title =
   Printf.printf "\n################ %s — %s ################\n\n" id title
@@ -89,8 +95,14 @@ let t1_trial (n, seed) =
       (name, List.length graphs, cyclic))
     (t1_automata_states config seed)
 
+let t1_active_trials () =
+  if !trials > 0 then
+    Array.sub t1_trials 0 (min !trials (Array.length t1_trials))
+  else t1_trials
+
 let t1_run ~jobs =
-  P.map_range ~jobs (Array.length t1_trials) (fun i -> t1_trial t1_trials.(i))
+  let active = t1_active_trials () in
+  P.map_range ~jobs (Array.length active) (fun i -> t1_trial active.(i))
 
 let t1 () =
   section "D-T1" "acyclicity in every observed state (Thm 4.3 / 5.5)";
@@ -300,14 +312,22 @@ let t5 () =
 
 let f1_sizes = [ 8; 16; 32; 64; 128; 256 ]
 
+let f1_active_sizes () =
+  if !trials > 0 then
+    List.filteri (fun i _ -> i < max 1 (!trials / 3)) f1_sizes
+  else f1_sizes
+
 (* The three D-F1 sweeps as one flat row list — deterministic families,
    so the pool and the sequential loop must agree exactly. *)
-let f1_run ~jobs =
+let f1_sweeps () =
+  let sizes = f1_active_sizes () in
   [
-    W.sweep ~jobs W.FR ~family:Generators.bad_chain ~sizes:f1_sizes ();
-    W.sweep ~jobs W.PR ~family:Generators.sawtooth ~sizes:f1_sizes ();
-    W.sweep ~jobs W.PR ~family:Generators.bad_chain ~sizes:f1_sizes ();
+    ("FR bad chain", fun ~jobs -> W.sweep ~jobs W.FR ~family:Generators.bad_chain ~sizes ());
+    ("PR sawtooth", fun ~jobs -> W.sweep ~jobs W.PR ~family:Generators.sawtooth ~sizes ());
+    ("PR bad chain", fun ~jobs -> W.sweep ~jobs W.PR ~family:Generators.bad_chain ~sizes ());
   ]
+
+let f1_run ~jobs = List.map (fun (_, sweep) -> sweep ~jobs) (f1_sweeps ())
 
 let f1 () =
   section "D-F1" "worst-case work: Theta(nb^2) for both FR and PR (cited bound)";
@@ -801,7 +821,14 @@ type parallel_result = {
   seq_seconds : float;
   par_seconds : float;
   identical : bool;
+  per_trial_seconds : float array;
+      (* wall clock of each work item during the sequential pass *)
 }
+
+let fprintf_float_array oc a =
+  Printf.fprintf oc "[%s]"
+    (String.concat ", "
+       (Array.to_list (Array.map (Printf.sprintf "%.4f") a)))
 
 let write_parallel_json ~file ~par_jobs results =
   let oc = open_out file in
@@ -810,7 +837,7 @@ let write_parallel_json ~file ~par_jobs results =
     (fun () ->
       Printf.fprintf oc
         "{\n  \"generated_by\": \"bench/main.exe parallel\",\n\
-        \  \"jobs\": %d,\n\
+        \  \"domains_used\": %d,\n\
         \  \"recommended_domains\": %d,\n\
         \  \"experiments\": [\n" par_jobs
         (P.recommended_jobs ());
@@ -819,10 +846,13 @@ let write_parallel_json ~file ~par_jobs results =
           Printf.fprintf oc
             "    {\"id\": %S, \"trials\": %d, \"seq_seconds\": %.4f, \
              \"par_seconds\": %.4f, \"speedup\": %.2f, \
-             \"identical_outcomes\": %b}%s\n"
+             \"identical_outcomes\": %b,\n\
+            \     \"per_trial_seconds\": "
             r.id r.trials r.seq_seconds r.par_seconds
             (r.seq_seconds /. Float.max 1e-9 r.par_seconds)
-            r.identical
+            r.identical;
+          fprintf_float_array oc r.per_trial_seconds;
+          Printf.fprintf oc "}%s\n"
             (if i = List.length results - 1 then "" else ","))
         results;
       Printf.fprintf oc "  ]\n}\n")
@@ -830,22 +860,46 @@ let write_parallel_json ~file ~par_jobs results =
 let parallel () =
   section "D-P1" "domain pool: wall-clock speedup with identical per-seed outcomes";
   let par_jobs = if !jobs > 1 then !jobs else P.recommended_jobs () in
-  let measure id trials run =
-    (* sequential first so the parallel pass runs against a warm heap *)
-    let seq_out, seq_seconds = P.timed (fun () -> run ~jobs:1) in
-    let par_out, par_seconds = P.timed (fun () -> run ~jobs:par_jobs) in
-    { id; trials; seq_seconds; par_seconds; identical = seq_out = par_out }
+  (* The sequential pass times every work item individually (the
+     per-trial wall clocks land in BENCH_parallel.json); the parallel
+     pass must reproduce the items bit for bit. *)
+  let t1_result =
+    let active = t1_active_trials () in
+    let timed = Array.map (fun tr -> P.timed (fun () -> t1_trial tr)) active in
+    let seq_out = Array.map fst timed in
+    let per_trial_seconds = Array.map snd timed in
+    let seq_seconds = Array.fold_left ( +. ) 0.0 per_trial_seconds in
+    let par_out, par_seconds = P.timed (fun () -> t1_run ~jobs:par_jobs) in
+    {
+      id =
+        Printf.sprintf "D-T1 trial sweep (%d random-DAG acyclicity trials)"
+          (Array.length active);
+      trials = Array.length active;
+      seq_seconds;
+      par_seconds;
+      identical = seq_out = par_out;
+      per_trial_seconds;
+    }
   in
-  let results =
-    [
-      measure "D-T1 trial sweep (50 random-DAG acyclicity trials)"
-        (Array.length t1_trials)
-        (fun ~jobs -> `T1 (t1_run ~jobs));
-      measure "D-F1 work sweeps (FR/PR on bad chain and sawtooth)"
-        (3 * List.length f1_sizes)
-        (fun ~jobs -> `F1 (f1_run ~jobs));
-    ]
+  let f1_result =
+    let sweeps = f1_sweeps () in
+    let timed =
+      List.map (fun (_, sweep) -> P.timed (fun () -> sweep ~jobs:1)) sweeps
+    in
+    let seq_out = List.map fst timed in
+    let per_trial_seconds = Array.of_list (List.map snd timed) in
+    let seq_seconds = Array.fold_left ( +. ) 0.0 per_trial_seconds in
+    let par_out, par_seconds = P.timed (fun () -> f1_run ~jobs:par_jobs) in
+    {
+      id = "D-F1 work sweeps (FR/PR on bad chain and sawtooth)";
+      trials = 3 * List.length (f1_active_sizes ());
+      seq_seconds;
+      par_seconds;
+      identical = seq_out = par_out;
+      per_trial_seconds;
+    }
   in
+  let results = [ t1_result; f1_result ] in
   T.print
     ~title:
       (Printf.sprintf "sequential vs %d-domain pool (host reports %d domains)"
@@ -876,6 +930,260 @@ let parallel () =
     Printf.printf
       "note: this host exposes a single domain; speedup ~1.0x is expected here\n\
        and the pool only shows its >= 2x gain on multicore hardware.\n"
+
+(* ------------------------------------------------------------------ *)
+(* D-O1: trace recording overhead, replay, and differential replay. *)
+
+type trace_workload = {
+  tw_id : string;
+  tw_work : int;
+  tw_events : int;
+  tw_bytes : int;
+  tw_bare_seconds : float;
+  tw_record_seconds : float;
+  tw_overhead : float;
+  tw_replay_ok : bool;
+  tw_replay_error : string;
+}
+
+let write_trace_json ~file workloads ~diff_trials ~diff_passed =
+  let oc = open_out file in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      Printf.fprintf oc
+        "{\n  \"generated_by\": \"bench/main.exe trace\",\n  \"workloads\": [\n";
+      List.iteri
+        (fun i w ->
+          Printf.fprintf oc
+            "    {\"id\": %S, \"work\": %d, \"events\": %d, \"bytes\": %d, \
+             \"bare_seconds\": %.4f, \"record_seconds\": %.4f, \
+             \"overhead\": %.3f, \"replay_ok\": %b}%s\n"
+            w.tw_id w.tw_work w.tw_events w.tw_bytes w.tw_bare_seconds
+            w.tw_record_seconds w.tw_overhead w.tw_replay_ok
+            (if i = List.length workloads - 1 then "" else ","))
+        workloads;
+      Printf.fprintf oc
+        "  ],\n\
+        \  \"max_overhead\": %.3f,\n\
+        \  \"differential_replay\": {\"trials\": %d, \"passed\": %d}\n\
+         }\n"
+        (List.fold_left (fun a w -> Float.max a w.tw_overhead) 0.0 workloads)
+        diff_trials diff_passed)
+
+let trace () =
+  section "D-O1" "trace recording overhead, replay, and cross-engine differential replay";
+  let module F = Lr_fast.Fast_engine in
+  let module FN = Lr_fast.Fast_new_pr in
+  let module Record = Lr_trace.Record in
+  let module Replay = Lr_trace.Replay in
+  let module Writer = Lr_trace.Writer in
+  let smoke = !trials > 0 in
+  let with_tmp f =
+    let path = Filename.temp_file "lr_trace_bench" ".lrt" in
+    Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+      (fun () -> f path)
+  in
+  (* 1. recording overhead on the D-F9 large workloads: run each engine
+     bare, then with a recording sink, and replay the trace.  [bare] and
+     [record] are setup functions returning the thunk to time, so engine
+     construction and header serialization (identical one-time costs on
+     both sides) stay outside the measurement — the ratio isolates the
+     marginal cost of recording a run.  Each side is timed best-of-3:
+     the minimum is the noise-robust estimator here, since disk
+     writeback stalls inflate individual recorded runs by several
+     hundred percent. *)
+  let repeats = if smoke then 1 else 3 in
+  let best_of setup =
+    let best_r = ref None and best_s = ref infinity in
+    for _ = 1 to repeats do
+      let thunk = setup () in
+      let r, s = P.timed thunk in
+      if s < !best_s then begin
+        best_r := Some r;
+        best_s := s
+      end
+    done;
+    (Option.get !best_r, !best_s)
+  in
+  let workload tw_id ~bare ~record =
+    with_tmp (fun path ->
+        let bare_work, tw_bare_seconds = best_of bare in
+        let (work, stats), tw_record_seconds =
+          best_of (fun () -> record path)
+        in
+        assert (work = bare_work);
+        let tw_replay_ok, tw_replay_error =
+          match Replay.file path with
+          | Ok r ->
+              (r.Replay.steps + r.Replay.dummies = work, "")
+          | Error e -> (false, e)
+        in
+        {
+          tw_id;
+          tw_work = work;
+          tw_events = stats.Writer.events;
+          tw_bytes = stats.Writer.bytes;
+          tw_bare_seconds;
+          tw_record_seconds;
+          tw_overhead =
+            tw_record_seconds /. Float.max 1e-9 tw_bare_seconds;
+          tw_replay_ok;
+          tw_replay_error;
+        })
+  in
+  let saw = Generators.sawtooth (if smoke then 400 else 6_000) in
+  let chain = Generators.bad_chain (if smoke then 400 else 4_000) in
+  let rand =
+    let n = if smoke then 5_000 else 100_000 in
+    Generators.random_connected_dag (rng 3) ~n ~extra_edges:(n / 2)
+  in
+  let module Event = Lr_trace.Event in
+  let fast_workload id rule inst =
+    let config = Config.of_instance inst in
+    let tag = match rule with F.Partial -> Event.Pr | F.Full -> Event.Fr in
+    workload id
+      ~bare:(fun () ->
+        let engine = F.of_config config in
+        fun () -> (F.run rule engine).F.work)
+      ~record:(fun path ->
+        let engine = F.of_config config in
+        let writer = Writer.create path (Event.header_of_config tag config) in
+        let s, flush = Record.sink writer in
+        F.set_sink engine (Some s);
+        fun () ->
+          let out, dt = P.timed (fun () -> F.run rule engine) in
+          F.set_sink engine None;
+          flush ();
+          let stats =
+            Writer.close writer
+              {
+                Event.work = out.F.work;
+                edge_reversals = out.F.edge_reversals;
+                wall_ns = int_of_float (dt *. 1e9);
+                final_fingerprint = F.fingerprint engine;
+              }
+          in
+          (out.F.work, stats))
+  in
+  let newpr_workload id inst =
+    let config = Config.of_instance inst in
+    workload id
+      ~bare:(fun () ->
+        let engine = FN.of_config config in
+        fun () -> (FN.run engine).FN.work)
+      ~record:(fun path ->
+        let engine = FN.of_config config in
+        let writer =
+          Writer.create path (Event.header_of_config Event.New_pr config)
+        in
+        let s, flush = Record.sink writer in
+        FN.set_sink engine (Some s);
+        fun () ->
+          let out, dt = P.timed (fun () -> FN.run engine) in
+          FN.set_sink engine None;
+          flush ();
+          let stats =
+            Writer.close writer
+              {
+                Event.work = out.FN.work;
+                edge_reversals = out.FN.edge_reversals;
+                wall_ns = int_of_float (dt *. 1e9);
+                final_fingerprint = FN.fingerprint engine;
+              }
+          in
+          (out.FN.work, stats))
+  in
+  let workloads =
+    [
+      fast_workload "PR sawtooth" F.Partial saw;
+      fast_workload "FR bad chain" F.Full chain;
+      newpr_workload "NewPR sawtooth" saw;
+      fast_workload "PR random DAG" F.Partial rand;
+    ]
+  in
+  T.print ~title:"recording overhead (bare engine vs engine + trace sink)"
+    (T.make
+       ~headers:
+         [ "workload"; "work"; "events"; "bytes"; "bare"; "recorded";
+           "overhead"; "replay" ]
+       (List.map
+          (fun w ->
+            [
+              w.tw_id;
+              string_of_int w.tw_work;
+              string_of_int w.tw_events;
+              string_of_int w.tw_bytes;
+              Printf.sprintf "%.3f s" w.tw_bare_seconds;
+              Printf.sprintf "%.3f s" w.tw_record_seconds;
+              Printf.sprintf "%.2fx" w.tw_overhead;
+              (if w.tw_replay_ok then "OK" else "FAIL: " ^ w.tw_replay_error);
+            ])
+          workloads));
+  (* 2. cross-engine differential replay on the D-T1 random-DAG sweep:
+     traces recorded on the flat engines must replay clean on the
+     persistent reference automata — same preconditions, same final
+     orientation, same work totals. *)
+  let diff_cases =
+    let all =
+      List.concat_map
+        (fun n ->
+          List.concat_map
+            (fun seed ->
+              List.map (fun engine -> (n, seed, engine)) [ `Pr; `Fr; `New_pr ])
+            [ 0; 1; 2 ])
+        t1_sizes
+    in
+    if smoke then List.filteri (fun i _ -> i < !trials) all else all
+  in
+  let diff_passed = ref 0 in
+  let diff_failures = ref [] in
+  List.iter
+    (fun (n, seed, engine) ->
+      with_tmp (fun path ->
+          let config = random_config ~seed:(seed + (1000 * n)) n in
+          let label =
+            Printf.sprintf "%s n=%d seed=%d"
+              (match engine with `Pr -> "pr" | `Fr -> "fr" | `New_pr -> "newpr")
+              n seed
+          in
+          (match engine with
+          | `Pr -> ignore (Record.fast ~seed ~path ~rule:F.Partial config)
+          | `Fr -> ignore (Record.fast ~seed ~path ~rule:F.Full config)
+          | `New_pr -> ignore (Record.fast_new_pr ~seed ~path config));
+          match Replay.file path with
+          | Error e -> diff_failures := (label, "fast: " ^ e) :: !diff_failures
+          | Ok _ -> (
+              match Replay.against_automaton path with
+              | Error e ->
+                  diff_failures := (label, "automaton: " ^ e) :: !diff_failures
+              | Ok _ -> incr diff_passed)))
+    diff_cases;
+  Printf.printf
+    "\ndifferential replay (fast engine traces on the persistent automata):\n\
+     %d/%d passed\n"
+    !diff_passed (List.length diff_cases);
+  List.iter
+    (fun (label, e) -> Printf.printf "  FAILED %s: %s\n" label e)
+    (List.rev !diff_failures);
+  let file = "BENCH_trace.json" in
+  write_trace_json ~file workloads ~diff_trials:(List.length diff_cases)
+    ~diff_passed:!diff_passed;
+  Printf.printf "wrote %s\n" file;
+  let max_overhead =
+    List.fold_left (fun a w -> Float.max a w.tw_overhead) 0.0 workloads
+  in
+  Printf.printf
+    "max recording overhead: %.2fx  (target: <= 2x on the large workloads)\n"
+    max_overhead;
+  (* correctness failures are fatal; overhead is reported, not enforced
+     (CI machines have noisy clocks) *)
+  if List.exists (fun w -> not w.tw_replay_ok) workloads
+     || !diff_passed < List.length diff_cases
+  then begin
+    Printf.printf "FAILURE: replay divergence\n";
+    exit 1
+  end
 
 (* ------------------------------------------------------------------ *)
 (* D-B1: Bechamel micro-benchmarks. *)
@@ -959,30 +1267,47 @@ let experiments =
     ("t1", t1); ("t2", t2); ("t3", t3); ("t4", t4); ("t5", t5);
     ("f1", f1); ("f2", f2); ("f3", f3); ("f4", f4); ("f5", f5);
     ("f6", f6); ("f7", f7); ("f8", f8); ("f9", f9);
-    ("parallel", parallel); ("micro", micro);
+    ("parallel", parallel); ("trace", trace); ("micro", micro);
   ]
 
-(* Strip --jobs N / -j N / --jobs=N; everything else is an experiment id. *)
+(* Strip --jobs N / -j N / --jobs=N and --trials N / --trials=N;
+   everything else is an experiment id. *)
 let parse_args argv =
-  let set_jobs v =
+  let set r flag v =
     match int_of_string_opt v with
-    | Some j when j >= 1 -> jobs := j
+    | Some j when j >= 1 -> r := j
     | _ ->
-        Printf.eprintf "--jobs expects a positive integer, got %S\n" v;
+        Printf.eprintf "%s expects a positive integer, got %S\n" flag v;
         exit 1
+  in
+  let prefixed arg prefix =
+    if
+      String.length arg > String.length prefix
+      && String.sub arg 0 (String.length prefix) = prefix
+    then Some (String.sub arg (String.length prefix)
+                 (String.length arg - String.length prefix))
+    else None
   in
   let rec loop acc = function
     | [] -> List.rev acc
     | ("--jobs" | "-j") :: v :: rest ->
-        set_jobs v;
+        set jobs "--jobs" v;
         loop acc rest
-    | [ ("--jobs" | "-j") ] ->
-        Printf.eprintf "--jobs expects a value\n";
+    | "--trials" :: v :: rest ->
+        set trials "--trials" v;
+        loop acc rest
+    | [ ("--jobs" | "-j" | "--trials") as flag ] ->
+        Printf.eprintf "%s expects a value\n" flag;
         exit 1
-    | arg :: rest when String.length arg > 7 && String.sub arg 0 7 = "--jobs=" ->
-        set_jobs (String.sub arg 7 (String.length arg - 7));
-        loop acc rest
-    | arg :: rest -> loop (arg :: acc) rest
+    | arg :: rest -> (
+        match (prefixed arg "--jobs=", prefixed arg "--trials=") with
+        | Some v, _ ->
+            set jobs "--jobs" v;
+            loop acc rest
+        | _, Some v ->
+            set trials "--trials" v;
+            loop acc rest
+        | None, None -> loop (arg :: acc) rest)
   in
   loop [] (List.tl (Array.to_list argv))
 

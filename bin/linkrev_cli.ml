@@ -425,10 +425,242 @@ let generate_cmd =
        ~doc:"Generate an instance file (readable back with --graph-file).")
     term
 
+(* {1 trace} *)
+
+module Trace_cli = struct
+  module Event = Lr_trace.Event
+  module Record = Lr_trace.Record
+  module Replay = Lr_trace.Replay
+  module Audit = Lr_trace.Audit
+  module F = Lr_fast.Fast_engine
+
+  let engine_conv =
+    let parse s =
+      match Event.engine_of_string s with
+      | Some e -> Ok e
+      | None -> Error (`Msg (Printf.sprintf "unknown engine %S (pr, fr, newpr)" s))
+    in
+    Arg.conv (parse, fun ppf e -> Fmt.string ppf (Event.engine_name e))
+
+  let engine_arg =
+    Arg.(
+      value
+      & opt engine_conv Event.Pr
+      & info [ "algo"; "a" ] ~docv:"ALGO" ~doc:"Engine to record: pr, fr, newpr.")
+
+  let trace_file_arg =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"TRACE" ~doc:"Trace file (written by 'trace record').")
+
+  let pp_stats ppf (s : Lr_trace.Writer.stats) =
+    Format.fprintf ppf "%d events, %d bytes" s.Lr_trace.Writer.events
+      s.Lr_trace.Writer.bytes
+
+  let record_cmd =
+    let out_arg =
+      Arg.(
+        required
+        & opt (some string) None
+        & info [ "output"; "o" ] ~docv:"FILE" ~doc:"Write the trace to $(docv).")
+    in
+    let via_arg =
+      Arg.(
+        value & flag
+        & info [ "via-automaton" ]
+            ~doc:
+              "Record a run of the persistent automaton under a random \
+               scheduler instead of the flat engine (slower; exercises \
+               concurrent steps for pr).")
+    in
+    let record family n seed engine via out graph_file =
+      match instance ?graph_file ~family ~n ~seed () with
+      | Error e -> `Error (false, e)
+      | Ok config ->
+          let work, reversals, stats =
+            if via then
+              let scheduler () =
+                Lr_automata.Scheduler.random (Random.State.make [| 0x7a; seed |])
+              in
+              let outcome, stats =
+                match engine with
+                | Event.Pr ->
+                    Record.persistent ~seed ~path:out ~engine
+                      ~scheduler:(scheduler ()) config (One_step_pr.algo config)
+                | Event.Fr ->
+                    Record.persistent ~seed ~path:out ~engine
+                      ~scheduler:(scheduler ()) config
+                      (Full_reversal.algo config)
+                | Event.New_pr ->
+                    Record.persistent ~seed ~path:out ~engine
+                      ~scheduler:(scheduler ()) config (New_pr.algo config)
+              in
+              ( outcome.Executor.total_node_steps,
+                outcome.Executor.edge_reversals,
+                stats )
+            else
+              let outcome, stats =
+                match engine with
+                | Event.Pr -> Record.fast ~seed ~path:out ~rule:F.Partial config
+                | Event.Fr -> Record.fast ~seed ~path:out ~rule:F.Full config
+                | Event.New_pr -> Record.fast_new_pr ~seed ~path:out config
+              in
+              (outcome.F.work, outcome.F.edge_reversals, stats)
+          in
+          Format.printf "recorded %s: work %d, edge reversals %d, %a@."
+            (Event.engine_name engine) work reversals pp_stats stats;
+          Format.printf "wrote %s@." out;
+          `Ok ()
+    in
+    let term =
+      Term.(
+        ret
+          (const record $ family_arg $ n_arg $ seed_arg $ engine_arg $ via_arg
+          $ out_arg $ graph_file_arg))
+    in
+    Cmd.v
+      (Cmd.info "record" ~doc:"Run an engine and record a binary trace.")
+      term
+
+  let replay_cmd =
+    let target_arg =
+      Arg.(
+        value
+        & opt (enum [ ("fast", `Fast); ("automaton", `Automaton); ("both", `Both) ])
+            `Both
+        & info [ "target" ] ~docv:"TARGET"
+            ~doc:
+              "Replay target: 'fast' (flat-array cursor), 'automaton' (the \
+               persistent reference automaton), or 'both'.")
+    in
+    let replay path target =
+      let fast () =
+        match Replay.file path with
+        | Error e -> Error e
+        | Ok r ->
+            Format.printf
+              "fast replay: OK — %d events (%d steps, %d dummy, %d stale), %d \
+               edge reversals, fingerprint %Lx@."
+              r.Replay.events r.Replay.steps r.Replay.dummies r.Replay.stales
+              r.Replay.edge_reversals
+              r.Replay.summary.Event.final_fingerprint;
+            Ok ()
+      in
+      let automaton () =
+        match Replay.against_automaton path with
+        | Error e -> Error e
+        | Ok d ->
+            Format.printf
+              "automaton replay: OK — work %d, %d edge reversals, final graph \
+               acyclic %b@."
+              d.Replay.automaton_work d.Replay.automaton_reversals
+              (Lr_graph.Digraph.is_acyclic d.Replay.final_graph);
+            Ok ()
+      in
+      let result =
+        match target with
+        | `Fast -> fast ()
+        | `Automaton -> automaton ()
+        | `Both -> ( match fast () with Error e -> Error e | Ok () -> automaton ())
+      in
+      match result with Error e -> `Error (false, e) | Ok () -> `Ok ()
+    in
+    let term = Term.(ret (const replay $ trace_file_arg $ target_arg)) in
+    Cmd.v
+      (Cmd.info "replay"
+         ~doc:
+           "Deterministically re-execute a trace, checking every event's \
+            precondition and the final orientation.")
+      term
+
+  let audit_cmd =
+    let stride_arg =
+      Arg.(
+        value & opt int 1
+        & info [ "stride" ] ~docv:"K"
+            ~doc:"Check invariants every $(docv)-th event (1 = every state).")
+    in
+    let audit path stride =
+      match Audit.run ~stride path with
+      | Error e -> `Error (false, e)
+      | Ok r ->
+          let h = r.Audit.header in
+          Format.printf "%s trace, n = %d, destination = %d, seed %s@."
+            (Event.engine_name h.Event.engine)
+            h.Event.n h.Event.destination
+            (if h.Event.seed < 0 then "unknown" else string_of_int h.Event.seed);
+          Format.printf
+            "%d events: %d steps, %d dummy, %d stale; %d edge reversals@."
+            r.Audit.events r.Audit.steps r.Audit.dummies r.Audit.stales
+            r.Audit.edge_reversals;
+          Format.printf "recorded wall clock: %.3f ms; file: %d bytes@."
+            (float_of_int r.Audit.summary.Event.wall_ns /. 1e6)
+            r.Audit.bytes;
+          Format.printf "work histogram (steps per node):@.%a"
+            Audit.pp_histogram r.Audit.histogram;
+          Format.printf "checked %d states: %d violation%s%s@."
+            r.Audit.checked_states
+            (List.length r.Audit.violations)
+            (if List.length r.Audit.violations = 1 then "" else "s")
+            (if r.Audit.summary_ok then "" else " (summary mismatch)");
+          List.iter
+            (fun v ->
+              Format.printf "  after event %d, %s: %s@." v.Audit.event
+                v.Audit.invariant v.Audit.message)
+            r.Audit.violations;
+          if Audit.clean r then `Ok ()
+          else `Error (false, "audit found violations")
+    in
+    let term = Term.(ret (const audit $ trace_file_arg $ stride_arg)) in
+    Cmd.v
+      (Cmd.info "audit"
+         ~doc:
+           "Replay a trace and check the paper's invariants offline, with run \
+            metrics.")
+      term
+
+  let stats_cmd =
+    let stats path =
+      match Audit.scan path with
+      | Error e -> `Error (false, e)
+      | Ok s ->
+          let h = s.Audit.scan_header in
+          Format.printf "%s trace, n = %d, destination = %d, %d edges@."
+            (Event.engine_name h.Event.engine)
+            h.Event.n h.Event.destination
+            (List.length h.Event.edges);
+          Format.printf
+            "%d events (%d steps, %d dummy, %d stale), %d reversed edges@."
+            s.Audit.scan_events s.Audit.scan_steps s.Audit.scan_dummies
+            s.Audit.scan_stales s.Audit.scan_reversed_edges;
+          Format.printf
+            "summary: work %d, edge reversals %d, wall %.3f ms, fingerprint %Lx@."
+            s.Audit.scan_summary.Event.work
+            s.Audit.scan_summary.Event.edge_reversals
+            (float_of_int s.Audit.scan_summary.Event.wall_ns /. 1e6)
+            s.Audit.scan_summary.Event.final_fingerprint;
+          Format.printf "%d bytes (%.1f bytes/event)@." s.Audit.scan_bytes
+            (float_of_int s.Audit.scan_bytes
+            /. float_of_int (max 1 s.Audit.scan_events));
+          `Ok ()
+    in
+    let term = Term.(ret (const stats $ trace_file_arg)) in
+    Cmd.v
+      (Cmd.info "stats" ~doc:"Decode-only statistics of a trace file.")
+      term
+
+  let cmd =
+    Cmd.group
+      (Cmd.info "trace"
+         ~doc:"Binary execution traces: record, replay, audit, stats.")
+      [ record_cmd; replay_cmd; audit_cmd; stats_cmd ]
+end
+
 let main_cmd =
   let doc = "link reversal algorithms (Partial Reversal Acyclicity reproduction)" in
   Cmd.group (Cmd.info "linkrev" ~version:"1.0.0" ~doc)
     [ run_cmd; sweep_cmd; check_cmd; game_cmd; stats_cmd; theorems_cmd;
-      tora_cmd; generate_cmd ]
+      tora_cmd; generate_cmd; Trace_cli.cmd ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -17,10 +17,11 @@ let count_flips g1 g2 =
       if Digraph.dir g1 u v = Digraph.dir g2 u v then acc else acc + 1)
     (Digraph.skeleton g1) 0
 
-let run_execution ~destination (algo : ('s, 'a) Algo.t) exec =
+let run_execution ?observe ~destination (algo : ('s, 'a) Algo.t) exec =
   let node_steps, edge_reversals =
     List.fold_left
-      (fun (ns, flips) { Lr_automata.Execution.before; action; after } ->
+      (fun (ns, flips) ({ Lr_automata.Execution.before; action; after } as step) ->
+        (match observe with None -> () | Some f -> f step);
         let ns =
           Node.Set.fold
             (fun u ns -> Node.Map.add u (Node.Map.find_or ~default:0 u ns + 1) ns)
@@ -42,11 +43,11 @@ let run_execution ~destination (algo : ('s, 'a) Algo.t) exec =
       Digraph.is_destination_oriented final_graph destination;
   }
 
-let run ?max_steps ~scheduler ~destination algo =
+let run ?max_steps ?observe ~scheduler ~destination algo =
   let exec =
     Lr_automata.Execution.run ?max_steps ~scheduler algo.Algo.automaton
   in
-  run_execution ~destination algo exec
+  run_execution ?observe ~destination algo exec
 
 let work o = o.total_node_steps
 

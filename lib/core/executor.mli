@@ -19,12 +19,18 @@ type outcome = {
 
 val run :
   ?max_steps:int ->
+  ?observe:(('s, 'a) Lr_automata.Execution.step -> unit) ->
   scheduler:('s, 'a) Lr_automata.Scheduler.t ->
   destination:Node.t ->
   ('s, 'a) Algo.t ->
   outcome
+(** [observe] is called once per step, in execution order, with the
+    full (before, action, after) transition — the hook the trace
+    recorder ({!Lr_trace.Record.observer}) uses to serialize persistent
+    runs. *)
 
 val run_execution :
+  ?observe:(('s, 'a) Lr_automata.Execution.step -> unit) ->
   destination:Node.t -> ('s, 'a) Algo.t -> ('s, 'a) Lr_automata.Execution.t -> outcome
 (** Metrics of an already-recorded execution. *)
 

@@ -24,9 +24,14 @@ type t = {
   steps_per_node : int array;
   mutable work : int;
   mutable edge_reversals : int;
+  mutable sink : Fast_sink.t option;
+      (** Observation callbacks; [None] (the default) is a single dead
+          branch per notification point. *)
 }
 
 let degree t u = Fast_graph.degree t.core u
+let set_sink t sink = t.sink <- sink
+let fingerprint t = Fast_graph.fingerprint t.core t.out_
 
 let is_sink t u =
   let d = degree t u in
@@ -54,6 +59,7 @@ let of_core core =
       steps_per_node = Array.make n 0;
       work = 0;
       edge_reversals = 0;
+      sink = None;
     }
   in
   for u = 0 to n - 1 do
@@ -78,12 +84,14 @@ let flip t u i =
     t.listed.(w).(j) <- true;
     t.list_count.(w) <- t.list_count.(w) + 1
   end;
+  (match t.sink with None -> () | Some s -> s.Fast_sink.on_flip u i w);
   enqueue_if_sink t w
 
 let step rule t u =
   let d = degree t u in
   t.steps_per_node.(u) <- t.steps_per_node.(u) + 1;
   t.work <- t.work + 1;
+  (match t.sink with None -> () | Some s -> s.Fast_sink.on_step u);
   (match rule with
   | Full ->
       for i = 0 to d - 1 do
@@ -147,6 +155,10 @@ let run ?(max_steps = 10_000_000) rule t =
                by flip. *)
             enqueue_if_sink t u
           end
+        else
+          (match t.sink with
+          | None -> ()
+          | Some s -> s.Fast_sink.on_stale u)
   done;
   {
     work = t.work;

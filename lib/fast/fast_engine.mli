@@ -37,6 +37,14 @@ val of_core : Fast_graph.t -> t
 (** A fresh engine over an already-built flat graph (shares the
     immutable adjacency, copies the orientation). *)
 
+val set_sink : t -> Fast_sink.t option -> unit
+(** Attach observation callbacks (see {!Fast_sink}); [None] detaches.
+    The engine notifies [on_step]/[on_flip] from {!run}'s step loop and
+    [on_stale] for scheduler pops that fire no step. *)
+
+val fingerprint : t -> int64
+(** {!Fast_graph.fingerprint} of the current orientation. *)
+
 val run : ?max_steps:int -> rule -> t -> outcome
 (** Run to quiescence (default step bound [10_000_000]).  The engine is
     single-use: running it again continues from the final state (which

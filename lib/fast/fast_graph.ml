@@ -48,6 +48,27 @@ let of_config config =
 
 let degree t u = Array.length t.nbrs.(u)
 
+(* Must mirror [Digraph.fingerprint] exactly: FNV-1a over node ids
+   ascending, then (lo, hi, oriented-low-to-high) per skeleton edge in
+   lexicographic order.  Rows are sorted, so scanning [u] ascending and
+   keeping only [w > u] visits edges in exactly that order. *)
+let fingerprint t out_ =
+  let prime = 0x100000001b3L in
+  let mix h x = Int64.mul (Int64.logxor h (Int64.of_int x)) prime in
+  let h = ref 0xcbf29ce484222325L in
+  for u = 0 to t.n - 1 do
+    h := mix !h u
+  done;
+  for u = 0 to t.n - 1 do
+    let row = t.nbrs.(u) in
+    for i = 0 to Array.length row - 1 do
+      let w = row.(i) in
+      if w > u then
+        h := mix (mix (mix !h u) w) (if out_.(u).(i) then 1 else 0)
+    done
+  done;
+  !h
+
 let initial_out t = Array.map Array.copy t.out0
 
 let initial_in_degree t =

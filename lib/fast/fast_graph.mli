@@ -28,6 +28,13 @@ val of_instance : Generators.instance -> t
 val of_config : Linkrev.Config.t -> t
 val degree : t -> int -> int
 
+val fingerprint : t -> bool array array -> int64
+(** [fingerprint t out_] is the 64-bit digest of the orientation [out_]
+    over this skeleton — bit-identical to {!Lr_graph.Digraph.fingerprint}
+    of the corresponding oriented graph.  Used by trace headers/footers
+    to bind a recording to its instance and final orientation without
+    materializing a [Digraph]. *)
+
 val initial_out : t -> bool array array
 (** A fresh mutable copy of [out0]. *)
 

@@ -22,9 +22,12 @@ type t = {
   steps_per_node : int array;
   mutable work : int;
   mutable edge_reversals : int;
+  mutable sink : Fast_sink.t option;
 }
 
 let degree t u = Fast_graph.degree t.core u
+let set_sink t sink = t.sink <- sink
+let fingerprint t = Fast_graph.fingerprint t.core t.out_
 
 let is_sink t u =
   let d = degree t u in
@@ -68,6 +71,7 @@ let of_core core =
       steps_per_node = Array.make n 0;
       work = 0;
       edge_reversals = 0;
+      sink = None;
     }
   in
   for u = 0 to n - 1 do
@@ -88,6 +92,7 @@ let flip t u i =
   t.in_deg.(u) <- t.in_deg.(u) - 1;
   t.in_deg.(w) <- t.in_deg.(w) + 1;
   t.edge_reversals <- t.edge_reversals + 1;
+  (match t.sink with None -> () | Some s -> s.Fast_sink.on_flip u i w);
   enqueue_if_sink t w
 
 (* Algorithm 2: a sink with even count reverses the edges to its
@@ -102,6 +107,11 @@ let step t u =
     if t.counts.(u) land 1 = 0 then t.init_in_slots.(u)
     else t.init_out_slots.(u)
   in
+  (match t.sink with
+  | None -> ()
+  | Some s ->
+      if Array.length slots = 0 then s.Fast_sink.on_dummy u
+      else s.Fast_sink.on_step u);
   t.counts.(u) <- t.counts.(u) + 1;
   (* [u] is a sink, so every chosen edge is currently incoming. *)
   Array.iter (fun i -> flip t u i) slots
@@ -149,6 +159,10 @@ let run ?(max_steps = 10_000_000) t =
                again with the flipped parity *)
             enqueue_if_sink t u
           end
+        else
+          (match t.sink with
+          | None -> ()
+          | Some s -> s.Fast_sink.on_stale u)
   done;
   {
     work = t.work;

@@ -37,6 +37,14 @@ val of_core : Fast_graph.t -> t
 val count : t -> int -> int
 (** NewPR's per-node counter in the current state. *)
 
+val set_sink : t -> Fast_sink.t option -> unit
+(** Attach observation callbacks (see {!Fast_sink}).  Dummy steps are
+    reported through [on_dummy]; real steps through
+    [on_step]/[on_flip]. *)
+
+val fingerprint : t -> int64
+(** {!Fast_graph.fingerprint} of the current orientation. *)
+
 val run : ?max_steps:int -> t -> outcome
 (** Run to quiescence (default step bound [10_000_000]).  Re-running
     continues from the final state, as in {!Fast_engine.run}. *)

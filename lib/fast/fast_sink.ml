@@ -1,0 +1,16 @@
+(* See fast_sink.mli. *)
+
+type t = {
+  on_step : int -> unit;
+  on_flip : int -> int -> int -> unit;
+  on_dummy : int -> unit;
+  on_stale : int -> unit;
+}
+
+let ignore_all =
+  {
+    on_step = ignore;
+    on_flip = (fun _ _ _ -> ());
+    on_dummy = ignore;
+    on_stale = ignore;
+  }

@@ -1,0 +1,31 @@
+(** Observation sink for the flat-array engines.
+
+    A sink is a bundle of callbacks the engines invoke from their step
+    loops; [Lr_trace.Recorder] implements one that serializes the run
+    into a binary trace.  Engines hold [Fast_sink.t option] and test it
+    with a single pattern match per notification, so the disabled path
+    ([None], the default) costs one branch and allocates nothing — the
+    zero-allocation step loop stays zero-allocation.
+
+    Callback protocol, in engine execution order:
+    - [on_stale u] — the scheduler popped [u] from the worklist but [u]
+      is no longer a sink; no step fires.  Recording these preserves the
+      exact scheduler decision sequence.
+    - [on_step u] — a real reversal step begins at sink [u]; the edges
+      it reverses follow as [on_flip] calls before the next
+      [on_step]/[on_dummy]/[on_stale].
+    - [on_flip u i w] — the current step reversed the edge in slot [i]
+      of [u]'s sorted adjacency row (its neighbour is [w]) to point
+      [u -> w].  Slots arrive in ascending order within a step.
+    - [on_dummy u] — NewPR dummy step at [u]: only the parity flips,
+      nothing is reversed. *)
+
+type t = {
+  on_step : int -> unit;
+  on_flip : int -> int -> int -> unit;
+  on_dummy : int -> unit;
+  on_stale : int -> unit;
+}
+
+val ignore_all : t
+(** A sink that drops every notification (useful for overhead tests). *)

@@ -227,6 +227,25 @@ let orientation_bits g =
     g.orient;
   words
 
+(* FNV-1a, 64-bit.  The feed — every node id in ascending order, then
+   every skeleton edge as (lo, hi, oriented-low-to-high) in canonical
+   edge order — is shared with [Lr_fast.Fast_graph.fingerprint], which
+   computes the same value from flat arrays without building a
+   [Digraph]; trace files use it to bind a recording to its instance. *)
+let fnv_prime = 0x100000001b3L
+let fnv_offset = 0xcbf29ce484222325L
+
+let fnv_mix h x =
+  Int64.mul (Int64.logxor h (Int64.of_int x)) fnv_prime
+
+let fingerprint g =
+  let h = Node.Set.fold (fun u h -> fnv_mix h u) (nodes g) fnv_offset in
+  Edge.Map.fold
+    (fun e toward_hi h ->
+      fnv_mix (fnv_mix (fnv_mix h (Edge.lo e)) (Edge.hi e))
+        (if toward_hi then 1 else 0))
+    g.orient h
+
 let canonical_key g =
   let buf = Buffer.create 128 in
   Node.Set.iter (fun u -> Buffer.add_string buf (Printf.sprintf "n%d;" u))

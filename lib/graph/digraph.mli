@@ -112,6 +112,15 @@ val canonical_key : t -> string
 (** Deterministic key usable for hashing states in a model checker:
     equal graphs (same skeleton, same orientation) yield equal keys. *)
 
+val fingerprint : t -> int64
+(** 64-bit FNV-1a digest of the graph — node ids, skeleton edges and
+    orientation bits in canonical order.  Equal graphs yield equal
+    fingerprints; unequal graphs collide with probability ~2⁻⁶⁴.  The
+    trace subsystem stores it in headers/footers to bind a recorded
+    execution to its instance and final orientation;
+    [Lr_fast.Fast_graph.fingerprint] computes the identical value from
+    the flat-array representation. *)
+
 val orientation_bits : t -> int array
 (** The orientation packed into a bitset, one bit per skeleton edge in
     canonical (sorted) edge order, prefixed by the edge count.  Among

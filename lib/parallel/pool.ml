@@ -52,10 +52,23 @@ let map_range ?chunk ~jobs n f =
       results
   end
 
+exception Trial_error of { trial : int; exn : exn }
+
+let () =
+  Printexc.register_printer (function
+    | Trial_error { trial; exn } ->
+        Some
+          (Printf.sprintf "Pool.run_trials: trial %d raised %s" trial
+             (Printexc.to_string exn))
+    | _ -> None)
+
 let run_trials ?chunk ~jobs ~trials f =
   Array.to_list
     (map_range ?chunk ~jobs trials (fun trial ->
-         f ~trial ~rng:(trial_rng trial)))
+         try f ~trial ~rng:(trial_rng trial)
+         with e ->
+           let bt = Printexc.get_raw_backtrace () in
+           Printexc.raise_with_backtrace (Trial_error { trial; exn = e }) bt))
 
 let timed f =
   let t0 = Unix.gettimeofday () in

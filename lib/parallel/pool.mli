@@ -26,6 +26,13 @@ val map_range : ?chunk:int -> jobs:int -> int -> (int -> 'a) -> 'a array
     re-raised in the caller after all workers stop.
     @raise Invalid_argument on a negative [n] or non-positive chunk. *)
 
+exception Trial_error of { trial : int; exn : exn }
+(** Raised by {!run_trials} when a trial function raises: wraps the
+    original exception with the index of the trial that died, so a
+    failure deep in a pooled sweep is attributable.  A printer is
+    registered, so uncaught it reads
+    ["Pool.run_trials: trial 57 raised ..."]. *)
+
 val run_trials :
   ?chunk:int ->
   jobs:int ->
@@ -34,7 +41,9 @@ val run_trials :
   'a list
 (** [run_trials ~jobs ~trials f] maps [f] over trial indices
     [0 .. trials-1], handing each trial a private RNG deterministically
-    seeded from its index ({!trial_rng}); results in trial order. *)
+    seeded from its index ({!trial_rng}); results in trial order.  If a
+    trial raises, the first failure observed is re-raised in the caller
+    as {!Trial_error} carrying the failing trial index. *)
 
 val trial_rng : int -> Random.State.t
 (** The per-trial RNG [run_trials] provides: seeded from the trial

@@ -1,0 +1,190 @@
+module I = Lr_automata.Invariant
+
+type violation = { event : int; invariant : string; message : string }
+
+type report = {
+  header : Event.header;
+  summary : Event.summary;
+  events : int;
+  steps : int;
+  dummies : int;
+  stales : int;
+  edge_reversals : int;
+  steps_per_node : int array;
+  histogram : (int * int) list;
+  checked_states : int;
+  violations : violation list;
+  summary_ok : bool;
+  bytes : int;
+}
+
+let histogram_of steps_per_node =
+  let tbl = Hashtbl.create 16 in
+  Array.iter
+    (fun k -> Hashtbl.replace tbl k (1 + Option.value ~default:0 (Hashtbl.find_opt tbl k)))
+    steps_per_node;
+  List.sort compare (Hashtbl.fold (fun k c acc -> (k, c) :: acc) tbl [])
+
+(* The per-state check, materializing the persistent state the paper's
+   invariants are stated over.  [event] is the index of the last applied
+   event (-1 for the initial state). *)
+let checker config header =
+  match header.Event.engine with
+  | Event.Pr ->
+      let inv = Linkrev.Invariants.pr_all config in
+      fun cursor event ->
+        let state =
+          { Linkrev.Pr.graph = Replay.to_digraph cursor;
+            lists = Replay.lists cursor }
+        in
+        (match inv.I.check state with
+        | Ok () -> None
+        | Error message -> Some { event; invariant = inv.I.name; message })
+  | Event.New_pr ->
+      let inv = Linkrev.Invariants.newpr_all config in
+      fun cursor event ->
+        let state =
+          { Linkrev.New_pr.graph = Replay.to_digraph cursor;
+            counts = Replay.counts cursor }
+        in
+        (match inv.I.check state with
+        | Ok () -> None
+        | Error message -> Some { event; invariant = inv.I.name; message })
+  | Event.Fr ->
+      let inv = Linkrev.Invariants.acyclic ~graph_of:Fun.id in
+      fun cursor event ->
+        (match inv.I.check (Replay.to_digraph cursor) with
+        | Ok () -> None
+        | Error message -> Some { event; invariant = inv.I.name; message })
+
+let run ?(stride = 1) path =
+  if stride < 1 then invalid_arg "Audit.run: stride must be >= 1";
+  match Reader.open_file path with
+  | Error _ as e -> e
+  | Ok r ->
+      Fun.protect
+        ~finally:(fun () -> Reader.close r)
+        (fun () ->
+          let header = Reader.header r in
+          match Event.config_of_header header with
+          | Error _ as e -> e
+          | Ok config -> (
+              match Replay.cursor header with
+              | Error _ as e -> e
+              | Ok cursor ->
+                  let check = checker config header in
+                  let violations = ref [] in
+                  let checked = ref 0 in
+                  let check_state event =
+                    incr checked;
+                    match check cursor event with
+                    | None -> ()
+                    | Some v -> violations := v :: !violations
+                  in
+                  check_state (-1);
+                  let rec loop i =
+                    match Reader.next r with
+                    | Error _ as e -> e
+                    | Ok (Reader.End summary) -> (
+                        (* make sure the final state is always audited,
+                           whatever the stride *)
+                        if i mod stride <> 0 then check_state (i - 1);
+                        let steps, dummies, stales, edge_reversals =
+                          Replay.metrics cursor
+                        in
+                        let steps_per_node = Replay.steps_per_node cursor in
+                        let summary_ok =
+                          match Replay.check_summary cursor summary with
+                          | Ok () -> true
+                          | Error message ->
+                              violations :=
+                                { event = i; invariant = "summary"; message }
+                                :: !violations;
+                              false
+                        in
+                        Ok
+                          {
+                            header;
+                            summary;
+                            events = i;
+                            steps;
+                            dummies;
+                            stales;
+                            edge_reversals;
+                            steps_per_node;
+                            histogram = histogram_of steps_per_node;
+                            checked_states = !checked;
+                            violations = List.rev !violations;
+                            summary_ok;
+                            bytes = Reader.bytes_read r;
+                          })
+                    | Ok (Reader.Event e) -> (
+                        match Replay.apply cursor e with
+                        | Error m ->
+                            Error (Printf.sprintf "event %d: %s" i m)
+                        | Ok () ->
+                            if (i + 1) mod stride = 0 then check_state i;
+                            loop (i + 1))
+                  in
+                  loop 0))
+
+let clean r = r.summary_ok && r.violations = []
+
+(* {1 Single-pass scan (no replay, no invariant checks)} *)
+
+type scan = {
+  scan_header : Event.header;
+  scan_summary : Event.summary;
+  scan_events : int;
+  scan_steps : int;
+  scan_dummies : int;
+  scan_stales : int;
+  scan_reversed_edges : int;
+  scan_bytes : int;
+}
+
+let scan path =
+  match Reader.open_file path with
+  | Error _ as e -> e
+  | Ok r ->
+      Fun.protect
+        ~finally:(fun () -> Reader.close r)
+        (fun () ->
+          let steps = ref 0
+          and dummies = ref 0
+          and stales = ref 0
+          and rev = ref 0 in
+          let rec loop i =
+            match Reader.next r with
+            | Error _ as e -> e
+            | Ok (Reader.End summary) ->
+                Ok
+                  {
+                    scan_header = Reader.header r;
+                    scan_summary = summary;
+                    scan_events = i;
+                    scan_steps = !steps;
+                    scan_dummies = !dummies;
+                    scan_stales = !stales;
+                    scan_reversed_edges = !rev;
+                    scan_bytes = Reader.bytes_read r;
+                  }
+            | Ok (Reader.Event e) ->
+                (match e with
+                | Event.Step { slots; _ } ->
+                    incr steps;
+                    rev := !rev + Array.length slots
+                | Event.Dummy _ -> incr dummies
+                | Event.Stale _ -> incr stales);
+                loop (i + 1)
+          in
+          loop 0)
+
+let pp_histogram ppf histogram =
+  List.iter
+    (fun (steps, nodes) ->
+      Format.fprintf ppf "  %6d step%s : %d node%s@." steps
+        (if steps = 1 then " " else "s")
+        nodes
+        (if nodes = 1 then "" else "s"))
+    histogram

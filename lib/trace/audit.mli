@@ -1,0 +1,64 @@
+(** Offline invariant audit and run metrics over a trace file.
+
+    {!run} replays the trace on a {!Replay.cursor} and, every
+    [stride]-th event (plus the initial and final states), materializes
+    the corresponding {e persistent} state and checks the paper's
+    invariants on it — {!Linkrev.Invariants.pr_all} (3.1–3.4 +
+    acyclicity) for PR traces, [newpr_all] (4.1, 4.2 + acyclicity) for
+    NewPR, per-state acyclicity for FR.  Violations are collected, not
+    fatal; replay {e precondition} failures (the trace itself is
+    inconsistent) abort with [Error].
+
+    The report also carries the run metrics the paper compares: total
+    work split into real/dummy steps, per-node step counts and their
+    histogram, edge reversals, plus recording cost (events, bytes,
+    recorded wall-clock). *)
+
+type violation = { event : int; invariant : string; message : string }
+(** [event] is the index of the last event applied before the violating
+    state ([-1]: the initial state violated). *)
+
+type report = {
+  header : Event.header;
+  summary : Event.summary;
+  events : int;
+  steps : int;
+  dummies : int;
+  stales : int;
+  edge_reversals : int;
+  steps_per_node : int array;
+  histogram : (int * int) list;
+      (** [(step count, number of nodes)] ascending. *)
+  checked_states : int;
+  violations : violation list;
+  summary_ok : bool;
+      (** End-record totals and fingerprint matched the replay. *)
+  bytes : int;
+}
+
+val run : ?stride:int -> string -> (report, string) result
+(** Audit [path], checking invariants every [stride] events (default
+    1: every state).  [Error] on decode or replay-precondition
+    failure. @raise Invalid_argument when [stride < 1]. *)
+
+val clean : report -> bool
+(** No violations and the summary matched. *)
+
+(** {1 Cheap single-pass scan} *)
+
+type scan = {
+  scan_header : Event.header;
+  scan_summary : Event.summary;
+  scan_events : int;
+  scan_steps : int;
+  scan_dummies : int;
+  scan_stales : int;
+  scan_reversed_edges : int;
+  scan_bytes : int;
+}
+
+val scan : string -> (scan, string) result
+(** Decode-only pass: per-kind event counts, no replay or invariant
+    checks — what [linkrev trace stats] prints. *)
+
+val pp_histogram : Format.formatter -> (int * int) list -> unit

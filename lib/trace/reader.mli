@@ -1,0 +1,35 @@
+(** Streaming trace decoder.
+
+    Reads a trace file incrementally (64 KiB buffer — a 10⁷-event D-F9
+    trace is never resident in memory) and validates as it goes: magic,
+    version, engine tag, node ids against the header's [n], and the
+    mandatory end-of-trace summary.  Every malformation — including a
+    truncated or bit-flipped file — is reported as [Error message]
+    carrying the byte offset; no exception escapes decode internals. *)
+
+type t
+
+type item =
+  | Event of Event.t
+  | End of Event.summary
+      (** The end record; {!next} only returns it when the file ends
+          exactly there (trailing bytes are an error). *)
+
+val open_file : string -> (t, string) result
+(** Opens and decodes the header. *)
+
+val header : t -> Event.header
+val next : t -> (item, string) result
+val bytes_read : t -> int
+val close : t -> unit
+
+val fold :
+  string ->
+  init:'a ->
+  f:('a -> int -> Event.t -> ('a, string) result) ->
+  finish:('a -> Event.summary -> ('a, string) result) ->
+  ('a, string) result
+(** One-pass driver: opens [path], applies [f] to every event (with its
+    index), requires a well-formed end record, passes it to [finish],
+    and always closes the file.  The first [Error] — from decoding, [f]
+    or [finish] — stops the pass. *)

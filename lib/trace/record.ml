@@ -1,0 +1,174 @@
+open Lr_graph
+module F = Lr_fast.Fast_engine
+module FN = Lr_fast.Fast_new_pr
+
+(* Pending-step accumulator: the engines report a step as
+   [on_step u; on_flip u i w; ...], so the recorder buffers the reversed
+   slots of the current step in a reusable scratch array and emits one
+   Step event when the next notification (or the final flush) closes
+   it. *)
+type pending = {
+  writer : Writer.t;
+  mutable node : int;
+  mutable len : int;
+  mutable ids : int array;
+  mutable active : bool;
+}
+
+let flush_pending p =
+  if p.active then begin
+    p.active <- false;
+    Writer.step p.writer ~node:p.node ~slots:p.ids ~len:p.len
+  end
+
+let sink writer =
+  let p = { writer; node = 0; len = 0; ids = Array.make 64 0; active = false } in
+  let on_step u =
+    flush_pending p;
+    p.active <- true;
+    p.node <- u;
+    p.len <- 0
+  in
+  let on_flip _u i _w =
+    if p.len = Array.length p.ids then begin
+      let ids = Array.make (2 * p.len) 0 in
+      Array.blit p.ids 0 ids 0 p.len;
+      p.ids <- ids
+    end;
+    p.ids.(p.len) <- i;
+    p.len <- p.len + 1
+  in
+  let on_dummy u =
+    flush_pending p;
+    Writer.dummy p.writer u
+  in
+  let on_stale u =
+    flush_pending p;
+    Writer.stale p.writer u
+  in
+  ( { Lr_fast.Fast_sink.on_step; on_flip; on_dummy; on_stale },
+    fun () -> flush_pending p )
+
+let wall_ns t0 = int_of_float ((Unix.gettimeofday () -. t0) *. 1e9)
+
+(* Run [run ()] with the recording sink attached via [set_sink], then
+   close the trace with totals taken from the outcome and the engine's
+   final fingerprint. *)
+let recording ~path ~header ~set_sink ~fingerprint ~run =
+  let writer = Writer.create path header in
+  match
+    let s, flush = sink writer in
+    set_sink (Some s);
+    let t0 = Unix.gettimeofday () in
+    let out : Lr_fast.Fast_outcome.t = run () in
+    let dt = wall_ns t0 in
+    set_sink None;
+    flush ();
+    (out, dt)
+  with
+  | out, dt ->
+      let stats =
+        Writer.close writer
+          {
+            Event.work = out.Lr_fast.Fast_outcome.work;
+            edge_reversals = out.Lr_fast.Fast_outcome.edge_reversals;
+            wall_ns = dt;
+            final_fingerprint = fingerprint ();
+          }
+      in
+      (out, stats)
+  | exception e ->
+      set_sink None;
+      Writer.abort writer;
+      raise e
+
+let fast ?max_steps ?seed ~path ~rule config =
+  let engine = F.of_config config in
+  let tag = match rule with F.Partial -> Event.Pr | F.Full -> Event.Fr in
+  recording ~path
+    ~header:(Event.header_of_config ?seed tag config)
+    ~set_sink:(F.set_sink engine)
+    ~fingerprint:(fun () -> F.fingerprint engine)
+    ~run:(fun () -> F.run ?max_steps rule engine)
+
+let fast_new_pr ?max_steps ?seed ~path config =
+  let engine = FN.of_config config in
+  recording ~path
+    ~header:(Event.header_of_config ?seed Event.New_pr config)
+    ~set_sink:(FN.set_sink engine)
+    ~fingerprint:(fun () -> FN.fingerprint engine)
+    ~run:(fun () -> FN.run ?max_steps engine)
+
+(* {2 Recording persistent executions} *)
+
+let reversed_by before after u =
+  Node.Set.filter
+    (fun w -> Digraph.dir before u w <> Digraph.dir after u w)
+    (Digraph.neighbors before u)
+
+(* Sorted adjacency rows of the (static) topology, one per node — the
+   slot universe the wire format indexes into. *)
+let rows_of_config config =
+  let g = config.Linkrev.Config.initial in
+  Array.init (Digraph.num_nodes g) (fun u ->
+      Array.of_list (Node.Set.elements (Digraph.neighbors g u)))
+
+let slot_of (row : int array) w =
+  (* invariant: if present, w is in row.[lo, hi) *)
+  let lo = ref 0 and hi = ref (Array.length row) in
+  while !hi - !lo > 1 do
+    let mid = (!lo + !hi) / 2 in
+    if row.(mid) <= w then lo := mid else hi := mid
+  done;
+  if !lo < Array.length row && row.(!lo) = w then !lo
+  else invalid_arg "slot_of: not a neighbour"
+
+let observer ~writer ~rows ~graph_of ~actors ~engine =
+  fun { Lr_automata.Execution.before; action; after } ->
+    let gb = graph_of before and ga = graph_of after in
+    Node.Set.iter
+      (fun u ->
+        let rev = reversed_by gb ga u in
+        ignore engine;
+        if Node.Set.is_empty rev then
+          (* only NewPR steps legitimately reverse nothing; replay
+             rejects a Dummy under any other engine *)
+          Writer.dummy writer u
+        else
+          let slots =
+            Array.of_list
+              (List.map (slot_of rows.(u)) (Node.Set.elements rev))
+          in
+          Writer.step writer ~node:u ~slots ~len:(Array.length slots))
+      (actors action)
+
+let persistent (type s a) ?max_steps ?seed ~path ~engine ~scheduler config
+    (algo : (s, a) Linkrev.Algo.t) =
+  let writer = Writer.create path (Event.header_of_config ?seed engine config) in
+  match
+    let t0 = Unix.gettimeofday () in
+    let out =
+      Linkrev.Executor.run ?max_steps
+        ~observe:
+          (observer ~writer ~rows:(rows_of_config config)
+             ~graph_of:algo.Linkrev.Algo.graph_of
+             ~actors:algo.Linkrev.Algo.actors ~engine)
+        ~scheduler ~destination:config.Linkrev.Config.destination algo
+    in
+    (out, wall_ns t0)
+  with
+  | out, dt ->
+      let stats =
+        Writer.close writer
+          {
+            Event.work = out.Linkrev.Executor.total_node_steps;
+            edge_reversals = out.Linkrev.Executor.edge_reversals;
+            wall_ns = dt;
+            final_fingerprint =
+              Digraph.fingerprint out.Linkrev.Executor.final_graph;
+          }
+      in
+      (out, stats)
+  | exception e ->
+      Writer.abort writer;
+      raise e

@@ -1,0 +1,71 @@
+(** Recording executions to trace files.
+
+    Two front ends share the {!Writer} wire format:
+
+    - {!fast} / {!fast_new_pr} attach a {!Lr_fast.Fast_sink.t} to a flat
+      engine, batching its per-flip callbacks into one step event per
+      scheduler firing.  Recording reuses a scratch array, so the
+      engines' zero-allocation step loops stay zero-allocation.
+    - {!persistent} records a run of a persistent {!Linkrev.Algo.t}
+      through {!Linkrev.Executor.run}'s [?observe] hook, diffing
+      before/after orientations to recover each actor's reversed set.
+
+    Both close the trace with an end record carrying the run's work
+    totals and the final orientation fingerprint; if the recorded run
+    raises, the file is left without an end record (which {!Reader}
+    reports as truncated) and the exception is re-raised. *)
+
+open Lr_graph
+
+val sink : Writer.t -> Lr_fast.Fast_sink.t * (unit -> unit)
+(** Low-level recording sink plus its flush function.  The flush must
+    be called after the run (before {!Writer.close}) to emit the final
+    pending step.  Prefer {!fast} / {!fast_new_pr}. *)
+
+val fast :
+  ?max_steps:int ->
+  ?seed:int ->
+  path:string ->
+  rule:Lr_fast.Fast_engine.rule ->
+  Linkrev.Config.t ->
+  Lr_fast.Fast_outcome.t * Writer.stats
+(** Run [Fast_engine] on [config] under [rule], recording to [path]. *)
+
+val fast_new_pr :
+  ?max_steps:int ->
+  ?seed:int ->
+  path:string ->
+  Linkrev.Config.t ->
+  Lr_fast.Fast_outcome.t * Writer.stats
+(** Run [Fast_new_pr] on [config], recording to [path] (dummy steps
+    appear as [Dummy] events). *)
+
+val rows_of_config : Linkrev.Config.t -> int array array
+(** Sorted adjacency rows of the topology — the slot universe the wire
+    format indexes into (row [u], slot [i] = [u]'s [i]-th neighbour in
+    ascending id order). *)
+
+val observer :
+  writer:Writer.t ->
+  rows:int array array ->
+  graph_of:('s -> Digraph.t) ->
+  actors:('a -> Node.Set.t) ->
+  engine:Event.engine ->
+  ('s, 'a) Lr_automata.Execution.step ->
+  unit
+(** Observation hook serializing persistent steps, for callers driving
+    {!Linkrev.Executor.run} themselves; [rows] is
+    {!rows_of_config} of the recorded config.  The caller still owns
+    the writer (header and end record). *)
+
+val persistent :
+  ?max_steps:int ->
+  ?seed:int ->
+  path:string ->
+  engine:Event.engine ->
+  scheduler:('s, 'a) Lr_automata.Scheduler.t ->
+  Linkrev.Config.t ->
+  ('s, 'a) Linkrev.Algo.t ->
+  Linkrev.Executor.outcome * Writer.stats
+(** Record a full persistent run: header from [config], one event per
+    actor per step, end record from the outcome. *)

@@ -72,6 +72,31 @@ let test_run_trials_engine_workload () =
   check_bool "identical per-seed outcomes" true (seq = par);
   check_int "all trials ran" 12 (List.length seq)
 
+let test_run_trials_reports_failing_trial () =
+  check_bool "Trial_error carries the failing index" true
+    (try
+       ignore
+         (P.run_trials ~jobs:4 ~trials:100 (fun ~trial ~rng:_ ->
+              if trial = 57 then failwith "boom" else trial));
+       false
+     with P.Trial_error { trial = 57; exn } -> (
+       match exn with Failure m -> String.equal m "boom" | _ -> false));
+  (* the printer names the trial *)
+  let msg =
+    try
+      ignore
+        (P.run_trials ~jobs:2 ~trials:10 (fun ~trial ~rng:_ ->
+             if trial = 3 then failwith "bad trial" else ()));
+      ""
+    with e -> Printexc.to_string e
+  in
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec at i = i + nn <= nh && (String.sub hay i nn = needle || at (i + 1)) in
+    at 0
+  in
+  check_bool "printer mentions trial 3" true (contains msg "trial 3")
+
 let test_trial_rng_reproducible () =
   let a = Random.State.int (P.trial_rng 5) 1_000_000 in
   let b = Random.State.int (P.trial_rng 5) 1_000_000 in
@@ -96,6 +121,8 @@ let () =
       suite "run_trials"
         [
           case "deterministic across job counts" test_run_trials_deterministic;
+          case "failures name the failing trial"
+            test_run_trials_reports_failing_trial;
           case "engine workload pooled = sequential"
             test_run_trials_engine_workload;
           case "trial rng reproducible" test_trial_rng_reproducible;
