@@ -657,10 +657,255 @@ module Trace_cli = struct
       [ record_cmd; replay_cmd; audit_cmd; stats_cmd ]
 end
 
+(* {1 serve / loadgen} *)
+
+module Service_cli = struct
+  module Wl = Lr_service.Workload
+  module Svc = Lr_service.Service
+  module Metrics = Lr_service.Metrics
+
+  let rule_conv =
+    let parse = function
+      | "partial" | "pr" -> Ok Lr_routing.Maintenance.Partial_reversal
+      | "full" | "fr" -> Ok Lr_routing.Maintenance.Full_reversal
+      | s -> Error (`Msg (Printf.sprintf "unknown rule %S (partial, full)" s))
+    in
+    Arg.conv
+      ( parse,
+        fun ppf r ->
+          Fmt.string ppf
+            (match r with
+            | Lr_routing.Maintenance.Partial_reversal -> "partial"
+            | Lr_routing.Maintenance.Full_reversal -> "full") )
+
+  (* workload spec arguments, shared by serve and loadgen *)
+  let shards_arg =
+    Arg.(value & opt int 16
+         & info [ "shards" ] ~docv:"K" ~doc:"Number of destination shards.")
+
+  let nodes_arg =
+    Arg.(value & opt int 24
+         & info [ "nodes"; "n" ] ~docv:"N" ~doc:"Nodes per shard graph.")
+
+  let extra_edges_arg =
+    Arg.(value & opt int 16
+         & info [ "extra-edges" ] ~docv:"E"
+             ~doc:"Chords beyond the spanning tree, per shard.")
+
+  let ops_arg =
+    Arg.(value & opt int 20_000
+         & info [ "ops" ] ~docv:"N" ~doc:"Length of the op stream.")
+
+  let mix_arg =
+    Arg.(
+      value
+      & opt (t3 ~sep:'/' int int int) (90, 9, 1)
+      & info [ "mix" ] ~docv:"R/C/X"
+          ~doc:
+            "Op mix weights route/churn/crash (churn splits evenly into \
+             link-down and link-up).")
+
+  let skew_arg =
+    Arg.(value & opt float 0.8
+         & info [ "skew" ] ~docv:"S"
+             ~doc:
+               "Zipf exponent of shard popularity; 0 = uniform, larger = \
+                hotter hot shards.")
+
+  let stats_every_arg =
+    Arg.(value & opt int 0
+         & info [ "stats-every" ] ~docv:"K"
+             ~doc:"Insert a stats barrier op every $(docv) ops (0 = never).")
+
+  let spec_term =
+    let make shards nodes extra_edges seed ops (route, churn, crash) skew
+        stats_every =
+      { Wl.shards; nodes; extra_edges; seed; ops;
+        mix = { Wl.route; churn; crash }; skew; stats_every }
+    in
+    Term.(
+      const make $ shards_arg $ nodes_arg $ extra_edges_arg $ seed_arg
+      $ ops_arg $ mix_arg $ skew_arg $ stats_every_arg)
+
+  let loadgen_cmd =
+    let out_arg =
+      Arg.(
+        required
+        & opt (some string) None
+        & info [ "output"; "o" ] ~docv:"FILE"
+            ~doc:"Write the workload to $(docv).")
+    in
+    let loadgen spec out =
+      match Wl.generate spec with
+      | exception Invalid_argument e -> `Error (false, e)
+      | ops ->
+          Wl.save out spec ops;
+          Format.printf "wrote %s: %s@." out (Wl.describe spec);
+          `Ok ()
+    in
+    let term = Term.(ret (const loadgen $ spec_term $ out_arg)) in
+    Cmd.v
+      (Cmd.info "loadgen"
+         ~doc:
+           "Generate a deterministic service workload file (replayed \
+            bit-identically by 'serve --workload').")
+      term
+
+  let serve_cmd =
+    let workload_arg =
+      Arg.(
+        value
+        & opt (some file) None
+        & info [ "workload"; "w" ] ~docv:"FILE"
+            ~doc:
+              "Replay the op stream from $(docv) (written by 'linkrev \
+               loadgen') instead of generating one; the file's spec \
+               overrides the generation flags.")
+    in
+    let queue_bound_arg =
+      Arg.(
+        value & opt int Svc.default_config.Svc.queue_bound
+        & info [ "queue-bound" ] ~docv:"B"
+            ~doc:
+              "Per-shard queue capacity; ops beyond it are answered \
+               'rejected overloaded' instead of queueing unboundedly.")
+    in
+    let window_arg =
+      Arg.(
+        value & opt int Svc.default_config.Svc.window
+        & info [ "window" ] ~docv:"W" ~doc:"Ops admitted per dispatch round.")
+    in
+    let rule_arg =
+      Arg.(
+        value & opt rule_conv Lr_routing.Maintenance.Partial_reversal
+        & info [ "rule" ] ~docv:"RULE"
+            ~doc:"Maintenance rule: partial (PR) or full (FR).")
+    in
+    let no_validate_arg =
+      Arg.(
+        value & flag
+        & info [ "no-validate" ]
+            ~doc:
+              "Skip the in-service route validation (every path checked \
+               height- and orientation-descending; on by default).")
+    in
+    let trace_dir_arg =
+      Arg.(
+        value
+        & opt (some string) None
+        & info [ "trace-dir" ] ~docv:"DIR"
+            ~doc:
+              "Record each shard's initial-orientation stabilization as a \
+               replayable LRT1 trace in $(docv) (audit with 'linkrev trace \
+               audit').")
+    in
+    let serve spec workload jobs queue_bound window rule no_validate trace_dir
+        =
+      let loaded =
+        match workload with
+        | None -> (
+            match Wl.generate spec with
+            | exception Invalid_argument e -> Error e
+            | ops -> Ok (spec, ops))
+        | Some path -> Wl.load path
+      in
+      match loaded with
+      | Error e -> `Error (false, e)
+      | Ok (spec, ops) ->
+          let cfg =
+            { Svc.jobs; queue_bound; window; rule; validate = not no_validate }
+          in
+          let svc =
+            try Ok (Svc.create ?trace_dir cfg (Wl.shard_configs spec))
+            with Invalid_argument e -> Error e
+          in
+          (match svc with
+          | Error e -> `Error (false, e)
+          | Ok svc ->
+              Fun.protect
+                ~finally:(fun () -> Svc.shutdown svc)
+                (fun () ->
+                  Format.printf "%s@." (Wl.describe spec);
+                  let responses, seconds =
+                    Lr_parallel.Pool.timed (fun () -> Svc.run svc ops)
+                  in
+                  let snap = Svc.metrics svc in
+                  let t = snap.Metrics.snapshot_totals in
+                  let rows =
+                    Array.to_list
+                      (Array.mapi
+                         (fun i per ->
+                           [
+                             string_of_int i;
+                             string_of_int per.Metrics.served;
+                             string_of_int per.Metrics.routes;
+                             string_of_int per.Metrics.no_routes;
+                             string_of_int per.Metrics.link_events;
+                             string_of_int per.Metrics.crashes;
+                             string_of_int per.Metrics.rejected;
+                             string_of_int per.Metrics.reversal_steps;
+                             string_of_int per.Metrics.max_queue_depth;
+                           ])
+                         snap.Metrics.snapshot_per_shard)
+                  in
+                  Lr_analysis.Table.print
+                    ~title:
+                      (Printf.sprintf "per-shard metrics (%d domains, rule %s)"
+                         jobs
+                         (match rule with
+                         | Lr_routing.Maintenance.Partial_reversal -> "partial"
+                         | Lr_routing.Maintenance.Full_reversal -> "full"))
+                    (Lr_analysis.Table.make
+                       ~headers:
+                         [ "shard"; "served"; "routes"; "no-route"; "links";
+                           "crashes"; "rejected"; "rev steps"; "max q" ]
+                       rows);
+                  Format.printf "totals: %s@." (Metrics.totals_line t);
+                  Format.printf
+                    "latency (ms over %d samples): p50 %.3f, p95 %.3f, p99 \
+                     %.3f@."
+                    snap.Metrics.latency_samples
+                    (1000.0 *. snap.Metrics.latency.Lr_analysis.Stats.p50)
+                    (1000.0 *. snap.Metrics.latency.Lr_analysis.Stats.p95)
+                    (1000.0 *. snap.Metrics.latency.Lr_analysis.Stats.p99);
+                  Format.printf "throughput: %.0f ops/s (%.3f s wall)@."
+                    (float_of_int (Array.length ops) /. Float.max 1e-9 seconds)
+                    seconds;
+                  Format.printf "fingerprint: %s@."
+                    (Svc.fingerprint responses snap);
+                  let leaked = Svc.rejected_in responses <> t.Metrics.rejected in
+                  if leaked then
+                    Format.printf
+                      "FAILURE: %d rejected responses vs %d rejected in \
+                       metrics@."
+                      (Svc.rejected_in responses) t.Metrics.rejected;
+                  if t.Metrics.validation_failures > 0 then
+                    Format.printf "FAILURE: %d route validation failures@."
+                      t.Metrics.validation_failures;
+                  if leaked || t.Metrics.validation_failures > 0 then
+                    `Error (false, "service correctness check failed")
+                  else `Ok ()))
+    in
+    let term =
+      Term.(
+        ret
+          (const serve $ spec_term $ workload_arg $ jobs_arg $ queue_bound_arg
+          $ window_arg $ rule_arg $ no_validate_arg $ trace_dir_arg))
+    in
+    Cmd.v
+      (Cmd.info "serve"
+         ~doc:
+           "Run the sharded routing service over a workload and print its \
+            metrics report (validated routes, backpressure, latency \
+            percentiles).")
+      term
+end
+
 let main_cmd =
   let doc = "link reversal algorithms (Partial Reversal Acyclicity reproduction)" in
   Cmd.group (Cmd.info "linkrev" ~version:"1.0.0" ~doc)
     [ run_cmd; sweep_cmd; check_cmd; game_cmd; stats_cmd; theorems_cmd;
-      tora_cmd; generate_cmd; Trace_cli.cmd ]
+      tora_cmd; generate_cmd; Trace_cli.cmd; Service_cli.serve_cmd;
+      Service_cli.loadgen_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -10,6 +10,14 @@ val median : float list -> float
 val percentile : float -> float list -> float
 (** [percentile p xs] for [p] in [0, 100], nearest-rank. *)
 
+type percentiles = { p50 : float; p95 : float; p99 : float }
+(** The latency summary the serving layer reports against its SLOs. *)
+
+val percentiles : float list -> percentiles
+(** Nearest-rank p50/p95/p99 from one sorted copy of the input (the
+    per-call sort of {!percentile} three times over would be wasteful
+    on large latency sample sets).  All zero on the empty list. *)
+
 val minimum : float list -> float
 val maximum : float list -> float
 

@@ -1,0 +1,12 @@
+(** The result record every flat-array engine returns — PR, FR
+    ({!Fast_engine}) and NewPR ({!Fast_new_pr}) agree on it, so
+    harnesses can compare engines without conversion and hot paths
+    allocate exactly one record plus one int array per run. *)
+
+type t = {
+  work : int;  (** Total node steps (dummy steps included for NewPR). *)
+  steps_per_node : int array;  (** Indexed by node id. *)
+  edge_reversals : int;
+  quiescent : bool;  (** False only when [max_steps] was hit. *)
+  destination_oriented : bool;
+}

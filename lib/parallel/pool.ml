@@ -74,3 +74,136 @@ let timed f =
   let t0 = Unix.gettimeofday () in
   let r = f () in
   (r, Unix.gettimeofday () -. t0)
+
+module Persistent = struct
+  (* Generation-stamped dispatch: [run] installs a task and bumps
+     [generation] under the lock; workers sleeping on [start] wake,
+     steal chunks off the shared cursor, then report through
+     [finished].  [run] waits until all [jobs - 1] workers have
+     reported, so at every [run] entry the whole pool is provably
+     parked on [start] — no worker can miss a wake-up. *)
+  type t = {
+    pjobs : int;
+    mutable task : int -> unit;
+    mutable total : int;
+    mutable chunk : int;
+    cursor : int Atomic.t;
+    failure : (exn * Printexc.raw_backtrace) option Atomic.t;
+    mutable generation : int;
+    mutable finished : int;
+    mutable stopped : bool;
+    lock : Mutex.t;
+    start : Condition.t;
+    idle : Condition.t;
+    mutable domains : unit Domain.t list;
+  }
+
+  let jobs t = t.pjobs
+
+  (* One round of chunked work-stealing; first exception wins and
+     stops every participant at its next claim. *)
+  let steal ~task ~total ~chunk ~cursor ~failure =
+    let continue_ = ref true in
+    while !continue_ do
+      let lo = Atomic.fetch_and_add cursor chunk in
+      if lo >= total || Atomic.get failure <> None then continue_ := false
+      else
+        let hi = min total (lo + chunk) in
+        try
+          for i = lo to hi - 1 do
+            task i
+          done
+        with e ->
+          let bt = Printexc.get_raw_backtrace () in
+          ignore (Atomic.compare_and_set failure None (Some (e, bt)));
+          continue_ := false
+    done
+
+  let worker t =
+    let seen = ref 0 in
+    let running = ref true in
+    while !running do
+      Mutex.lock t.lock;
+      while (not t.stopped) && t.generation = !seen do
+        Condition.wait t.start t.lock
+      done;
+      if t.stopped then begin
+        Mutex.unlock t.lock;
+        running := false
+      end
+      else begin
+        seen := t.generation;
+        let task = t.task and total = t.total and chunk = t.chunk in
+        Mutex.unlock t.lock;
+        steal ~task ~total ~chunk ~cursor:t.cursor ~failure:t.failure;
+        Mutex.lock t.lock;
+        t.finished <- t.finished + 1;
+        Condition.broadcast t.idle;
+        Mutex.unlock t.lock
+      end
+    done
+
+  let create ~jobs =
+    if jobs < 1 then invalid_arg "Pool.Persistent.create: jobs must be >= 1";
+    let t =
+      {
+        pjobs = jobs;
+        task = ignore;
+        total = 0;
+        chunk = 1;
+        cursor = Atomic.make 0;
+        failure = Atomic.make None;
+        generation = 0;
+        finished = 0;
+        stopped = false;
+        lock = Mutex.create ();
+        start = Condition.create ();
+        idle = Condition.create ();
+        domains = [];
+      }
+    in
+    t.domains <- List.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker t));
+    t
+
+  let run ?(chunk = 1) t n f =
+    if n < 0 then invalid_arg "Pool.Persistent.run: negative range";
+    if chunk < 1 then invalid_arg "Pool.Persistent.run: chunk must be positive";
+    if t.stopped then invalid_arg "Pool.Persistent.run: pool is shut down";
+    if n = 0 then ()
+    else if t.pjobs = 1 || n = 1 then
+      for i = 0 to n - 1 do
+        f i
+      done
+    else begin
+      Mutex.lock t.lock;
+      t.task <- f;
+      t.total <- n;
+      t.chunk <- chunk;
+      Atomic.set t.cursor 0;
+      Atomic.set t.failure None;
+      t.finished <- 0;
+      t.generation <- t.generation + 1;
+      Condition.broadcast t.start;
+      Mutex.unlock t.lock;
+      steal ~task:f ~total:n ~chunk ~cursor:t.cursor ~failure:t.failure;
+      Mutex.lock t.lock;
+      while t.finished < t.pjobs - 1 do
+        Condition.wait t.idle t.lock
+      done;
+      t.task <- ignore;
+      Mutex.unlock t.lock;
+      match Atomic.get t.failure with
+      | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+      | None -> ()
+    end
+
+  let shutdown t =
+    if not t.stopped then begin
+      Mutex.lock t.lock;
+      t.stopped <- true;
+      Condition.broadcast t.start;
+      Mutex.unlock t.lock;
+      List.iter Domain.join t.domains;
+      t.domains <- []
+    end
+end

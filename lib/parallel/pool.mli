@@ -54,3 +54,39 @@ val timed : (unit -> 'a) -> 'a * float
 (** Result plus wall-clock seconds ([Unix.gettimeofday], not
     [Sys.time]: CPU time aggregates across domains and would hide any
     parallel speedup). *)
+
+(** A resident domain pool for long-lived services.
+
+    {!map_range} spawns and joins its domains on every call, which is
+    fine for one-shot experiment sweeps but wrong for a service that
+    dispatches thousands of small rounds: domain spawn costs would
+    dwarf the work.  A persistent pool spawns its [jobs - 1] worker
+    domains once; each {!Persistent.run} wakes them for one round of
+    chunked work-stealing over an index range and waits for quiescence.
+    Like {!map_range}, results must be written to per-index slots by the
+    task itself, which keeps outcomes independent of scheduling. *)
+module Persistent : sig
+  type t
+
+  val create : jobs:int -> t
+  (** Spawns [jobs - 1] worker domains (none when [jobs = 1]; the
+      caller always participates in rounds).
+      @raise Invalid_argument when [jobs < 1]. *)
+
+  val jobs : t -> int
+
+  val run : ?chunk:int -> t -> int -> (int -> unit) -> unit
+  (** [run t n f] executes [f 0 .. f (n-1)], spread over the pool's
+      domains with chunked work-stealing ([chunk] consecutive indices
+      claimed at a time, default 1 — service rounds are coarse-grained).
+      Returns when every index has been executed.  If any [f i] raises,
+      the remaining indices are abandoned and the first exception
+      observed is re-raised in the caller after all workers go idle.
+      Not reentrant: one round at a time per pool.
+      @raise Invalid_argument on a negative [n], a non-positive
+      [chunk], or a pool that was {!shutdown}. *)
+
+  val shutdown : t -> unit
+  (** Joins the worker domains.  Idempotent; the pool is unusable
+      afterwards. *)
+end

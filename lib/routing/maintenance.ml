@@ -31,6 +31,9 @@ let is_destination_oriented t =
 
 let height t u = Node.Map.find u t.heights
 
+let compare_heights t u v =
+  Heights.compare_pr_height (height t u) (height t v)
+
 let raise_height t u =
   let nbrs = Digraph.neighbors t.graph u in
   let hs = Node.Set.fold (fun v acc -> height t v :: acc) nbrs [] in

@@ -41,6 +41,13 @@ val route : t -> Node.t -> Node.t list option
 (** A directed path from the node to the destination, if the node is
     currently connected to it. *)
 
+val compare_heights : t -> Node.t -> Node.t -> int
+(** Order of the two nodes' current heights (positive when the first is
+    higher).  Every link is directed from its higher endpoint to its
+    lower one, so a correct route descends strictly in this order — the
+    serving layer uses it to validate returned paths independently of
+    the orientation bits.  @raise Not_found on unknown nodes. *)
+
 val fail_link : t -> Node.t -> Node.t -> change_result
 (** Remove a link.  @raise Invalid_argument if absent. *)
 

@@ -1,0 +1,143 @@
+type counters = {
+  mutable served : int;
+  mutable routes : int;
+  mutable no_routes : int;
+  mutable link_events : int;
+  mutable noops : int;
+  mutable crashes : int;
+  mutable partitions : int;
+  mutable reversal_steps : int;
+  mutable rejected : int;
+  mutable validation_failures : int;
+  mutable max_queue_depth : int;
+}
+
+type totals = {
+  served : int;
+  routes : int;
+  no_routes : int;
+  link_events : int;
+  noops : int;
+  crashes : int;
+  partitions : int;
+  reversal_steps : int;
+  rejected : int;
+  validation_failures : int;
+  max_queue_depth : int;
+  stats_ops : int;
+}
+
+(* Growable latency sample buffer — one per shard, appended to only by
+   the worker currently owning that shard. *)
+type samples = { mutable data : float array; mutable len : int }
+
+type t = {
+  counters : counters array;
+  latencies : samples array;
+  mutable stats_ops : int;
+}
+
+let fresh_counters () =
+  {
+    served = 0;
+    routes = 0;
+    no_routes = 0;
+    link_events = 0;
+    noops = 0;
+    crashes = 0;
+    partitions = 0;
+    reversal_steps = 0;
+    rejected = 0;
+    validation_failures = 0;
+    max_queue_depth = 0;
+  }
+
+let create ~shards =
+  if shards < 1 then invalid_arg "Metrics.create: need at least one shard";
+  {
+    counters = Array.init shards (fun _ -> fresh_counters ());
+    latencies = Array.init shards (fun _ -> { data = Array.make 64 0.0; len = 0 });
+    stats_ops = 0;
+  }
+
+let num_shards t = Array.length t.counters
+let shard t i = t.counters.(i)
+let bump_stats t = t.stats_ops <- t.stats_ops + 1
+
+let record_latency t ~shard dt =
+  let b = t.latencies.(shard) in
+  if b.len = Array.length b.data then begin
+    let grown = Array.make (2 * b.len) 0.0 in
+    Array.blit b.data 0 grown 0 b.len;
+    b.data <- grown
+  end;
+  b.data.(b.len) <- dt;
+  b.len <- b.len + 1
+
+let totals_of_counters ~stats_ops (c : counters) =
+  {
+    served = c.served + stats_ops;
+    routes = c.routes;
+    no_routes = c.no_routes;
+    link_events = c.link_events;
+    noops = c.noops;
+    crashes = c.crashes;
+    partitions = c.partitions;
+    reversal_steps = c.reversal_steps;
+    rejected = c.rejected;
+    validation_failures = c.validation_failures;
+    max_queue_depth = c.max_queue_depth;
+    stats_ops;
+  }
+
+let per_shard t =
+  Array.map (totals_of_counters ~stats_ops:0) t.counters
+
+let totals t =
+  let acc = fresh_counters () in
+  Array.iter
+    (fun (c : counters) ->
+      acc.served <- acc.served + c.served;
+      acc.routes <- acc.routes + c.routes;
+      acc.no_routes <- acc.no_routes + c.no_routes;
+      acc.link_events <- acc.link_events + c.link_events;
+      acc.noops <- acc.noops + c.noops;
+      acc.crashes <- acc.crashes + c.crashes;
+      acc.partitions <- acc.partitions + c.partitions;
+      acc.reversal_steps <- acc.reversal_steps + c.reversal_steps;
+      acc.rejected <- acc.rejected + c.rejected;
+      acc.validation_failures <- acc.validation_failures + c.validation_failures;
+      acc.max_queue_depth <- max acc.max_queue_depth c.max_queue_depth)
+    t.counters;
+  totals_of_counters ~stats_ops:t.stats_ops acc
+
+type snapshot = {
+  snapshot_totals : totals;
+  snapshot_per_shard : totals array;
+  latency : Lr_analysis.Stats.percentiles;
+  latency_samples : int;
+}
+
+let snapshot t =
+  let all =
+    Array.fold_left
+      (fun acc b ->
+        let rec take i acc = if i < 0 then acc else take (i - 1) (b.data.(i) :: acc) in
+        take (b.len - 1) acc)
+      [] t.latencies
+  in
+  {
+    snapshot_totals = totals t;
+    snapshot_per_shard = per_shard t;
+    latency = Lr_analysis.Stats.percentiles all;
+    latency_samples = List.length all;
+  }
+
+let totals_line c =
+  Printf.sprintf
+    "served=%d routes=%d no_routes=%d link_events=%d noops=%d crashes=%d \
+     partitions=%d reversal_steps=%d rejected=%d validation_failures=%d \
+     max_queue_depth=%d stats_ops=%d"
+    c.served c.routes c.no_routes c.link_events c.noops c.crashes c.partitions
+    c.reversal_steps c.rejected c.validation_failures c.max_queue_depth
+    c.stats_ops

@@ -1,0 +1,77 @@
+(** The service's metrics registry.
+
+    Counters are split per shard so that worker domains update them
+    without contention (a shard's ops are serialized, and a shard's
+    counter record is touched by exactly one worker per round), and so
+    that totals are aggregated in fixed shard order — deterministic
+    regardless of the domain count.  Latency samples are wall-clock
+    measurements and therefore the one deliberately non-deterministic
+    part of the registry; they are kept out of {!totals_line}, which is
+    what determinism fingerprints hash. *)
+
+type counters = {
+  mutable served : int;  (** Ops executed (rejected ops excluded). *)
+  mutable routes : int;  (** [Path] responses. *)
+  mutable no_routes : int;  (** Honest [No_route] responses. *)
+  mutable link_events : int;  (** Link ops that changed the graph. *)
+  mutable noops : int;  (** Inapplicable ops (absent link, dead node…). *)
+  mutable crashes : int;  (** Destination crashes handled. *)
+  mutable partitions : int;  (** Link failures that cut nodes off. *)
+  mutable reversal_steps : int;  (** Node reversal work performed. *)
+  mutable rejected : int;  (** Backpressure [Rejected `Overloaded]. *)
+  mutable validation_failures : int;
+      (** Route responses that failed the in-service acyclicity check —
+          any nonzero value is a bug in the reversal engine. *)
+  mutable max_queue_depth : int;  (** High-water mark of the shard queue. *)
+}
+
+(** Immutable aggregate of {!counters}; [stats_ops] counts service-level
+    [Stats] snapshots (never attributed to a shard). *)
+type totals = {
+  served : int;
+  routes : int;
+  no_routes : int;
+  link_events : int;
+  noops : int;
+  crashes : int;
+  partitions : int;
+  reversal_steps : int;
+  rejected : int;
+  validation_failures : int;
+  max_queue_depth : int;
+  stats_ops : int;
+}
+
+type t
+
+val create : shards:int -> t
+val num_shards : t -> int
+
+val shard : t -> int -> counters
+(** The mutable counter record of one shard. *)
+
+val bump_stats : t -> unit
+(** Count one served [Stats] snapshot. *)
+
+val record_latency : t -> shard:int -> float -> unit
+(** Append one admission-to-completion latency sample (seconds). *)
+
+val totals : t -> totals
+(** Aggregated over shards in index order (deterministic). *)
+
+val per_shard : t -> totals array
+(** Each shard's counters as immutable totals ([stats_ops = 0]). *)
+
+type snapshot = {
+  snapshot_totals : totals;
+  snapshot_per_shard : totals array;
+  latency : Lr_analysis.Stats.percentiles;  (** Seconds, over all samples. *)
+  latency_samples : int;
+}
+
+val snapshot : t -> snapshot
+
+val totals_line : totals -> string
+(** Canonical one-line rendering of every deterministic counter — the
+    unit determinism fingerprints are built from.  Latency never
+    appears here. *)

@@ -1,0 +1,73 @@
+type t =
+  | Route of { shard : int; src : int }
+  | Link_down of { shard : int; u : int; v : int }
+  | Link_up of { shard : int; u : int; v : int }
+  | Crash_destination of { shard : int }
+  | Stats
+
+let shard_of = function
+  | Route { shard; _ }
+  | Link_down { shard; _ }
+  | Link_up { shard; _ }
+  | Crash_destination { shard } ->
+      Some shard
+  | Stats -> None
+
+type response =
+  | Path of int list
+  | No_route
+  | Repaired of { node_steps : int }
+  | Cut of { lost : int }
+  | Linked of { node_steps : int }
+  | New_destination of { leader : int; node_steps : int }
+  | Noop
+  | Snapshot of Metrics.totals
+  | Rejected of [ `Overloaded ]
+
+let to_line = function
+  | Route { shard; src } -> Printf.sprintf "route %d %d" shard src
+  | Link_down { shard; u; v } -> Printf.sprintf "down %d %d %d" shard u v
+  | Link_up { shard; u; v } -> Printf.sprintf "up %d %d %d" shard u v
+  | Crash_destination { shard } -> Printf.sprintf "crash %d" shard
+  | Stats -> "stats"
+
+let of_line line =
+  let words =
+    String.split_on_char ' ' (String.trim line)
+    |> List.filter (fun w -> w <> "")
+  in
+  let int w = int_of_string_opt w in
+  match words with
+  | [ "route"; s; src ] -> (
+      match (int s, int src) with
+      | Some shard, Some src -> Ok (Route { shard; src })
+      | _ -> Error (Printf.sprintf "bad route line %S" line))
+  | [ "down"; s; u; v ] -> (
+      match (int s, int u, int v) with
+      | Some shard, Some u, Some v -> Ok (Link_down { shard; u; v })
+      | _ -> Error (Printf.sprintf "bad down line %S" line))
+  | [ "up"; s; u; v ] -> (
+      match (int s, int u, int v) with
+      | Some shard, Some u, Some v -> Ok (Link_up { shard; u; v })
+      | _ -> Error (Printf.sprintf "bad up line %S" line))
+  | [ "crash"; s ] -> (
+      match int s with
+      | Some shard -> Ok (Crash_destination { shard })
+      | None -> Error (Printf.sprintf "bad crash line %S" line))
+  | [ "stats" ] -> Ok Stats
+  | _ -> Error (Printf.sprintf "unknown op line %S" line)
+
+let response_to_string = function
+  | Path nodes -> "path " ^ String.concat ">" (List.map string_of_int nodes)
+  | No_route -> "no-route"
+  | Repaired { node_steps } -> Printf.sprintf "repaired %d" node_steps
+  | Cut { lost } -> Printf.sprintf "cut %d" lost
+  | Linked { node_steps } -> Printf.sprintf "linked %d" node_steps
+  | New_destination { leader; node_steps } ->
+      Printf.sprintf "new-destination %d %d" leader node_steps
+  | Noop -> "noop"
+  | Snapshot totals -> "snapshot " ^ Metrics.totals_line totals
+  | Rejected `Overloaded -> "rejected overloaded"
+
+let pp ppf op = Format.pp_print_string ppf (to_line op)
+let pp_response ppf r = Format.pp_print_string ppf (response_to_string r)

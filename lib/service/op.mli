@@ -1,0 +1,55 @@
+(** The service's typed operation stream and response vocabulary.
+
+    One line of a workload file is one op; the textual form below is the
+    workload wire format ({!to_line} / {!of_line}) and the canonical
+    response rendering ({!response_to_string}) is what determinism
+    fingerprints hash, so both must stay stable. *)
+
+type t =
+  | Route of { shard : int; src : int }
+      (** Serve a route request from [src] to the shard's destination. *)
+  | Link_down of { shard : int; u : int; v : int }
+      (** The link [{u,v}] failed.  A no-op if absent. *)
+  | Link_up of { shard : int; u : int; v : int }
+      (** The link [{u,v}] appeared.  A no-op if present or touching a
+          crashed node. *)
+  | Crash_destination of { shard : int }
+      (** The shard's destination crashed; elect a replacement
+          ({!Failover}) and re-orient toward it. *)
+  | Stats  (** Snapshot the service-wide counters (a dispatch barrier). *)
+
+val shard_of : t -> int option
+(** [None] for [Stats], which is handled by the dispatcher. *)
+
+type response =
+  | Path of int list
+      (** A validated route: strictly height- and orientation-descending
+          from the source to the shard's destination. *)
+  | No_route  (** The source is honestly cut off from the destination. *)
+  | Repaired of { node_steps : int }
+      (** Link failure absorbed; the reversal cascade ran to quiescence. *)
+  | Cut of { lost : int }
+      (** Link failure partitioned [lost] nodes away from the
+          destination. *)
+  | Linked of { node_steps : int }
+      (** Link added (and any newly enabled reversals run). *)
+  | New_destination of { leader : int; node_steps : int }
+      (** Failover outcome: the elected leader and the re-orientation
+          work spent adopting it. *)
+  | Noop  (** The op was inapplicable in the current shard state. *)
+  | Snapshot of Metrics.totals
+  | Rejected of [ `Overloaded ]
+      (** Backpressure: the shard's bounded queue was full at admission. *)
+
+val to_line : t -> string
+(** Workload-file line: ["route S SRC"], ["down S U V"], ["up S U V"],
+    ["crash S"], ["stats"]. *)
+
+val of_line : string -> (t, string) result
+(** Inverse of {!to_line}; rejects malformed lines with a message. *)
+
+val response_to_string : response -> string
+(** Canonical deterministic rendering (used for fingerprints). *)
+
+val pp : Format.formatter -> t -> unit
+val pp_response : Format.formatter -> response -> unit

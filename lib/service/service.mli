@@ -1,0 +1,72 @@
+(** The sharded, domain-parallel routing service.
+
+    Execution model: the dispatcher admits ops from the stream in
+    windows.  Within a window each op is appended to its shard's
+    bounded queue — or answered [Rejected `Overloaded] on the spot when
+    the queue is full, so memory never grows past
+    [window + shards * queue_bound] pending ops.  The window is then
+    executed as one round on the resident domain pool: each busy shard
+    is drained by exactly one worker, in admission order.  That gives
+    the two guarantees the serving layer is built on:
+
+    - {b per-shard serialization} — a shard's ops execute in stream
+      order (windows are admitted in order and drained fully before the
+      next one starts);
+    - {b determinism} — which ops are admitted, every response, and
+      every counter depend only on the op stream, never on the domain
+      count or scheduling (responses land in per-op slots, counters are
+      per-shard).  Only latency {e values} are wall-clock measurements.
+
+    A [Stats] op is a dispatch barrier: it terminates the current
+    window and snapshots the counters once every earlier op has
+    completed, so snapshots are deterministic too. *)
+
+type config = {
+  jobs : int;  (** Domains (the dispatcher participates in rounds). *)
+  queue_bound : int;  (** Per-shard queue capacity within a window. *)
+  window : int;
+      (** Ops consumed from the stream per round (admitted or rejected
+          — a rejection spends window budget too, so an overloaded
+          round still ends and drains). *)
+  rule : Lr_routing.Maintenance.rule;
+  validate : bool;  (** In-service route validation (default on). *)
+}
+
+val default_config : config
+(** [jobs = 1], [queue_bound = 128], [window = 256], Partial Reversal,
+    validation on.  The window is deliberately close to the queue bound:
+    a much larger window lets one hot shard overflow its queue inside a
+    single round even at modest load. *)
+
+type t
+
+val create : ?trace_dir:string -> config -> Linkrev.Config.t array -> t
+(** One shard per instance, each stabilized on creation.  When
+    [trace_dir] is given, the stabilization of every shard's initial
+    orientation is recorded there as a replayable LRT1 trace
+    ([shard-NNN.lrt], via {!Lr_trace.Record.fast} — auditable with
+    [linkrev trace audit]).  @raise Invalid_argument on an empty
+    instance array or a non-positive [jobs]/[queue_bound]/[window]. *)
+
+val num_shards : t -> int
+val shard : t -> int -> Shard.t
+val config : t -> config
+
+val run : t -> Op.t array -> Op.response array
+(** Execute the stream; slot [i] answers op [i].  Ops must name shards
+    in range ([Workload.load]/[generate] guarantee it).
+    @raise Invalid_argument on an out-of-range shard id. *)
+
+val metrics : t -> Metrics.snapshot
+
+val fingerprint : Op.response array -> Metrics.snapshot -> string
+(** Hex digest over the canonical rendering of all responses plus all
+    deterministic counters (latency excluded) — byte-identical across
+    [jobs] settings for the same stream. *)
+
+val rejected_in : Op.response array -> int
+(** Count of [Rejected] responses — must equal the metrics' rejected
+    counter (the "no leaked rejections" check). *)
+
+val shutdown : t -> unit
+(** Join the pool's domains.  Idempotent. *)

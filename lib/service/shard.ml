@@ -1,0 +1,165 @@
+open Lr_graph
+open Lr_routing
+
+type t = {
+  sid : int;
+  rule : Maintenance.rule;
+  mutable m : Maintenance.t;
+  mutable dead : Node.Set.t;
+  mutable epoch : int;
+  mutable work_base : int;  (* total_work of retired maintenance sessions *)
+}
+
+let create ~rule ~id config =
+  { sid = id; rule; m = Maintenance.create rule config; dead = Node.Set.empty;
+    epoch = 0; work_base = 0 }
+
+let id t = t.sid
+let destination t = Maintenance.destination t.m
+let graph t = Maintenance.graph t.m
+let dead t = t.dead
+let epoch t = t.epoch
+let total_work t = t.work_base + Maintenance.total_work t.m
+
+type outcome = {
+  response : Op.response;
+  work : int;
+  validation_failures : int;
+}
+
+let mem_node t u = Node.Set.mem u (Digraph.nodes (graph t))
+
+(* The in-service checker: a path must start at the source, end at the
+   destination, and descend strictly in both the orientation and the
+   height order at every hop.  Strict height descent rules out loops on
+   its own, so a validated path is a witness of acyclicity along the
+   route. *)
+let path_valid t ~src path =
+  let g = graph t in
+  let dest = destination t in
+  let rec hops = function
+    | a :: (b :: _ as rest) ->
+        Digraph.mem_edge g a b
+        && Digraph.dir g a b = Digraph.Out
+        && Maintenance.compare_heights t.m a b > 0
+        && hops rest
+    | [ last ] -> Node.equal last dest
+    | [] -> false
+  in
+  match path with first :: _ -> Node.equal first src && hops path | [] -> false
+
+let route ~validate t src =
+  if not (mem_node t src) then { response = Op.Noop; work = 0; validation_failures = 0 }
+  else
+    match Maintenance.route t.m src with
+    | Some path ->
+        let bad = validate && not (path_valid t ~src path) in
+        {
+          response = Op.Path path;
+          work = 0;
+          validation_failures = (if bad then 1 else 0);
+        }
+    | None ->
+        (* An honest No_route means the source really cannot reach the
+           destination; a directed path existing despite the refusal is
+           an engine bug the validator must surface. *)
+        let bad = validate && Digraph.has_path (graph t) src (destination t) in
+        { response = Op.No_route; work = 0; validation_failures = (if bad then 1 else 0) }
+
+let link_down t u v =
+  let g = graph t in
+  if Node.equal u v || (not (mem_node t u)) || (not (mem_node t v))
+     || not (Digraph.mem_edge g u v)
+  then { response = Op.Noop; work = 0; validation_failures = 0 }
+  else begin
+    let before = Maintenance.total_work t.m in
+    let result = Maintenance.fail_link t.m u v in
+    (* [Partitioned] still stabilizes the destination's side; the work
+       delta covers both branches. *)
+    let work = Maintenance.total_work t.m - before in
+    match result with
+    | Maintenance.Stabilized { node_steps; _ } ->
+        { response = Op.Repaired { node_steps }; work; validation_failures = 0 }
+    | Maintenance.Partitioned lost ->
+        { response = Op.Cut { lost = Node.Set.cardinal lost }; work;
+          validation_failures = 0 }
+  end
+
+let link_up t u v =
+  let g = graph t in
+  if Node.equal u v || (not (mem_node t u)) || (not (mem_node t v))
+     || Digraph.mem_edge g u v
+     || Node.Set.mem u t.dead || Node.Set.mem v t.dead
+  then { response = Op.Noop; work = 0; validation_failures = 0 }
+  else begin
+    let before = Maintenance.total_work t.m in
+    Maintenance.add_link t.m u v;
+    let node_steps = Maintenance.total_work t.m - before in
+    { response = Op.Linked { node_steps }; work = node_steps;
+      validation_failures = 0 }
+  end
+
+let crash_destination t =
+  let old = destination t in
+  let g = graph t in
+  let live u = not (Node.Set.mem u t.dead) in
+  if
+    not
+      (Node.Set.exists
+         (fun u -> live u && not (Node.equal u old))
+         (Digraph.nodes g))
+  then { response = Op.Noop; work = 0; validation_failures = 0 }
+  else
+    match Linkrev.Config.make g ~destination:old with
+    | Error _ ->
+        (* The serving graph went inconsistent — count it, don't crash. *)
+        { response = Op.Noop; work = 0; validation_failures = 1 }
+    | Ok config ->
+        let outcomes = Failover.elect_after_destination_failure t.rule config in
+        let candidates =
+          List.filter (fun o -> live o.Failover.leader) outcomes
+        in
+        let primary =
+          List.fold_left
+            (fun best o ->
+              match best with
+              | None -> Some o
+              | Some b ->
+                  let key o =
+                    (Node.Set.cardinal o.Failover.members, o.Failover.leader)
+                  in
+                  if compare (key o) (key b) > 0 then Some o else Some b)
+            None candidates
+        in
+        (match primary with
+        | None -> { response = Op.Noop; work = 0; validation_failures = 0 }
+        | Some o ->
+            let leader = o.Failover.leader in
+            let stripped =
+              Node.Set.fold
+                (fun v g -> Digraph.remove_edge g old v)
+                (Digraph.neighbors g old) g
+            in
+            t.work_base <- t.work_base + Maintenance.total_work t.m;
+            t.dead <- Node.Set.add old t.dead;
+            t.m <-
+              Maintenance.create t.rule
+                (Linkrev.Config.make_exn stripped ~destination:leader);
+            t.epoch <- t.epoch + 1;
+            (* The adoption work is the fresh session's stabilization —
+               the reversals actually performed on this shard's state
+               (Failover's own re-orientation ran on a throwaway copy). *)
+            let node_steps = Maintenance.total_work t.m in
+            { response = Op.New_destination { leader; node_steps };
+              work = node_steps; validation_failures = 0 })
+
+let apply ?(validate = true) t op =
+  match op with
+  | Op.Route { src; _ } -> route ~validate t src
+  | Op.Link_down { u; v; _ } -> link_down t u v
+  | Op.Link_up { u; v; _ } -> link_up t u v
+  | Op.Crash_destination _ -> crash_destination t
+  | Op.Stats -> invalid_arg "Shard.apply: Stats is a dispatcher-level op"
+
+let consistent t =
+  Digraph.is_acyclic (graph t) && Maintenance.is_destination_oriented t.m

@@ -1,0 +1,48 @@
+(** One service shard: a destination-oriented link reversal instance
+    kept alive under churn by {!Lr_routing.Maintenance}.
+
+    Every [Route] response is validated in place — a returned path must
+    be strictly height- and orientation-descending into the shard's
+    destination, and a [No_route] answer must be honest (the source
+    really has no directed path) — so the serving layer continuously
+    re-checks the paper's acyclicity guarantee on live traffic instead
+    of trusting the engine.  A destination crash is delegated to
+    {!Lr_routing.Failover} for the election; the shard then adopts the
+    elected leader by rebuilding its maintenance session on the
+    crash-stripped graph (the crashed node stays in the skeleton,
+    isolated and marked dead). *)
+
+open Lr_graph
+open Lr_routing
+
+type t
+
+val create : rule:Maintenance.rule -> id:int -> Linkrev.Config.t -> t
+(** Stabilizes the initial instance (like [Maintenance.create]). *)
+
+val id : t -> int
+val destination : t -> Node.t
+val graph : t -> Digraph.t
+val dead : t -> Node.Set.t
+(** Crashed former destinations (isolated; excluded from elections). *)
+
+val epoch : t -> int
+(** Number of destination failovers survived. *)
+
+val total_work : t -> int
+(** Cumulative reversal steps across all epochs. *)
+
+type outcome = {
+  response : Op.response;
+  work : int;  (** Reversal steps this op performed. *)
+  validation_failures : int;  (** 0 or 1. *)
+}
+
+val apply : ?validate:bool -> t -> Op.t -> outcome
+(** Execute one op ([Stats] and [Rejected] never reach a shard; [Stats]
+    raises [Invalid_argument]).  [validate] (default [true]) controls
+    the in-service route check. *)
+
+val consistent : t -> bool
+(** The shard's structural invariant, for tests: graph acyclic and the
+    destination's component destination-oriented. *)

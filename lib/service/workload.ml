@@ -1,0 +1,215 @@
+open Lr_graph
+
+type mix = { route : int; churn : int; crash : int }
+
+type spec = {
+  shards : int;
+  nodes : int;
+  extra_edges : int;
+  seed : int;
+  ops : int;
+  mix : mix;
+  skew : float;
+  stats_every : int;
+}
+
+let default_mix = { route = 90; churn = 9; crash = 1 }
+
+let validate_spec s =
+  if s.shards < 1 then invalid_arg "Workload: need at least one shard";
+  if s.nodes < 2 then invalid_arg "Workload: shards need at least 2 nodes";
+  if s.extra_edges < 0 then invalid_arg "Workload: negative extra_edges";
+  if s.ops < 0 then invalid_arg "Workload: negative op count";
+  if s.mix.route < 0 || s.mix.churn < 0 || s.mix.crash < 0 then
+    invalid_arg "Workload: negative mix weight";
+  if s.mix.route + s.mix.churn + s.mix.crash <= 0 then
+    invalid_arg "Workload: empty mix";
+  if s.skew < 0.0 then invalid_arg "Workload: negative skew";
+  if s.stats_every < 0 then invalid_arg "Workload: negative stats_every"
+
+let rng_of spec salt = Random.State.make [| 0x5eed; spec.seed; salt |]
+
+(* Cumulative Zipf weights over shard ids; sampling is a linear scan
+   (shard counts are small — tens, not thousands). *)
+let popularity spec =
+  let cum = Array.make spec.shards 0.0 in
+  let total = ref 0.0 in
+  for i = 0 to spec.shards - 1 do
+    total := !total +. (float_of_int (i + 1) ** -.spec.skew);
+    cum.(i) <- !total
+  done;
+  cum
+
+let pick_shard rng cum =
+  let total = cum.(Array.length cum - 1) in
+  let r = Random.State.float rng total in
+  let rec scan i = if r <= cum.(i) || i = Array.length cum - 1 then i else scan (i + 1) in
+  scan 0
+
+let generate spec =
+  validate_spec spec;
+  let rng = rng_of spec 0 in
+  let cum = popularity spec in
+  let mix_total = spec.mix.route + spec.mix.churn + spec.mix.crash in
+  let distinct_pair () =
+    let u = Random.State.int rng spec.nodes in
+    let rec other () =
+      let v = Random.State.int rng spec.nodes in
+      if v = u then other () else v
+    in
+    (u, other ())
+  in
+  Array.init spec.ops (fun k ->
+      if spec.stats_every > 0 && (k + 1) mod spec.stats_every = 0 then Op.Stats
+      else
+        let shard = pick_shard rng cum in
+        let roll = Random.State.int rng mix_total in
+        if roll < spec.mix.route then
+          Op.Route { shard; src = Random.State.int rng spec.nodes }
+        else if roll < spec.mix.route + spec.mix.churn then begin
+          let u, v = distinct_pair () in
+          if Random.State.bool rng then Op.Link_down { shard; u; v }
+          else Op.Link_up { shard; u; v }
+        end
+        else Op.Crash_destination { shard })
+
+let shard_config spec shard =
+  Linkrev.Config.of_instance
+    (Generators.random_connected_dag
+       (rng_of spec (shard + 1))
+       ~n:spec.nodes ~extra_edges:spec.extra_edges)
+
+let shard_configs spec =
+  validate_spec spec;
+  Array.init spec.shards (shard_config spec)
+
+let magic = "lrw1"
+
+let save path spec ops =
+  validate_spec spec;
+  if Array.length ops <> spec.ops then
+    invalid_arg "Workload.save: op count does not match the spec";
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      Printf.fprintf oc "%s\n" magic;
+      Printf.fprintf oc "shards %d\n" spec.shards;
+      Printf.fprintf oc "nodes %d\n" spec.nodes;
+      Printf.fprintf oc "extra-edges %d\n" spec.extra_edges;
+      Printf.fprintf oc "seed %d\n" spec.seed;
+      Printf.fprintf oc "mix %d %d %d\n" spec.mix.route spec.mix.churn
+        spec.mix.crash;
+      Printf.fprintf oc "skew %.17g\n" spec.skew;
+      Printf.fprintf oc "stats-every %d\n" spec.stats_every;
+      Printf.fprintf oc "ops %d\n" spec.ops;
+      Array.iter (fun op -> Printf.fprintf oc "%s\n" (Op.to_line op)) ops)
+
+let valid_op spec = function
+  | Op.Stats -> Ok ()
+  | Op.Route { shard; src } ->
+      if shard < 0 || shard >= spec.shards then Error "shard out of range"
+      else if src < 0 || src >= spec.nodes then Error "source out of range"
+      else Ok ()
+  | Op.Link_down { shard; u; v } | Op.Link_up { shard; u; v } ->
+      if shard < 0 || shard >= spec.shards then Error "shard out of range"
+      else if u < 0 || u >= spec.nodes || v < 0 || v >= spec.nodes then
+        Error "endpoint out of range"
+      else if u = v then Error "self-loop"
+      else Ok ()
+  | Op.Crash_destination { shard } ->
+      if shard < 0 || shard >= spec.shards then Error "shard out of range"
+      else Ok ()
+
+let load path =
+  let ( let* ) = Result.bind in
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let line_no = ref 0 in
+      let next () =
+        match In_channel.input_line ic with
+        | Some l ->
+            incr line_no;
+            Ok (String.trim l)
+        | None -> Error (Printf.sprintf "%s: unexpected end of file" path)
+      in
+      let fail fmt = Printf.ksprintf (fun m -> Error (path ^ ": " ^ m)) fmt in
+      let key_int key line =
+        match String.split_on_char ' ' line with
+        | [ k; v ] when k = key -> (
+            match int_of_string_opt v with
+            | Some n -> Ok n
+            | None -> fail "line %d: bad %s value %S" !line_no key v)
+        | _ -> fail "line %d: expected %S header, got %S" !line_no key line
+      in
+      let* first = next () in
+      let* () =
+        if first = magic then Ok ()
+        else fail "not a %s workload file (first line %S)" magic first
+      in
+      let* shards = Result.bind (next ()) (key_int "shards") in
+      let* nodes = Result.bind (next ()) (key_int "nodes") in
+      let* extra_edges = Result.bind (next ()) (key_int "extra-edges") in
+      let* seed = Result.bind (next ()) (key_int "seed") in
+      let* mix =
+        let* line = next () in
+        match String.split_on_char ' ' line with
+        | [ "mix"; r; c; x ] -> (
+            match
+              (int_of_string_opt r, int_of_string_opt c, int_of_string_opt x)
+            with
+            | Some route, Some churn, Some crash -> Ok { route; churn; crash }
+            | _ -> fail "line %d: bad mix %S" !line_no line)
+        | _ -> fail "line %d: expected mix header, got %S" !line_no line
+      in
+      let* skew =
+        let* line = next () in
+        match String.split_on_char ' ' line with
+        | [ "skew"; v ] -> (
+            match float_of_string_opt v with
+            | Some f -> Ok f
+            | None -> fail "line %d: bad skew %S" !line_no v)
+        | _ -> fail "line %d: expected skew header, got %S" !line_no line
+      in
+      let* stats_every = Result.bind (next ()) (key_int "stats-every") in
+      let* ops_count = Result.bind (next ()) (key_int "ops") in
+      let spec =
+        { shards; nodes; extra_edges; seed; ops = ops_count; mix; skew;
+          stats_every }
+      in
+      let* () =
+        match validate_spec spec with
+        | () -> Ok ()
+        | exception Invalid_argument m -> fail "invalid spec: %s" m
+      in
+      let ops = Array.make ops_count Op.Stats in
+      let rec read k =
+        if k = ops_count then Ok ()
+        else
+          let* line = next () in
+          if line = "" then read k
+          else
+            let* op =
+              match Op.of_line line with
+              | Ok op -> Ok op
+              | Error e -> fail "line %d: %s" !line_no e
+            in
+            let* () =
+              match valid_op spec op with
+              | Ok () -> Ok ()
+              | Error e -> fail "line %d: %s (%S)" !line_no e line
+            in
+            ops.(k) <- op;
+            read (k + 1)
+      in
+      let* () = read 0 in
+      Ok (spec, ops))
+
+let describe spec =
+  Printf.sprintf
+    "%d ops over %d shards (%d nodes, %d extra edges each), seed %d, mix \
+     %d/%d/%d route/churn/crash, skew %.2f"
+    spec.ops spec.shards spec.nodes spec.extra_edges spec.seed spec.mix.route
+    spec.mix.churn spec.mix.crash spec.skew

@@ -131,6 +131,61 @@ let test_churn_sequence () =
       (M.is_destination_oriented m)
   done
 
+(* The serving-layer contract, exercised hard: over hundreds of link
+   events per seed the structure must stay acyclic and the
+   destination's side oriented, and every [Partitioned] verdict must be
+   honest — the reported nodes truly have no directed path back. *)
+let test_long_churn_stays_sound () =
+  List.iter
+    (fun rule ->
+      List.iter
+        (fun seed ->
+          let config = random_config ~extra_edges:25 ~seed 18 in
+          let m = M.create rule config in
+          let dest = M.destination m in
+          let r = rng (1000 + seed) in
+          let events = ref 0 in
+          while !events < 200 do
+            let g = M.graph m in
+            let changed =
+              if Random.State.bool r then begin
+                match Digraph.directed_edges g with
+                | [] -> false
+                | edges ->
+                    let u, v =
+                      List.nth edges (Random.State.int r (List.length edges))
+                    in
+                    (match M.fail_link m u v with
+                    | M.Stabilized _ -> ()
+                    | M.Partitioned lost ->
+                        check_bool "partition verdict is honest" true
+                          (Node.Set.for_all
+                             (fun n -> not (Digraph.has_path (M.graph m) n dest))
+                             lost));
+                    true
+              end
+              else begin
+                let nodes = Node.Set.elements (Digraph.nodes g) in
+                let pick () = List.nth nodes (Random.State.int r (List.length nodes)) in
+                let u = pick () and v = pick () in
+                if (not (Node.equal u v)) && not (Digraph.mem_edge g u v) then begin
+                  M.add_link m u v;
+                  true
+                end
+                else false
+              end
+            in
+            if changed then begin
+              incr events;
+              check_bool "acyclic under long churn" true
+                (Digraph.is_acyclic (M.graph m));
+              check_bool "destination side oriented under long churn" true
+                (M.is_destination_oriented m)
+            end
+          done)
+        [ 1; 2; 3 ])
+    [ M.Partial_reversal; M.Full_reversal ]
+
 let () =
   Alcotest.run "maintenance"
     [
@@ -146,5 +201,7 @@ let () =
           case "node crashes" test_fail_node_crash;
           case "work accumulates" test_work_accumulates;
           case "random churn stays sound" test_churn_sequence;
+          case "long seeded churn stays sound (200 events x 3 seeds x 2 rules)"
+            test_long_churn_stays_sound;
         ];
     ]

@@ -107,6 +107,73 @@ let test_trial_rng_reproducible () =
 let test_recommended_jobs_positive () =
   check_bool "at least one domain" true (P.recommended_jobs () >= 1)
 
+module PP = P.Persistent
+
+let with_pool ~jobs f =
+  let pool = PP.create ~jobs in
+  Fun.protect ~finally:(fun () -> PP.shutdown pool) (fun () -> f pool)
+
+let test_persistent_matches_sequential () =
+  List.iter
+    (fun jobs ->
+      with_pool ~jobs (fun pool ->
+          List.iter
+            (fun n ->
+              let expected = Array.init n (fun i -> (i * 37) - (i mod 5)) in
+              let got = Array.make (max n 1) min_int in
+              PP.run pool n (fun i -> got.(i) <- (i * 37) - (i mod 5));
+              Alcotest.check int_array
+                (Printf.sprintf "jobs=%d n=%d" jobs n)
+                expected
+                (Array.sub got 0 n))
+            [ 0; 1; 7; 100; 1000 ]))
+    [ 1; 2; 3; 8 ]
+
+(* The whole point of the resident pool: many small rounds on the same
+   domains.  Every round must see the full effect of the previous one
+   (run is a barrier). *)
+let test_persistent_reused_across_rounds () =
+  with_pool ~jobs:4 (fun pool ->
+      let acc = Array.make 64 0 in
+      for _ = 1 to 200 do
+        PP.run pool 64 (fun i -> acc.(i) <- acc.(i) + 1)
+      done;
+      Alcotest.check int_array "200 increments everywhere"
+        (Array.make 64 200) acc)
+
+let test_persistent_propagates_exceptions () =
+  with_pool ~jobs:4 (fun pool ->
+      check_bool "raises" true
+        (try
+           PP.run pool 100 (fun i -> if i = 57 then failwith "round died");
+           false
+         with Failure m -> String.equal m "round died");
+      (* the pool survives a failing round *)
+      let hits = Array.make 10 0 in
+      PP.run pool 10 (fun i -> hits.(i) <- 1);
+      Alcotest.check int_array "usable after failure" (Array.make 10 1) hits)
+
+let test_persistent_rejects_bad_args () =
+  check_bool "zero jobs raises" true
+    (try ignore (PP.create ~jobs:0); false
+     with Invalid_argument _ -> true);
+  with_pool ~jobs:2 (fun pool ->
+      check_int "jobs accessor" 2 (PP.jobs pool);
+      check_bool "negative n raises" true
+        (try PP.run pool (-1) ignore; false
+         with Invalid_argument _ -> true);
+      check_bool "zero chunk raises" true
+        (try PP.run ~chunk:0 pool 4 ignore; false
+         with Invalid_argument _ -> true))
+
+let test_persistent_shutdown_idempotent () =
+  let pool = PP.create ~jobs:3 in
+  PP.run pool 5 ignore;
+  PP.shutdown pool;
+  PP.shutdown pool;
+  check_bool "run after shutdown raises" true
+    (try PP.run pool 5 ignore; false with Invalid_argument _ -> true)
+
 let () =
   Alcotest.run "pool"
     [
@@ -127,5 +194,15 @@ let () =
             test_run_trials_engine_workload;
           case "trial rng reproducible" test_trial_rng_reproducible;
           case "recommended_jobs >= 1" test_recommended_jobs_positive;
+        ];
+      suite "persistent"
+        [
+          case "matches sequential for all job counts"
+            test_persistent_matches_sequential;
+          case "reusable across many rounds" test_persistent_reused_across_rounds;
+          case "worker exceptions propagate, pool survives"
+            test_persistent_propagates_exceptions;
+          case "bad arguments rejected" test_persistent_rejects_bad_args;
+          case "shutdown idempotent" test_persistent_shutdown_idempotent;
         ];
     ]

@@ -1,0 +1,245 @@
+open Helpers
+module S = Lr_service.Service
+module W = Lr_service.Workload
+module Op = Lr_service.Op
+module Shard = Lr_service.Shard
+module Metrics = Lr_service.Metrics
+module Node = Lr_graph.Node
+
+let spec ?(shards = 6) ?(nodes = 12) ?(extra_edges = 8) ?(seed = 5)
+    ?(ops = 600) ?(mix = W.default_mix) ?(skew = 0.8) ?(stats_every = 0) () =
+  { W.shards; nodes; extra_edges; seed; ops; mix; skew; stats_every }
+
+let churny = { W.route = 60; churn = 35; crash = 5 }
+
+let with_service ?trace_dir ?(jobs = 1) ?(queue_bound = 128) ?(window = 256)
+    spec f =
+  let cfg = { S.default_config with S.jobs; queue_bound; window } in
+  let svc = S.create ?trace_dir cfg (W.shard_configs spec) in
+  Fun.protect ~finally:(fun () -> S.shutdown svc) (fun () -> f svc)
+
+let run_spec ?(jobs = 1) ?(queue_bound = 128) ?(window = 256) spec =
+  with_service ~jobs ~queue_bound ~window spec (fun svc ->
+      let responses = S.run svc (W.generate spec) in
+      (responses, S.metrics svc))
+
+(* The headline guarantee: responses, counters, and hence the
+   fingerprint depend only on the op stream — never on the domain
+   count. *)
+let test_deterministic_across_jobs () =
+  let s = spec ~mix:churny ~stats_every:71 () in
+  let r1, m1 = run_spec ~jobs:1 s in
+  List.iter
+    (fun jobs ->
+      let rj, mj = run_spec ~jobs s in
+      check_bool (Printf.sprintf "responses jobs=%d = jobs=1" jobs) true
+        (r1 = rj);
+      check_bool
+        (Printf.sprintf "fingerprint jobs=%d = jobs=1" jobs)
+        true
+        (S.fingerprint r1 m1 = S.fingerprint rj mj))
+    [ 2; 3; 8 ]
+
+let test_validation_clean_and_consistent () =
+  let s = spec ~mix:churny ~ops:800 () in
+  with_service s (fun svc ->
+      let responses = S.run svc (W.generate s) in
+      let m = S.metrics svc in
+      check_int "zero validation failures" 0
+        m.Metrics.snapshot_totals.Metrics.validation_failures;
+      check_bool "some routes answered" true
+        (m.Metrics.snapshot_totals.Metrics.routes > 0);
+      for i = 0 to S.num_shards svc - 1 do
+        check_bool
+          (Printf.sprintf "shard %d consistent after churn" i)
+          true
+          (Shard.consistent (S.shard svc i))
+      done;
+      ignore responses)
+
+let test_every_op_accounted () =
+  let s = spec ~mix:churny ~ops:700 ~stats_every:50 () in
+  let responses, m = run_spec s in
+  let t = m.Metrics.snapshot_totals in
+  check_int "served + rejected = ops" s.W.ops (t.Metrics.served + t.Metrics.rejected);
+  check_int "no leaked rejections" t.Metrics.rejected (S.rejected_in responses);
+  (* per-shard totals roll up to the global ones *)
+  let shard_served =
+    Array.fold_left
+      (fun acc per -> acc + per.Metrics.served)
+      0 m.Metrics.snapshot_per_shard
+  in
+  check_int "per-shard served rolls up" t.Metrics.served
+    (shard_served + t.Metrics.stats_ops)
+
+let test_backpressure_rejects_deterministically () =
+  (* A hot shard (strong skew) against a tiny queue bound must shed
+     load — and which ops are shed must not depend on jobs. *)
+  let s = spec ~shards:4 ~ops:900 ~skew:3.0 () in
+  let r1, m1 = run_spec ~queue_bound:2 ~window:128 ~jobs:1 s in
+  let t1 = m1.Metrics.snapshot_totals in
+  check_bool "overload sheds ops" true (t1.Metrics.rejected > 0);
+  check_int "metrics match responses" t1.Metrics.rejected (S.rejected_in r1);
+  check_bool "queue depth respects the bound" true
+    (t1.Metrics.max_queue_depth <= 2);
+  let r4, m4 = run_spec ~queue_bound:2 ~window:128 ~jobs:4 s in
+  check_bool "same rejections at jobs=4" true (r1 = r4);
+  check_bool "same fingerprint at jobs=4" true
+    (S.fingerprint r1 m1 = S.fingerprint r4 m4);
+  (* a generous bound sheds nothing *)
+  let _, mb = run_spec ~queue_bound:1024 ~window:128 s in
+  check_int "no rejections with headroom" 0
+    mb.Metrics.snapshot_totals.Metrics.rejected
+
+let test_stats_barrier_counts () =
+  let s = spec ~ops:400 ~stats_every:60 ~mix:churny () in
+  let responses, _ = run_spec s in
+  Array.iteri
+    (fun i r ->
+      match r with
+      | Op.Snapshot t ->
+          (* the barrier means every earlier admitted op has completed:
+             served = executed ops before this index, plus the stats
+             ops up to and including this one *)
+          let expected = ref 0 in
+          for j = 0 to i do
+            match responses.(j) with
+            | Op.Rejected _ -> ()
+            | _ -> incr expected
+          done;
+          check_int
+            (Printf.sprintf "snapshot at op %d counts all prior ops" i)
+            !expected t.Metrics.served
+      | _ -> ())
+    responses
+
+let test_crashes_fail_over () =
+  let s = spec ~shards:3 ~nodes:10 ~ops:300 ~mix:{ W.route = 50; churn = 0; crash = 50 } () in
+  with_service s (fun svc ->
+      let responses = S.run svc (W.generate s) in
+      let m = S.metrics svc in
+      check_bool "elections happened" true
+        (m.Metrics.snapshot_totals.Metrics.crashes > 0);
+      check_int "zero validation failures across failovers" 0
+        m.Metrics.snapshot_totals.Metrics.validation_failures;
+      let epochs = ref 0 in
+      for i = 0 to S.num_shards svc - 1 do
+        let sh = S.shard svc i in
+        epochs := !epochs + Shard.epoch sh;
+        check_bool (Printf.sprintf "shard %d consistent" i) true
+          (Shard.consistent sh);
+        check_bool (Printf.sprintf "shard %d dead set matches epochs" i) true
+          (Node.Set.cardinal (Shard.dead sh) = Shard.epoch sh)
+      done;
+      check_bool "epochs advanced" true (!epochs > 0);
+      let leaders =
+        Array.fold_left
+          (fun acc r ->
+            match r with Op.New_destination _ -> acc + 1 | _ -> acc)
+          0 responses
+      in
+      check_int "every election produced a New_destination response"
+        m.Metrics.snapshot_totals.Metrics.crashes leaders)
+
+let test_shard_unit_behaviour () =
+  let s = spec ~shards:1 ~nodes:8 () in
+  let shard =
+    Shard.create ~rule:Lr_routing.Maintenance.Partial_reversal ~id:0
+      (W.shard_config s 0)
+  in
+  let dest = Shard.destination shard in
+  (* routes reach the destination *)
+  Node.Set.iter
+    (fun u ->
+      let o = Shard.apply shard (Op.Route { shard = 0; src = u }) in
+      match o.Shard.response with
+      | Op.Path path ->
+          check_int "path ends at destination" dest
+            (List.nth path (List.length path - 1));
+          check_int "validated" 0 o.Shard.validation_failures
+      | Op.No_route -> check_int "honest refusal" 0 o.Shard.validation_failures
+      | _ -> Alcotest.fail "route answered with a non-route response")
+    (Lr_graph.Digraph.nodes (Shard.graph shard));
+  (* inapplicable churn is a Noop, not an error *)
+  let o = Shard.apply shard (Op.Link_down { shard = 0; u = 0; v = 0 }) in
+  check_bool "self-loop down is a noop" true (o.Shard.response = Op.Noop);
+  let o = Shard.apply shard (Op.Route { shard = 0; src = 999 }) in
+  check_bool "unknown source is a noop" true (o.Shard.response = Op.Noop);
+  (* a crash elects a live leader and bumps the epoch *)
+  let o = Shard.apply shard (Op.Crash_destination { shard = 0 }) in
+  (match o.Shard.response with
+  | Op.New_destination { leader; _ } ->
+      check_bool "leader is live" true
+        (not (Node.Set.mem leader (Shard.dead shard)));
+      check_bool "old destination is dead" true
+        (Node.Set.mem dest (Shard.dead shard));
+      check_int "epoch bumped" 1 (Shard.epoch shard);
+      check_bool "consistent after failover" true (Shard.consistent shard)
+  | Op.Noop -> Alcotest.fail "crash with live candidates answered Noop"
+  | _ -> Alcotest.fail "crash answered with an unexpected response");
+  check_bool "Stats never reaches a shard" true
+    (try ignore (Shard.apply shard Op.Stats); false
+     with Invalid_argument _ -> true)
+
+let test_trace_dir_records_auditable_traces () =
+  let s = spec ~shards:3 ~nodes:8 ~ops:50 () in
+  let dir = Filename.temp_file "lrsvc" "" in
+  Sys.remove dir;
+  Fun.protect
+    ~finally:(fun () ->
+      if Sys.file_exists dir then begin
+        Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+        Sys.rmdir dir
+      end)
+    (fun () ->
+      with_service ~trace_dir:dir s (fun svc ->
+          ignore (S.run svc (W.generate s)));
+      for i = 0 to s.W.shards - 1 do
+        let path = Filename.concat dir (Printf.sprintf "shard-%03d.lrt" i) in
+        check_bool (Printf.sprintf "trace for shard %d exists" i) true
+          (Sys.file_exists path);
+        match Lr_trace.Audit.run path with
+        | Error e -> Alcotest.failf "audit of %s failed: %s" path e
+        | Ok report ->
+            check_bool
+              (Printf.sprintf "shard %d trace audits clean" i)
+              true
+              (Lr_trace.Audit.clean report)
+      done)
+
+let test_create_rejects_bad_config () =
+  let s = spec ~shards:2 () in
+  let configs = W.shard_configs s in
+  List.iter
+    (fun cfg ->
+      check_bool "bad config rejected" true
+        (try ignore (S.create cfg configs); false
+         with Invalid_argument _ -> true))
+    [
+      { S.default_config with S.jobs = 0 };
+      { S.default_config with S.queue_bound = 0 };
+      { S.default_config with S.window = 0 };
+    ];
+  check_bool "empty shard array rejected" true
+    (try ignore (S.create S.default_config [||]); false
+     with Invalid_argument _ -> true)
+
+let () =
+  Alcotest.run "service"
+    [
+      suite "service"
+        [
+          case "deterministic across job counts" test_deterministic_across_jobs;
+          case "validation clean, shards consistent"
+            test_validation_clean_and_consistent;
+          case "every op accounted for" test_every_op_accounted;
+          case "backpressure sheds load deterministically"
+            test_backpressure_rejects_deterministically;
+          case "stats barrier counts all prior ops" test_stats_barrier_counts;
+          case "destination crashes fail over" test_crashes_fail_over;
+          case "shard unit behaviour" test_shard_unit_behaviour;
+          case "trace dir records auditable traces"
+            test_trace_dir_records_auditable_traces;
+          case "bad configs rejected" test_create_rejects_bad_config;
+        ];
+    ]

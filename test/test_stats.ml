@@ -27,6 +27,30 @@ let test_percentile () =
   feq "p100" 100.0 (S.percentile 100.0 xs);
   feq "p0 clamps" 1.0 (S.percentile 0.0 xs)
 
+let test_percentiles_record () =
+  let xs = List.init 100 (fun i -> float_of_int (i + 1)) in
+  let p = S.percentiles xs in
+  feq "p50" 50.0 p.S.p50;
+  feq "p95" 95.0 p.S.p95;
+  feq "p99" 99.0 p.S.p99;
+  (* agrees with the scalar nearest-rank percentile on unsorted input *)
+  let r = rng 9 in
+  let ys = List.init 257 (fun _ -> Random.State.float r 1000.0) in
+  let q = S.percentiles ys in
+  feq "p50 matches percentile" (S.percentile 50.0 ys) q.S.p50;
+  feq "p95 matches percentile" (S.percentile 95.0 ys) q.S.p95;
+  feq "p99 matches percentile" (S.percentile 99.0 ys) q.S.p99
+
+let test_percentiles_degenerate () =
+  let z = S.percentiles [] in
+  feq "empty p50" 0.0 z.S.p50;
+  feq "empty p95" 0.0 z.S.p95;
+  feq "empty p99" 0.0 z.S.p99;
+  let s = S.percentiles [ 42.0 ] in
+  feq "singleton p50" 42.0 s.S.p50;
+  feq "singleton p95" 42.0 s.S.p95;
+  feq "singleton p99" 42.0 s.S.p99
+
 let test_min_max () =
   feq "min" 1.0 (S.minimum [ 3.0; 1.0; 2.0 ]);
   feq "max" 3.0 (S.maximum [ 3.0; 1.0; 2.0 ])
@@ -65,6 +89,8 @@ let () =
           case "stddev known value" test_stddev_known_value;
           case "median" test_median;
           case "percentile (nearest rank)" test_percentile;
+          case "percentiles record (p50/p95/p99)" test_percentiles_record;
+          case "percentiles degenerate inputs" test_percentiles_degenerate;
           case "min/max" test_min_max;
           case "linear fit" test_linear_fit;
           case "linear fit rejects degenerate input" test_linear_fit_rejects_degenerate;

@@ -1,0 +1,178 @@
+open Helpers
+module W = Lr_service.Workload
+module Op = Lr_service.Op
+
+let spec ?(shards = 6) ?(nodes = 12) ?(extra_edges = 8) ?(seed = 7)
+    ?(ops = 500) ?(mix = W.default_mix) ?(skew = 0.8) ?(stats_every = 0) () =
+  { W.shards; nodes; extra_edges; seed; ops; mix; skew; stats_every }
+
+let all_valid spec ops =
+  Array.for_all (fun op -> Result.is_ok (W.valid_op spec op)) ops
+
+let test_generate_deterministic () =
+  let s = spec () in
+  check_bool "same spec, same stream" true (W.generate s = W.generate s);
+  let s' = spec ~seed:8 () in
+  check_bool "different seed, different stream" true
+    (W.generate s <> W.generate s')
+
+let test_generate_in_range () =
+  let s = spec ~shards:4 ~nodes:9 ~ops:800 ~stats_every:37 () in
+  check_bool "every op within spec ranges" true (all_valid s (W.generate s))
+
+let test_mix_respected () =
+  let count pred ops = Array.fold_left (fun n op -> if pred op then n + 1 else n) 0 ops in
+  let routes = W.generate (spec ~mix:{ W.route = 1; churn = 0; crash = 0 } ()) in
+  check_int "pure route mix" 500
+    (count (function Op.Route _ -> true | _ -> false) routes);
+  let crashes = W.generate (spec ~mix:{ W.route = 0; churn = 0; crash = 1 } ()) in
+  check_int "pure crash mix" 500
+    (count (function Op.Crash_destination _ -> true | _ -> false) crashes);
+  let churn = W.generate (spec ~mix:{ W.route = 0; churn = 1; crash = 0 } ()) in
+  check_int "pure churn mix" 500
+    (count
+       (function Op.Link_down _ | Op.Link_up _ -> true | _ -> false)
+       churn)
+
+let test_stats_cadence () =
+  let s = spec ~ops:200 ~stats_every:25 () in
+  let ops = W.generate s in
+  Array.iteri
+    (fun k op ->
+      check_bool
+        (Printf.sprintf "op %d stats iff (k+1) mod 25 = 0" k)
+        ((k + 1) mod 25 = 0)
+        (op = Op.Stats))
+    ops
+
+let test_skew_orders_popularity () =
+  let s = spec ~shards:8 ~ops:4000 ~skew:1.5 () in
+  let ops = W.generate s in
+  let hits = Array.make s.W.shards 0 in
+  Array.iter
+    (fun op ->
+      match Op.shard_of op with
+      | Some sh -> hits.(sh) <- hits.(sh) + 1
+      | None -> ())
+    ops;
+  check_bool "shard 0 hotter than last shard" true
+    (hits.(0) > 2 * hits.(s.W.shards - 1));
+  (* skew 0 is roughly uniform: no shard below half the mean *)
+  let u = spec ~shards:8 ~ops:4000 ~skew:0.0 () in
+  let uhits = Array.make u.W.shards 0 in
+  Array.iter
+    (fun op ->
+      match Op.shard_of op with
+      | Some sh -> uhits.(sh) <- uhits.(sh) + 1
+      | None -> ())
+    (W.generate u);
+  Array.iteri
+    (fun i h ->
+      check_bool (Printf.sprintf "uniform shard %d not starved" i) true
+        (h > 4000 / (8 * 2)))
+    uhits
+
+let test_shard_configs_deterministic () =
+  let s = spec () in
+  let a = W.shard_configs s and b = W.shard_configs s in
+  check_int "one config per shard" s.W.shards (Array.length a);
+  let module Config = Linkrev.Config in
+  let module Node = Lr_graph.Node in
+  Array.iteri
+    (fun i ca ->
+      let cb = b.(i) in
+      check_bool
+        (Printf.sprintf "shard %d config reproducible" i)
+        true
+        (Node.Set.equal (Config.nodes ca) (Config.nodes cb)
+        && Node.Set.for_all
+             (fun u ->
+               Node.Set.equal (Config.out_nbrs ca u) (Config.out_nbrs cb u))
+             (Config.nodes ca)))
+    a
+
+let test_op_line_roundtrip () =
+  let s = spec ~ops:300 ~stats_every:17 ~mix:{ W.route = 3; churn = 3; crash = 2 } () in
+  Array.iter
+    (fun op ->
+      match Op.of_line (Op.to_line op) with
+      | Ok op' -> check_bool (Op.to_line op) true (op = op')
+      | Error e -> Alcotest.failf "%s did not parse: %s" (Op.to_line op) e)
+    (W.generate s);
+  check_bool "garbage rejected" true (Result.is_error (Op.of_line "frob 1 2"));
+  check_bool "short route rejected" true (Result.is_error (Op.of_line "route 1"))
+
+let test_save_load_roundtrip () =
+  let s = spec ~ops:250 ~stats_every:20 () in
+  let ops = W.generate s in
+  let path = Filename.temp_file "lrw" ".workload" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      W.save path s ops;
+      match W.load path with
+      | Error e -> Alcotest.failf "load failed: %s" e
+      | Ok (s', ops') ->
+          check_bool "spec round-trips" true (s = s');
+          check_bool "ops round-trip" true (ops = ops'))
+
+let test_load_rejects_corruption () =
+  let s = spec ~ops:10 () in
+  let ops = W.generate s in
+  let path = Filename.temp_file "lrw" ".workload" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let write lines =
+        let oc = open_out path in
+        List.iter (fun l -> output_string oc (l ^ "\n")) lines;
+        close_out oc
+      in
+      write [ "not-a-workload" ];
+      check_bool "bad magic" true (Result.is_error (W.load path));
+      W.save path s ops;
+      let lines = In_channel.with_open_text path In_channel.input_lines in
+      write (List.filteri (fun i _ -> i < List.length lines - 1) lines);
+      check_bool "truncated ops" true (Result.is_error (W.load path));
+      write
+        (List.map
+           (fun l -> if l = "shards 6" then "shards 0" else l)
+           lines);
+      check_bool "invalid spec" true (Result.is_error (W.load path));
+      write
+        (List.mapi
+           (fun i l -> if i = List.length lines - 1 then "route 99 0" else l)
+           lines);
+      check_bool "out-of-range shard in op" true (Result.is_error (W.load path)))
+
+let test_spec_validation () =
+  List.iter
+    (fun s ->
+      check_bool "bad spec rejected" true
+        (try ignore (W.generate s); false with Invalid_argument _ -> true))
+    [
+      spec ~shards:0 ();
+      spec ~nodes:1 ();
+      spec ~mix:{ W.route = 0; churn = 0; crash = 0 } ();
+      spec ~mix:{ W.route = -1; churn = 2; crash = 0 } ();
+      { (spec ()) with W.skew = -1.0 };
+      { (spec ()) with W.ops = -1 };
+    ]
+
+let () =
+  Alcotest.run "workload"
+    [
+      suite "workload"
+        [
+          case "generation is deterministic" test_generate_deterministic;
+          case "ops stay in range" test_generate_in_range;
+          case "mix weights respected" test_mix_respected;
+          case "stats cadence" test_stats_cadence;
+          case "zipf skew orders shard popularity" test_skew_orders_popularity;
+          case "shard configs reproducible" test_shard_configs_deterministic;
+          case "op text round-trips" test_op_line_roundtrip;
+          case "save/load round-trips" test_save_load_roundtrip;
+          case "load rejects corruption" test_load_rejects_corruption;
+          case "nonsensical specs rejected" test_spec_validation;
+        ];
+    ]
