@@ -8,7 +8,8 @@
 
    Run everything:      dune exec bench/main.exe
    Run one experiment:  dune exec bench/main.exe -- t1
-   (ids: t1 t2 t3 t4 t5 f1 f2 f3 f4 f5 f6 f7 f8 f9 parallel trace service micro)
+   (ids: t1 t2 t3 t4 t5 f1 f2 f3 f4 f5 f6 f7 f8 f9 parallel trace service
+   maintenance micro)
 
    --jobs N (or -j N) runs the trial loops on an N-domain pool; trial
    results are identical for every N (deterministic per-trial seeding).
@@ -318,13 +319,17 @@ let f1_active_sizes () =
   else f1_sizes
 
 (* The three D-F1 sweeps as one flat row list — deterministic families,
-   so the pool and the sequential loop must agree exactly. *)
+   so the pool and the sequential loop must agree exactly.  Served by
+   the fast engines: work is schedule-independent for FR and PR and the
+   engines are differentially tested against the persistent automata,
+   so the rows match the executor's, without its ~13 s of quadratic
+   persistent-map churn on the n=256 instances. *)
 let f1_sweeps () =
   let sizes = f1_active_sizes () in
   [
-    ("FR bad chain", fun ~jobs -> W.sweep ~jobs W.FR ~family:Generators.bad_chain ~sizes ());
-    ("PR sawtooth", fun ~jobs -> W.sweep ~jobs W.PR ~family:Generators.sawtooth ~sizes ());
-    ("PR bad chain", fun ~jobs -> W.sweep ~jobs W.PR ~family:Generators.bad_chain ~sizes ());
+    ("FR bad chain", fun ~jobs -> W.sweep_fast ~jobs W.FR ~family:Generators.bad_chain ~sizes ());
+    ("PR sawtooth", fun ~jobs -> W.sweep_fast ~jobs W.PR ~family:Generators.sawtooth ~sizes ());
+    ("PR bad chain", fun ~jobs -> W.sweep_fast ~jobs W.PR ~family:Generators.bad_chain ~sizes ());
   ]
 
 let f1_run ~jobs = List.map (fun (_, sweep) -> sweep ~jobs) (f1_sweeps ())
@@ -333,7 +338,7 @@ let f1 () =
   section "D-F1" "worst-case work: Theta(nb^2) for both FR and PR (cited bound)";
   let sizes = f1_sizes in
   let run algo family name expected =
-    let rows = W.sweep ~jobs:!jobs algo ~family ~sizes () in
+    let rows = W.sweep_fast ~jobs:!jobs algo ~family ~sizes () in
     T.print ~title:(Printf.sprintf "%s on %s" (W.algorithm_name algo) name)
       (W.rows_to_table algo rows);
     Printf.printf "growth exponent: %.2f (%s)\n\n" (W.exponent rows) expected
@@ -352,7 +357,7 @@ let f1 () =
     List.map
       (fun r ->
         (Printf.sprintf "n=%d" r.W.n, float_of_int r.W.work))
-      (W.sweep algo ~family ~sizes:[ 8; 16; 32; 64; 128 ] ())
+      (W.sweep_fast algo ~family ~sizes:[ 8; 16; 32; 64; 128 ] ())
   in
   print_endline "figure D-F1a: FR work on the bad chain (quadratic)";
   print_string
@@ -872,15 +877,29 @@ let parallel () =
      per-trial wall clocks land in BENCH_parallel.json); the parallel
      pass must reproduce the items bit for bit. *)
   let t1_result =
-    let active = t1_active_trials () in
+    (* Without the n=200 tail: the pool's speedup shows just as well on
+       the n<=100 trials, and trimming the sweep's worst instances keeps
+       the whole experiment in single-digit seconds (the f1 sweeps below
+       are already served by the fast engines).  D-T1 itself still runs
+       the full sizes. *)
+    let active =
+      Array.of_list
+        (List.filter (fun (n, _) -> n <= 100)
+           (Array.to_list (t1_active_trials ())))
+    in
     let timed = Array.map (fun tr -> P.timed (fun () -> t1_trial tr)) active in
     let seq_out = Array.map fst timed in
     let per_trial_seconds = Array.map snd timed in
     let seq_seconds = Array.fold_left ( +. ) 0.0 per_trial_seconds in
-    let par_out, par_seconds = P.timed (fun () -> t1_run ~jobs:par_jobs) in
+    let par_out, par_seconds =
+      P.timed (fun () ->
+          P.map_range ~jobs:par_jobs (Array.length active) (fun i ->
+              t1_trial active.(i)))
+    in
     {
       id =
-        Printf.sprintf "D-T1 trial sweep (%d random-DAG acyclicity trials)"
+        Printf.sprintf
+          "D-T1 trial sweep (%d random-DAG acyclicity trials, n<=100)"
           (Array.length active);
       trials = Array.length active;
       seq_seconds;
@@ -1387,6 +1406,257 @@ let service () =
        and the >= 1.5x shard-parallel gain only shows on multicore hardware.\n"
 
 (* ------------------------------------------------------------------ *)
+(* D-S2: the fast maintenance engine vs the persistent reference —
+   repair storms, route-heavy workloads, and the D-S1 service workload
+   re-run on the fast path.  Every comparison doubles as a differential
+   test: work totals, final orientation fingerprints, routes and
+   service fingerprints must be identical, or the run exits 1. *)
+
+type storm_op = S_down of int * int | S_up of int * int | S_fail of int
+
+type storm_result = {
+  st_id : string;
+  st_n : int;
+  st_events : int;
+  st_ref_seconds : float;
+  st_fast_seconds : float;
+  st_identical : bool;
+}
+
+let write_maintenance_json ~file storms ~route_heavy ~svc_parity =
+  let rh_n, rh_queries, rh_ref, rh_fast, rh_agree, (ch, cm, ci) = route_heavy in
+  let sp_ops, sp_ref, sp_fast, sp_identical = svc_parity in
+  let oc = open_out file in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      Printf.fprintf oc
+        "{\n  \"generated_by\": \"bench/main.exe maintenance\",\n  \"storms\": [\n";
+      List.iteri
+        (fun i s ->
+          Printf.fprintf oc
+            "    {\"id\": %S, \"n\": %d, \"events\": %d, \
+             \"ref_seconds\": %.4f, \"fast_seconds\": %.4f, \
+             \"speedup\": %.2f, \"identical\": %b}%s\n"
+            s.st_id s.st_n s.st_events s.st_ref_seconds s.st_fast_seconds
+            (s.st_ref_seconds /. Float.max 1e-9 s.st_fast_seconds)
+            s.st_identical
+            (if i = List.length storms - 1 then "" else ","))
+        storms;
+      Printf.fprintf oc
+        "  ],\n\
+        \  \"route_heavy\": {\"n\": %d, \"queries\": %d, \
+         \"ref_seconds\": %.4f, \"fast_seconds\": %.4f, \"speedup\": %.2f, \
+         \"routes_identical\": %b, \"cache\": {\"hits\": %d, \"misses\": %d, \
+         \"invalidations\": %d}},\n"
+        rh_n rh_queries rh_ref rh_fast
+        (rh_ref /. Float.max 1e-9 rh_fast)
+        rh_agree ch cm ci;
+      Printf.fprintf oc
+        "  \"service\": {\"ops\": %d, \"ref_seconds\": %.4f, \
+         \"fast_seconds\": %.4f, \"speedup\": %.2f, \
+         \"fingerprints_identical\": %b}\n}\n"
+        sp_ops sp_ref sp_fast
+        (sp_ref /. Float.max 1e-9 sp_fast)
+        sp_identical)
+
+let maintenance () =
+  section "D-S2"
+    "fast maintenance engine: repair storms, route cache, service parity";
+  let module M = Lr_routing.Maintenance in
+  let module FM = Lr_routing.Fast_maintenance in
+  let module Wl = Lr_service.Workload in
+  let module Svc = Lr_service.Service in
+  let module Metrics = Lr_service.Metrics in
+  let smoke = !trials > 0 in
+  (* -- repair storms ------------------------------------------------ *)
+  (* The op sequence is recorded once on a scratch fast engine (every
+     decision depends only on the current edge set, which both engines
+     maintain identically), then replayed and timed on each. *)
+  let gen_storm ~seed ~events rule config n =
+    let fm = FM.create rule config in
+    let rng = rng (seed + 31) in
+    let ops = ref [] in
+    for k = 1 to events do
+      let u = Random.State.int rng n and v = Random.State.int rng n in
+      if u <> v then
+        if k mod 41 = 0 then begin
+          let victim = if u = FM.destination fm then v else u in
+          ignore (FM.fail_node fm victim);
+          ops := S_fail victim :: !ops
+        end
+        else if FM.mem_edge fm u v then begin
+          ignore (FM.fail_link fm u v);
+          ops := S_down (u, v) :: !ops
+        end
+        else begin
+          FM.add_link fm u v;
+          ops := S_up (u, v) :: !ops
+        end
+    done;
+    List.rev !ops
+  in
+  let storm ~seed rule n =
+    let config = random_config ~seed n in
+    let events = (if smoke then 3 else 6) * n in
+    let ops = gen_storm ~seed ~events rule config n in
+    let fm, fast_seconds =
+      P.timed (fun () ->
+          let fm = FM.create rule config in
+          List.iter
+            (function
+              | S_down (u, v) -> ignore (FM.fail_link fm u v)
+              | S_up (u, v) -> FM.add_link fm u v
+              | S_fail u -> ignore (FM.fail_node fm u))
+            ops;
+          fm)
+    in
+    let m, ref_seconds =
+      P.timed (fun () ->
+          let m = M.create rule config in
+          List.iter
+            (function
+              | S_down (u, v) -> ignore (M.fail_link m u v)
+              | S_up (u, v) -> M.add_link m u v
+              | S_fail u -> ignore (M.fail_node m u))
+            ops;
+          m)
+    in
+    let routes_agree = ref true in
+    for u = 0 to n - 1 do
+      if M.route m u <> FM.route fm u then routes_agree := false
+    done;
+    let identical =
+      M.total_work m = FM.total_work fm
+      && Digraph.fingerprint (M.graph m) = Digraph.fingerprint (FM.graph fm)
+      && !routes_agree
+    in
+    {
+      st_id =
+        Printf.sprintf "%s storm n=%d"
+          (match rule with
+          | M.Partial_reversal -> "PR"
+          | M.Full_reversal -> "FR")
+          n;
+      st_n = n;
+      st_events = List.length ops;
+      st_ref_seconds = ref_seconds;
+      st_fast_seconds = fast_seconds;
+      st_identical = identical;
+    }
+  in
+  let storms =
+    if smoke then [ storm ~seed:1 M.Partial_reversal 32; storm ~seed:2 M.Full_reversal 32 ]
+    else
+      [
+        storm ~seed:1 M.Partial_reversal 64;
+        storm ~seed:2 M.Full_reversal 64;
+        storm ~seed:3 M.Partial_reversal 128;
+        storm ~seed:4 M.Partial_reversal 256;
+      ]
+  in
+  T.print
+    ~title:"repair storms: persistent reference vs fast engine (same op tape)"
+    (T.make
+       ~headers:[ "storm"; "events"; "reference"; "fast"; "speedup"; "identical" ]
+       (List.map
+          (fun s ->
+            [
+              s.st_id;
+              string_of_int s.st_events;
+              Printf.sprintf "%.3f s" s.st_ref_seconds;
+              Printf.sprintf "%.3f s" s.st_fast_seconds;
+              Printf.sprintf "%.1fx"
+                (s.st_ref_seconds /. Float.max 1e-9 s.st_fast_seconds);
+              string_of_bool s.st_identical;
+            ])
+          storms));
+  (* -- route-heavy workload ---------------------------------------- *)
+  let rh_n = if smoke then 64 else 200 in
+  let rh_queries = if smoke then 20_000 else 500_000 in
+  let rh_config = random_config ~seed:9 rh_n in
+  let m = M.create M.Partial_reversal rh_config in
+  let fm = FM.create M.Partial_reversal rh_config in
+  let rh_agree = ref true in
+  for u = 0 to rh_n - 1 do
+    if M.route m u <> FM.route fm u then rh_agree := false
+  done;
+  let (), rh_ref =
+    P.timed (fun () ->
+        for i = 0 to rh_queries - 1 do
+          ignore (M.route m (i mod rh_n))
+        done)
+  in
+  let (), rh_fast =
+    P.timed (fun () ->
+        for i = 0 to rh_queries - 1 do
+          ignore (FM.route fm (i mod rh_n))
+        done)
+  in
+  let cache = FM.cache_stats fm in
+  Printf.printf
+    "route-heavy (n=%d, %d queries, quiescent): reference %.3f s, fast %.3f s \
+     (%.1fx); cache hits %d, misses %d, invalidations %d\n"
+    rh_n rh_queries rh_ref rh_fast
+    (rh_ref /. Float.max 1e-9 rh_fast)
+    cache.FM.hits cache.FM.misses cache.FM.invalidations;
+  (* -- the D-S1 service workload on both engines -------------------- *)
+  let spec =
+    {
+      Wl.shards = 16;
+      nodes = 24;
+      extra_edges = 16;
+      seed = 42;
+      ops = (if smoke then 3_000 else 60_000);
+      mix = { Wl.route = 900; churn = 98; crash = 2 };
+      skew = 0.8;
+      stats_every = 1_000;
+    }
+  in
+  let ops = Wl.generate spec in
+  let configs = Wl.shard_configs spec in
+  let run_engine engine =
+    let svc = Svc.create { Svc.default_config with Svc.engine } configs in
+    Fun.protect
+      ~finally:(fun () -> Svc.shutdown svc)
+      (fun () ->
+        let responses, seconds = P.timed (fun () -> Svc.run svc ops) in
+        let snap = Svc.metrics svc in
+        ( Svc.fingerprint responses snap,
+          seconds,
+          snap.Metrics.snapshot_totals.Metrics.validation_failures ))
+  in
+  let fast_fp, sp_fast, fast_vf = run_engine Lr_service.Shard.Fast in
+  let ref_fp, sp_ref, ref_vf = run_engine Lr_service.Shard.Reference in
+  let sp_identical = fast_fp = ref_fp in
+  Printf.printf
+    "service parity (%s): reference %.3f s, fast %.3f s (%.1fx), fingerprints \
+     %s\n"
+    (Wl.describe spec) sp_ref sp_fast
+    (sp_ref /. Float.max 1e-9 sp_fast)
+    (if sp_identical then "identical" else "DIFFER");
+  let file = "BENCH_maintenance.json" in
+  write_maintenance_json ~file storms
+    ~route_heavy:
+      ( rh_n, rh_queries, rh_ref, rh_fast, !rh_agree,
+        (cache.FM.hits, cache.FM.misses, cache.FM.invalidations) )
+    ~svc_parity:(spec.Wl.ops, sp_ref, sp_fast, sp_identical);
+  Printf.printf "wrote %s\n" file;
+  let storm_mismatch = List.exists (fun s -> not s.st_identical) storms in
+  if storm_mismatch then
+    Printf.printf "FAILURE: fast and reference engines diverged under a repair storm\n";
+  if not !rh_agree then
+    Printf.printf "FAILURE: fast and reference routes differ on the route-heavy instance\n";
+  if not sp_identical then
+    Printf.printf "FAILURE: service fingerprints differ across engines\n";
+  if fast_vf > 0 || ref_vf > 0 then
+    Printf.printf "FAILURE: route validation failures (fast %d, reference %d)\n"
+      fast_vf ref_vf;
+  if storm_mismatch || (not !rh_agree) || (not sp_identical) || fast_vf > 0
+     || ref_vf > 0
+  then exit 1
+
+(* ------------------------------------------------------------------ *)
 (* D-B1: Bechamel micro-benchmarks. *)
 
 let micro () =
@@ -1469,7 +1739,7 @@ let experiments =
     ("f1", f1); ("f2", f2); ("f3", f3); ("f4", f4); ("f5", f5);
     ("f6", f6); ("f7", f7); ("f8", f8); ("f9", f9);
     ("parallel", parallel); ("trace", trace); ("service", service);
-    ("micro", micro);
+    ("maintenance", maintenance); ("micro", micro);
   ]
 
 (* Strip --jobs N / -j N / --jobs=N and --trials N / --trials=N;

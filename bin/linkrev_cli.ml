@@ -678,6 +678,20 @@ module Service_cli = struct
             | Lr_routing.Maintenance.Partial_reversal -> "partial"
             | Lr_routing.Maintenance.Full_reversal -> "full") )
 
+  let engine_conv =
+    let parse = function
+      | "fast" -> Ok Lr_service.Shard.Fast
+      | "reference" | "ref" -> Ok Lr_service.Shard.Reference
+      | s -> Error (`Msg (Printf.sprintf "unknown engine %S (fast, reference)" s))
+    in
+    Arg.conv
+      ( parse,
+        fun ppf e ->
+          Fmt.string ppf
+            (match e with
+            | Lr_service.Shard.Fast -> "fast"
+            | Lr_service.Shard.Reference -> "reference") )
+
   (* workload spec arguments, shared by serve and loadgen *)
   let shards_arg =
     Arg.(value & opt int 16
@@ -789,6 +803,16 @@ module Service_cli = struct
               "Skip the in-service route validation (every path checked \
                height- and orientation-descending; on by default).")
     in
+    let engine_arg =
+      Arg.(
+        value & opt engine_conv Svc.default_config.Svc.engine
+        & info [ "engine" ] ~docv:"ENGINE"
+            ~doc:
+              "Maintenance engine: fast (flat-array worklist engine with \
+               the next-hop route cache, the default) or reference (the \
+               persistent oracle).  Responses, counters and the \
+               fingerprint are byte-identical across the two.")
+    in
     let trace_dir_arg =
       Arg.(
         value
@@ -799,8 +823,8 @@ module Service_cli = struct
                replayable LRT1 trace in $(docv) (audit with 'linkrev trace \
                audit').")
     in
-    let serve spec workload jobs queue_bound window rule no_validate trace_dir
-        =
+    let serve spec workload jobs queue_bound window rule no_validate engine
+        trace_dir =
       let loaded =
         match workload with
         | None -> (
@@ -813,7 +837,8 @@ module Service_cli = struct
       | Error e -> `Error (false, e)
       | Ok (spec, ops) ->
           let cfg =
-            { Svc.jobs; queue_bound; window; rule; validate = not no_validate }
+            { Svc.jobs; queue_bound; window; rule;
+              validate = not no_validate; engine }
           in
           let svc =
             try Ok (Svc.create ?trace_dir cfg (Wl.shard_configs spec))
@@ -850,11 +875,15 @@ module Service_cli = struct
                   in
                   Lr_analysis.Table.print
                     ~title:
-                      (Printf.sprintf "per-shard metrics (%d domains, rule %s)"
+                      (Printf.sprintf
+                         "per-shard metrics (%d domains, rule %s, engine %s)"
                          jobs
                          (match rule with
                          | Lr_routing.Maintenance.Partial_reversal -> "partial"
-                         | Lr_routing.Maintenance.Full_reversal -> "full"))
+                         | Lr_routing.Maintenance.Full_reversal -> "full")
+                         (match engine with
+                         | Lr_service.Shard.Fast -> "fast"
+                         | Lr_service.Shard.Reference -> "reference"))
                     (Lr_analysis.Table.make
                        ~headers:
                          [ "shard"; "served"; "routes"; "no-route"; "links";
@@ -890,7 +919,8 @@ module Service_cli = struct
       Term.(
         ret
           (const serve $ spec_term $ workload_arg $ jobs_arg $ queue_bound_arg
-          $ window_arg $ rule_arg $ no_validate_arg $ trace_dir_arg))
+          $ window_arg $ rule_arg $ no_validate_arg $ engine_arg
+          $ trace_dir_arg))
     in
     Cmd.v
       (Cmd.info "serve"

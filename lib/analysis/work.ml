@@ -61,6 +61,37 @@ let sweep ?seed ?max_steps ?(jobs = 1) algorithm ~family ~sizes () =
     (Lr_parallel.Pool.map_range ~jobs (Array.length sizes) (fun i ->
          one sizes.(i)))
 
+let sweep_fast ?max_steps ?(jobs = 1) algorithm ~family ~sizes () =
+  let module F = Lr_fast.Fast_engine in
+  let module FN = Lr_fast.Fast_new_pr in
+  let sizes = Array.of_list sizes in
+  let one n =
+    let inst = family n in
+    let config = Config.of_instance inst in
+    let out =
+      match algorithm with
+      | FR -> F.run ?max_steps F.Full (F.of_config config)
+      | PR -> F.run ?max_steps F.Partial (F.of_config config)
+      | NewPR -> FN.run ?max_steps (FN.of_config config)
+      | FR_heights | PR_heights ->
+          invalid_arg
+            (Printf.sprintf "Work.sweep_fast: no fast engine for %s"
+               (algorithm_name algorithm))
+    in
+    {
+      n;
+      nodes = Node.Set.cardinal (Config.nodes config);
+      bad = Node.Set.cardinal (Config.bad_nodes config);
+      work = out.Lr_fast.Fast_outcome.work;
+      edge_reversals = out.Lr_fast.Fast_outcome.edge_reversals;
+      quiescent = out.Lr_fast.Fast_outcome.quiescent;
+      oriented = out.Lr_fast.Fast_outcome.destination_oriented;
+    }
+  in
+  Array.to_list
+    (Lr_parallel.Pool.map_range ~jobs (Array.length sizes) (fun i ->
+         one sizes.(i)))
+
 let exponent rows =
   rows
   |> List.filter_map (fun r ->

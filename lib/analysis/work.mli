@@ -42,6 +42,23 @@ val sweep :
     randomness from [n] and the seed, never from shared mutable
     state. *)
 
+val sweep_fast :
+  ?max_steps:int ->
+  ?jobs:int ->
+  algorithm ->
+  family:(int -> Generators.instance) ->
+  sizes:int list ->
+  unit ->
+  row list
+(** [sweep] served by the mutable array engines ({!Lr_fast.Fast_engine}
+    / {!Lr_fast.Fast_new_pr}) instead of the persistent executor.  Work
+    is schedule-independent for FR, PR and NewPR, and the fast engines
+    are differentially tested against the persistent automata, so the
+    rows are identical to {!sweep}'s — just orders of magnitude sooner
+    on the quadratic families.  Supports [FR]/[PR]/[NewPR] only;
+    @raise Invalid_argument for the heights variants (no fast engine
+    implements them). *)
+
 val exponent : row list -> float
 (** Growth exponent of [work] against [bad] (log-log slope); rows with
     zero work or zero bad nodes are ignored. *)

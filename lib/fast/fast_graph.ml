@@ -74,3 +74,78 @@ let initial_out t = Array.map Array.copy t.out0
 let initial_in_degree t =
   Array.init t.n (fun u ->
       Array.fold_left (fun acc o -> if o then acc else acc + 1) 0 t.out0.(u))
+
+module Dyn = struct
+  type graph = t
+
+  type t = {
+    n : int;
+    nbr : int array array;
+    mir : int array array;
+    deg : int array;
+  }
+
+  let of_graph (g : graph) =
+    {
+      n = g.n;
+      nbr = Array.map Array.copy g.nbrs;
+      mir = Array.map Array.copy g.mirror;
+      deg = Array.map Array.length g.nbrs;
+    }
+
+  let num_nodes t = t.n
+  let degree t u = t.deg.(u)
+  let nbr t u i = t.nbr.(u).(i)
+
+  let slot_of t u v =
+    let row = t.nbr.(u) and d = t.deg.(u) in
+    let rec find i = if i >= d then -1 else if row.(i) = v then i else find (i + 1) in
+    find 0
+
+  let mem_edge t u v = u >= 0 && u < t.n && v >= 0 && v < t.n && slot_of t u v >= 0
+
+  let ensure_capacity t u =
+    if t.deg.(u) = Array.length t.nbr.(u) then begin
+      let cap = max 4 (2 * Array.length t.nbr.(u)) in
+      let grow a =
+        let b = Array.make cap 0 in
+        Array.blit a 0 b 0 t.deg.(u);
+        b
+      in
+      t.nbr.(u) <- grow t.nbr.(u);
+      t.mir.(u) <- grow t.mir.(u)
+    end
+
+  let add_edge t u v =
+    if u = v then invalid_arg "Fast_graph.Dyn.add_edge: self-loop";
+    ensure_capacity t u;
+    ensure_capacity t v;
+    let iu = t.deg.(u) and iv = t.deg.(v) in
+    t.nbr.(u).(iu) <- v;
+    t.mir.(u).(iu) <- iv;
+    t.nbr.(v).(iv) <- u;
+    t.mir.(v).(iv) <- iu;
+    t.deg.(u) <- iu + 1;
+    t.deg.(v) <- iv + 1
+
+  (* Drop slot [i] of [u] by moving the last entry into its place; the
+     moved neighbour's backpointer must then point at the new slot. *)
+  let remove_slot t u i =
+    let last = t.deg.(u) - 1 in
+    if i <> last then begin
+      let w = t.nbr.(u).(last) and k = t.mir.(u).(last) in
+      t.nbr.(u).(i) <- w;
+      t.mir.(u).(i) <- k;
+      t.mir.(w).(k) <- i
+    end;
+    t.deg.(u) <- last
+
+  let remove_edge t u v =
+    let i = slot_of t u v in
+    if i < 0 then invalid_arg "Fast_graph.Dyn.remove_edge: no such edge";
+    let j = t.mir.(u).(i) in
+    (* [remove_slot t u i] never moves [v]'s own slot (an edge occurs
+       once per row), so [j] stays valid for the second removal. *)
+    remove_slot t u i;
+    remove_slot t v j
+end

@@ -40,3 +40,34 @@ val initial_out : t -> bool array array
 
 val initial_in_degree : t -> int array
 (** Per-node initial in-degree, computed from [out0]. *)
+
+(** A {e dynamic} flat adjacency: the same rows-plus-mirror-slots
+    representation, but mutable under edge insertion and removal, for
+    engines that must survive topology churn ({!Lr_routing}'s fast
+    maintenance engine).  Removal swap-deletes within a row and fixes
+    the moved entry's mirror, so both operations are O(degree) with no
+    allocation in the steady state.  Rows lose their sorted order after
+    the first removal — callers must not rely on it. *)
+module Dyn : sig
+  type graph := t
+  type t
+
+  val of_graph : graph -> t
+  (** A fresh mutable copy of the adjacency (the source is unchanged). *)
+
+  val num_nodes : t -> int
+  val degree : t -> int -> int
+
+  val nbr : t -> int -> int -> int
+  (** [nbr t u i] is [u]'s [i]-th neighbour, [0 <= i < degree t u]. *)
+
+  val mem_edge : t -> int -> int -> bool
+  (** Linear in [degree u]; false for out-of-range ids. *)
+
+  val add_edge : t -> int -> int -> unit
+  (** @raise Invalid_argument on a self-loop.  The edge must be absent
+      (callers check; a duplicate would corrupt the mirror slots). *)
+
+  val remove_edge : t -> int -> int -> unit
+  (** @raise Invalid_argument if the edge is absent. *)
+end

@@ -1,0 +1,516 @@
+open Lr_graph
+open Linkrev
+module G = Lr_fast.Fast_graph
+
+type cache_stats = { hits : int; misses : int; invalidations : int }
+
+(* Next-hop cache cells. *)
+let nh_unset = -2
+let nh_none = -1
+
+type t = {
+  n : int;
+  rule : Maintenance.rule;
+  dest : int;
+  adj : G.Dyn.t;
+  (* PR/FR heights, keyed by slot; the pid component is the id itself.
+     Edge orientation is derived: higher endpoint -> lower endpoint. *)
+  ha : int array;
+  hb : int array;
+  in_deg : int array;
+  (* Membership in the destination's component, kept incrementally. *)
+  comp : bool array;
+  mutable comp_size : int;
+  (* Min-id sink worklist: binary heap + membership bits.  Lazily
+     validated — a popped node steps only if it is still a non-
+     destination sink inside the destination's component. *)
+  heap : int array;
+  mutable heap_len : int;
+  inq : bool array;
+  (* Next-hop cache: nh_unset, nh_none, or the cached hop. *)
+  nh : int array;
+  mutable work : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable invalidations : int;
+  (* BFS scratch. *)
+  queue : int array;
+  seen : bool array;
+}
+
+let destination t = t.dest
+let num_nodes t = t.n
+let total_work t = t.work
+let mem_node t u = u >= 0 && u < t.n
+let mem_edge t u v = G.Dyn.mem_edge t.adj u v
+let cache_stats t = { hits = t.hits; misses = t.misses; invalidations = t.invalidations }
+
+(* Same order as Heights.compare_pr_height on (pa, pb, pid). *)
+let compare_heights t u v =
+  if t.ha.(u) <> t.ha.(v) then compare t.ha.(u) t.ha.(v)
+  else if t.hb.(u) <> t.hb.(v) then compare t.hb.(u) t.hb.(v)
+  else compare u v
+
+let edge_out t u v = compare_heights t u v > 0
+
+let is_sink t u =
+  let d = G.Dyn.degree t.adj u in
+  d > 0 && t.in_deg.(u) = d
+
+(* {1 Worklist} *)
+
+let heap_push t u =
+  if not t.inq.(u) then begin
+    t.inq.(u) <- true;
+    let a = t.heap in
+    let i = ref t.heap_len in
+    t.heap_len <- t.heap_len + 1;
+    a.(!i) <- u;
+    let sifting = ref true in
+    while !sifting && !i > 0 do
+      let p = (!i - 1) / 2 in
+      if a.(p) > a.(!i) then begin
+        let tmp = a.(p) in
+        a.(p) <- a.(!i);
+        a.(!i) <- tmp;
+        i := p
+      end
+      else sifting := false
+    done
+  end
+
+let heap_pop t =
+  let a = t.heap in
+  let top = a.(0) in
+  t.heap_len <- t.heap_len - 1;
+  t.inq.(top) <- false;
+  if t.heap_len > 0 then begin
+    a.(0) <- a.(t.heap_len);
+    let i = ref 0 in
+    let sifting = ref true in
+    while !sifting do
+      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+      let m = ref !i in
+      if l < t.heap_len && a.(l) < a.(!m) then m := l;
+      if r < t.heap_len && a.(r) < a.(!m) then m := r;
+      if !m <> !i then begin
+        let tmp = a.(!m) in
+        a.(!m) <- a.(!i);
+        a.(!i) <- tmp;
+        i := !m
+      end
+      else sifting := false
+    done
+  end;
+  top
+
+let push_if_sink t u = if u <> t.dest && is_sink t u then heap_push t u
+
+(* The minimum-id valid sink, or -1: exactly the node the reference's
+   ascending-order component scan would select. *)
+let rec pop_sink t =
+  if t.heap_len = 0 then -1
+  else
+    let u = heap_pop t in
+    if t.comp.(u) && u <> t.dest && is_sink t u then u else pop_sink t
+
+(* {1 Next-hop cache} *)
+
+let invalidate t u =
+  if t.nh.(u) <> nh_unset then begin
+    t.nh.(u) <- nh_unset;
+    t.invalidations <- t.invalidations + 1
+  end
+
+(* Steepest descent: the lowest out-neighbour of [v], or -1. *)
+let compute_next t v =
+  let d = G.Dyn.degree t.adj v in
+  let best = ref (-1) in
+  for i = 0 to d - 1 do
+    let w = G.Dyn.nbr t.adj v i in
+    if compare_heights t v w > 0
+       && (!best < 0 || compare_heights t w !best < 0)
+    then best := w
+  done;
+  !best
+
+let next_hop t v =
+  let c = t.nh.(v) in
+  if c <> nh_unset then begin
+    t.hits <- t.hits + 1;
+    c
+  end
+  else begin
+    t.misses <- t.misses + 1;
+    let c = match compute_next t v with -1 -> nh_none | w -> w in
+    t.nh.(v) <- c;
+    c
+  end
+
+(* {1 Repair} *)
+
+(* One reversal at the sink [u]: raise its height per the rule, adjust
+   in-degrees along the (derived) flipped edges, queue any neighbour
+   that just became a sink, and drop the cache entries whose choice the
+   raise can change — [u]'s own, and every neighbour's ([u] was in every
+   neighbour's out-set, being a sink). *)
+let step t u =
+  let d = G.Dyn.degree t.adj u in
+  (match t.rule with
+  | Maintenance.Partial_reversal ->
+      let min_a = ref max_int in
+      for i = 0 to d - 1 do
+        let w = G.Dyn.nbr t.adj u i in
+        if t.ha.(w) < !min_a then min_a := t.ha.(w)
+      done;
+      let new_a = !min_a + 1 in
+      let min_b = ref max_int and same = ref false in
+      for i = 0 to d - 1 do
+        let w = G.Dyn.nbr t.adj u i in
+        if t.ha.(w) = new_a then begin
+          same := true;
+          if t.hb.(w) < !min_b then min_b := t.hb.(w)
+        end
+      done;
+      t.ha.(u) <- new_a;
+      if !same then t.hb.(u) <- !min_b - 1
+  | Maintenance.Full_reversal ->
+      let max_a = ref min_int in
+      for i = 0 to d - 1 do
+        let w = G.Dyn.nbr t.adj u i in
+        if t.ha.(w) > !max_a then max_a := t.ha.(w)
+      done;
+      t.ha.(u) <- !max_a + 1;
+      t.hb.(u) <- 0);
+  invalidate t u;
+  for i = 0 to d - 1 do
+    let w = G.Dyn.nbr t.adj u i in
+    invalidate t w;
+    if compare_heights t u w > 0 then begin
+      (* This edge flipped from w -> u to u -> w. *)
+      t.in_deg.(u) <- t.in_deg.(u) - 1;
+      t.in_deg.(w) <- t.in_deg.(w) + 1;
+      push_if_sink t w
+    end
+  done;
+  push_if_sink t u
+
+(* Identical control to the reference: min-id sink each iteration, same
+   budget over the current component size, same failure message. *)
+let stabilize t =
+  let budget = (4 * t.comp_size * t.comp_size) + 1000 in
+  let steps = ref 0 in
+  let affected = ref Node.Set.empty in
+  let running = ref true in
+  while !running do
+    if !steps > budget then
+      failwith "Maintenance.stabilize: budget exceeded (bug)";
+    match pop_sink t with
+    | -1 -> running := false
+    | u ->
+        step t u;
+        affected := Node.Set.add u !affected;
+        incr steps
+  done;
+  t.work <- t.work + !steps;
+  Maintenance.Stabilized { node_steps = !steps; affected = !affected }
+
+(* {1 Component membership} *)
+
+(* After a disconnecting change inside the destination's component:
+   re-derive the component by BFS and report the nodes that fell out of
+   it (removal can only shrink it). *)
+let recompute_comp t =
+  let q = t.queue and seen = t.seen in
+  Array.fill seen 0 t.n false;
+  seen.(t.dest) <- true;
+  q.(0) <- t.dest;
+  let head = ref 0 and tail = ref 1 in
+  while !head < !tail do
+    let x = q.(!head) in
+    incr head;
+    for i = 0 to G.Dyn.degree t.adj x - 1 do
+      let w = G.Dyn.nbr t.adj x i in
+      if not seen.(w) then begin
+        seen.(w) <- true;
+        q.(!tail) <- w;
+        incr tail
+      end
+    done
+  done;
+  let lost = ref Node.Set.empty in
+  for x = 0 to t.n - 1 do
+    if t.comp.(x) && not seen.(x) then lost := Node.Set.add x !lost;
+    t.comp.(x) <- seen.(x)
+  done;
+  t.comp_size <- !tail;
+  !lost
+
+(* A new link reattached [start]'s side to the destination's component:
+   absorb it and queue its pending sinks (a partitioned side is left
+   unrepaired, so it can hold sinks the reference's full component scan
+   would now find). *)
+let absorb t start =
+  let q = t.queue in
+  t.comp.(start) <- true;
+  q.(0) <- start;
+  let head = ref 0 and tail = ref 1 in
+  while !head < !tail do
+    let x = q.(!head) in
+    incr head;
+    push_if_sink t x;
+    for i = 0 to G.Dyn.degree t.adj x - 1 do
+      let w = G.Dyn.nbr t.adj x i in
+      if not t.comp.(w) then begin
+        t.comp.(w) <- true;
+        q.(!tail) <- w;
+        incr tail
+      end
+    done
+  done;
+  t.comp_size <- t.comp_size + !tail
+
+(* {1 Topology changes} *)
+
+let fail_link t u v =
+  if not (mem_edge t u v) then invalid_arg "Maintenance.fail_link: no such link";
+  let was_in_comp = t.comp.(u) in
+  G.Dyn.remove_edge t.adj u v;
+  (* The lower endpoint loses an incoming edge; the upper one may have
+     lost its last outgoing edge and become a sink. *)
+  (if compare_heights t u v > 0 then t.in_deg.(v) <- t.in_deg.(v) - 1
+   else t.in_deg.(u) <- t.in_deg.(u) - 1);
+  invalidate t u;
+  invalidate t v;
+  push_if_sink t u;
+  push_if_sink t v;
+  let lost = if was_in_comp then recompute_comp t else Node.Set.empty in
+  if Node.Set.is_empty lost then stabilize t
+  else begin
+    ignore (stabilize t);
+    Maintenance.Partitioned lost
+  end
+
+let add_link t u v =
+  if u = v then invalid_arg "Maintenance.add_link: self-loop";
+  if not (mem_node t u && mem_node t v) then
+    invalid_arg "Maintenance.add_link: unknown node";
+  if mem_edge t u v then invalid_arg "Maintenance.add_link: link already present";
+  G.Dyn.add_edge t.adj u v;
+  (* Oriented by the current heights: the lower endpoint gains an
+     incoming edge, so no new sink appears. *)
+  (if compare_heights t u v > 0 then t.in_deg.(v) <- t.in_deg.(v) + 1
+   else t.in_deg.(u) <- t.in_deg.(u) + 1);
+  invalidate t u;
+  invalidate t v;
+  if t.comp.(u) && not t.comp.(v) then absorb t v
+  else if t.comp.(v) && not t.comp.(u) then absorb t u;
+  ignore (stabilize t)
+
+let fail_node t u =
+  if u = t.dest then invalid_arg "Maintenance.fail_node: cannot fail the destination";
+  if not (mem_node t u) then invalid_arg "Maintenance.fail_node: unknown node";
+  let was_in_comp = t.comp.(u) in
+  while G.Dyn.degree t.adj u > 0 do
+    let w = G.Dyn.nbr t.adj u 0 in
+    G.Dyn.remove_edge t.adj u w;
+    if compare_heights t u w > 0 then t.in_deg.(w) <- t.in_deg.(w) - 1;
+    invalidate t w;
+    push_if_sink t w
+  done;
+  t.in_deg.(u) <- 0;
+  invalidate t u;
+  let lost = if was_in_comp then recompute_comp t else Node.Set.empty in
+  if Node.Set.is_empty lost then stabilize t
+  else begin
+    ignore (stabilize t);
+    Maintenance.Partitioned lost
+  end
+
+(* {1 Construction} *)
+
+let create rule config =
+  let core = G.of_config config in
+  let n = core.G.n in
+  let ha = Array.make n 0 and hb = Array.make n 0 in
+  Node.Set.iter
+    (fun u ->
+      let r = Embedding.rank config.Config.embedding u in
+      match rule with
+      | Maintenance.Partial_reversal ->
+          ha.(u) <- 0;
+          hb.(u) <- -r
+      | Maintenance.Full_reversal ->
+          ha.(u) <- n - r;
+          hb.(u) <- 0)
+    (Config.nodes config);
+  let adj = G.Dyn.of_graph core in
+  let t =
+    {
+      n;
+      rule;
+      dest = config.Config.destination;
+      adj;
+      ha;
+      hb;
+      in_deg = Array.make n 0;
+      comp = Array.make n false;
+      comp_size = 0;
+      heap = Array.make n 0;
+      heap_len = 0;
+      inq = Array.make n false;
+      nh = Array.make n nh_unset;
+      work = 0;
+      hits = 0;
+      misses = 0;
+      invalidations = 0;
+      queue = Array.make (max n 1) 0;
+      seen = Array.make n false;
+    }
+  in
+  (* The embedding is a topological order of G'_init, so the initial
+     orientation is exactly the height order — in-degrees follow. *)
+  for u = 0 to n - 1 do
+    let d = G.Dyn.degree t.adj u in
+    let incoming = ref 0 in
+    for i = 0 to d - 1 do
+      if compare_heights t u (G.Dyn.nbr t.adj u i) < 0 then incr incoming
+    done;
+    t.in_deg.(u) <- !incoming
+  done;
+  ignore (recompute_comp t);
+  for u = 0 to n - 1 do
+    push_if_sink t u
+  done;
+  ignore (stabilize t);
+  t
+
+(* {1 Queries} *)
+
+let route t u =
+  if not (mem_node t u) then None
+  else if u = t.dest then Some [ u ]
+  else
+    let rec descend v acc fuel =
+      if fuel = 0 then None
+      else if v = t.dest then Some (List.rev (v :: acc))
+      else
+        match next_hop t v with
+        | -1 -> None
+        | w -> descend w (v :: acc) (fuel - 1)
+    in
+    descend u [] (t.n + 1)
+
+let has_path t src =
+  if not (mem_node t src) then false
+  else if src = t.dest then true
+  else begin
+    let q = t.queue and seen = t.seen in
+    Array.fill seen 0 t.n false;
+    seen.(src) <- true;
+    q.(0) <- src;
+    let head = ref 0 and tail = ref 1 in
+    let found = ref false in
+    while (not !found) && !head < !tail do
+      let x = q.(!head) in
+      incr head;
+      for i = 0 to G.Dyn.degree t.adj x - 1 do
+        let w = G.Dyn.nbr t.adj x i in
+        if compare_heights t x w > 0 && not seen.(w) then begin
+          if w = t.dest then found := true;
+          seen.(w) <- true;
+          q.(!tail) <- w;
+          incr tail
+        end
+      done
+    done;
+    !found
+  end
+
+(* Every node the destination's component can still route from: the
+   backward closure of the destination along directed edges. *)
+let reaches_destination t =
+  let q = t.queue and seen = t.seen in
+  Array.fill seen 0 t.n false;
+  seen.(t.dest) <- true;
+  q.(0) <- t.dest;
+  let head = ref 0 and tail = ref 1 in
+  while !head < !tail do
+    let x = q.(!head) in
+    incr head;
+    for i = 0 to G.Dyn.degree t.adj x - 1 do
+      let w = G.Dyn.nbr t.adj x i in
+      if compare_heights t w x > 0 && not seen.(w) then begin
+        seen.(w) <- true;
+        q.(!tail) <- w;
+        incr tail
+      end
+    done
+  done;
+  Array.copy seen
+
+let is_destination_oriented t =
+  let reach = reaches_destination t in
+  let ok = ref true in
+  for u = 0 to t.n - 1 do
+    if t.comp.(u) && u <> t.dest && not reach.(u) then ok := false
+  done;
+  !ok
+
+let graph t =
+  let g = ref (Digraph.of_directed_edges []) in
+  for u = 0 to t.n - 1 do
+    g := Digraph.add_node !g u
+  done;
+  for u = 0 to t.n - 1 do
+    for i = 0 to G.Dyn.degree t.adj u - 1 do
+      let w = G.Dyn.nbr t.adj u i in
+      if compare_heights t u w > 0 then g := Digraph.add_directed_edge !g u w
+    done
+  done;
+  !g
+
+let consistent t =
+  let ok = ref true in
+  (* In-degrees match a recount of the derived orientation. *)
+  for u = 0 to t.n - 1 do
+    let incoming = ref 0 in
+    for i = 0 to G.Dyn.degree t.adj u - 1 do
+      if compare_heights t u (G.Dyn.nbr t.adj u i) < 0 then incr incoming
+    done;
+    if !incoming <> t.in_deg.(u) then ok := false
+  done;
+  (* Component bits and size match a fresh BFS. *)
+  let q = t.queue and seen = t.seen in
+  Array.fill seen 0 t.n false;
+  seen.(t.dest) <- true;
+  q.(0) <- t.dest;
+  let head = ref 0 and tail = ref 1 in
+  while !head < !tail do
+    let x = q.(!head) in
+    incr head;
+    for i = 0 to G.Dyn.degree t.adj x - 1 do
+      let w = G.Dyn.nbr t.adj x i in
+      if not seen.(w) then begin
+        seen.(w) <- true;
+        q.(!tail) <- w;
+        incr tail
+      end
+    done
+  done;
+  if !tail <> t.comp_size then ok := false;
+  for u = 0 to t.n - 1 do
+    if t.comp.(u) <> seen.(u) then ok := false
+  done;
+  (* A stabilized engine holds no repairable sink. *)
+  for u = 0 to t.n - 1 do
+    if t.comp.(u) && u <> t.dest && is_sink t u then ok := false
+  done;
+  (* No cached next hop is stale. *)
+  for u = 0 to t.n - 1 do
+    if t.nh.(u) <> nh_unset then begin
+      let fresh = match compute_next t u with -1 -> nh_none | w -> w in
+      if fresh <> t.nh.(u) then ok := false
+    end
+  done;
+  !ok && is_destination_oriented t

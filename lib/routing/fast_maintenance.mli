@@ -1,0 +1,87 @@
+(** The fast tier of {!Maintenance}: TORA-style repair on flat arrays.
+
+    Semantically this engine {e is} [Maintenance] — same PR/FR height
+    raises, same minimum-id sink selection order, same stabilization
+    budget, same partition reporting — so every response, counter and
+    fingerprint produced through it is byte-identical to the persistent
+    reference, which the test suite and the D-S2 bench keep as a
+    differential oracle.  Mechanically it is built for serving:
+
+    - heights are two int arrays [(pa, pb)] keyed by node slot, and the
+      edge orientation is {e derived} from the height order on demand
+      (the maintenance invariant: every link points from its higher
+      endpoint to its lower one at all times), so there are no
+      orientation bits to keep in sync;
+    - adjacency is a {!Lr_fast.Fast_graph.Dyn} flat array that survives
+      link churn in O(degree) per change;
+    - sinks are found by a min-id {e worklist} (binary heap with lazy
+      revalidation) seeded from the endpoints of each topology change
+      and refilled only with the neighbours of just-reversed nodes — no
+      per-step component rescan;
+    - membership in the destination's component is maintained
+      incrementally (one BFS per disconnecting change, one one-sided
+      BFS per reconnecting one) instead of recomputing all components;
+    - a per-node {e next-hop cache} makes repeated route queries on a
+      quiescent engine O(path length) array hops with zero height
+      comparisons; entries are invalidated exactly where a height or an
+      incident edge changed. *)
+
+open Lr_graph
+open Linkrev
+
+type t
+
+val create : Maintenance.rule -> Config.t -> t
+(** Starts from [G'_init] and stabilizes it, like
+    {!Maintenance.create}.  Node ids must be [0 .. n-1]
+    ({!Lr_graph.Generators} outputs and service shard configs satisfy
+    this); @raise Invalid_argument otherwise. *)
+
+val destination : t -> Node.t
+val num_nodes : t -> int
+val mem_node : t -> Node.t -> bool
+val mem_edge : t -> Node.t -> Node.t -> bool
+
+val edge_out : t -> Node.t -> Node.t -> bool
+(** [edge_out t u v] iff the (present) edge [{u,v}] is directed
+    [u -> v] — i.e. [u]'s height is the greater one. *)
+
+val compare_heights : t -> Node.t -> Node.t -> int
+(** Same order as {!Maintenance.compare_heights}. *)
+
+val total_work : t -> int
+val is_destination_oriented : t -> bool
+
+val graph : t -> Digraph.t
+(** Materialized snapshot of the current oriented topology (orientation
+    derived from heights).  For tests and the rare failover path — not
+    the hot path. *)
+
+val route : t -> Node.t -> Node.t list option
+(** Same paths as {!Maintenance.route}, served through the next-hop
+    cache. *)
+
+val has_path : t -> Node.t -> bool
+(** A directed path from the node to the destination exists (the
+    serving layer's honesty check for [No_route]). *)
+
+val fail_link : t -> Node.t -> Node.t -> Maintenance.change_result
+(** @raise Invalid_argument if absent. *)
+
+val add_link : t -> Node.t -> Node.t -> unit
+(** @raise Invalid_argument if already present or a self-loop. *)
+
+val fail_node : t -> Node.t -> Maintenance.change_result
+(** @raise Invalid_argument for the destination. *)
+
+type cache_stats = { hits : int; misses : int; invalidations : int }
+
+val cache_stats : t -> cache_stats
+(** Next-hop cache counters since [create]: [hits] cached hops taken,
+    [misses] entries recomputed, [invalidations] entries discarded. *)
+
+val consistent : t -> bool
+(** Internal invariant check for tests: in-degrees and component
+    membership match a recount, every worklist-eligible sink is either
+    queued or outside the destination's component, and the
+    destination's component is destination-oriented. *)

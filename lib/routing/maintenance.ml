@@ -80,17 +80,20 @@ let stabilize t =
     let n = Node.Set.cardinal comp in
     (4 * n * n) + 1000
   in
+  (* First (minimum-id) non-destination sink.  [iter] visits the set
+     ascending, and raising stops the scan at the first hit — the old
+     [fold] kept walking the whole component after finding one. *)
+  let exception Found of Node.t in
   let find_sink () =
-    Node.Set.fold
-      (fun u acc ->
-        match acc with
-        | Some _ -> acc
-        | None ->
-            if
-              (not (Node.equal u t.destination)) && Digraph.is_sink t.graph u
-            then Some u
-            else None)
-      comp None
+    match
+      Node.Set.iter
+        (fun u ->
+          if (not (Node.equal u t.destination)) && Digraph.is_sink t.graph u
+          then raise (Found u))
+        comp
+    with
+    | () -> None
+    | exception Found u -> Some u
   in
   let rec loop () =
     if !steps > budget then

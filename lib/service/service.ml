@@ -6,6 +6,7 @@ type config = {
   window : int;
   rule : Lr_routing.Maintenance.rule;
   validate : bool;
+  engine : Shard.engine_kind;
 }
 
 let default_config =
@@ -15,6 +16,7 @@ let default_config =
     window = 256;
     rule = Lr_routing.Maintenance.Partial_reversal;
     validate = true;
+    engine = Shard.Fast;
   }
 
 type t = {
@@ -51,7 +53,10 @@ let create ?trace_dir cfg configs =
   {
     cfg;
     shards =
-      Array.mapi (fun id config -> Shard.create ~rule:cfg.rule ~id config) configs;
+      Array.mapi
+        (fun id config ->
+          Shard.create ~engine:cfg.engine ~rule:cfg.rule ~id config)
+        configs;
     metrics = Metrics.create ~shards:(Array.length configs);
     pool = Pool.Persistent.create ~jobs:cfg.jobs;
   }

@@ -30,13 +30,17 @@ type config = {
           round still ends and drains). *)
   rule : Lr_routing.Maintenance.rule;
   validate : bool;  (** In-service route validation (default on). *)
+  engine : Shard.engine_kind;
+      (** Maintenance tier for every shard ({!Shard.engine_kind}).
+          Responses, counters and the fingerprint are byte-identical
+          across the two. *)
 }
 
 val default_config : config
 (** [jobs = 1], [queue_bound = 128], [window = 256], Partial Reversal,
-    validation on.  The window is deliberately close to the queue bound:
-    a much larger window lets one hot shard overflow its queue inside a
-    single round even at modest load. *)
+    validation on, the fast engine.  The window is deliberately close to
+    the queue bound: a much larger window lets one hot shard overflow
+    its queue inside a single round even at modest load. *)
 
 type t
 

@@ -1,25 +1,55 @@
 open Lr_graph
 open Lr_routing
 
+type engine_kind = Fast | Reference
+
+type engine = E_fast of Fast_maintenance.t | E_ref of Maintenance.t
+
 type t = {
   sid : int;
   rule : Maintenance.rule;
-  mutable m : Maintenance.t;
+  kind : engine_kind;
+  mutable m : engine;
   mutable dead : Node.Set.t;
   mutable epoch : int;
   mutable work_base : int;  (* total_work of retired maintenance sessions *)
 }
 
-let create ~rule ~id config =
-  { sid = id; rule; m = Maintenance.create rule config; dead = Node.Set.empty;
-    epoch = 0; work_base = 0 }
+let make_engine kind rule config =
+  match kind with
+  | Fast -> E_fast (Fast_maintenance.create rule config)
+  | Reference -> E_ref (Maintenance.create rule config)
+
+let create ?(engine = Fast) ~rule ~id config =
+  { sid = id; rule; kind = engine; m = make_engine engine rule config;
+    dead = Node.Set.empty; epoch = 0; work_base = 0 }
 
 let id t = t.sid
-let destination t = Maintenance.destination t.m
-let graph t = Maintenance.graph t.m
+let engine_kind t = t.kind
+
+let destination t =
+  match t.m with
+  | E_fast f -> Fast_maintenance.destination f
+  | E_ref m -> Maintenance.destination m
+
+let graph t =
+  match t.m with
+  | E_fast f -> Fast_maintenance.graph f
+  | E_ref m -> Maintenance.graph m
+
 let dead t = t.dead
 let epoch t = t.epoch
-let total_work t = t.work_base + Maintenance.total_work t.m
+
+let total_work t =
+  t.work_base
+  + (match t.m with
+    | E_fast f -> Fast_maintenance.total_work f
+    | E_ref m -> Maintenance.total_work m)
+
+let cache_stats t =
+  match t.m with
+  | E_fast f -> Some (Fast_maintenance.cache_stats f)
+  | E_ref _ -> None
 
 type outcome = {
   response : Op.response;
@@ -27,7 +57,35 @@ type outcome = {
   validation_failures : int;
 }
 
-let mem_node t u = Node.Set.mem u (Digraph.nodes (graph t))
+let mem_node t u =
+  match t.m with
+  | E_fast f -> Fast_maintenance.mem_node f u
+  | E_ref m -> Node.Set.mem u (Digraph.nodes (Maintenance.graph m))
+
+let mem_edge t u v =
+  match t.m with
+  | E_fast f -> Fast_maintenance.mem_edge f u v
+  | E_ref m -> Digraph.mem_edge (Maintenance.graph m) u v
+
+let edge_out t u v =
+  match t.m with
+  | E_fast f -> Fast_maintenance.edge_out f u v
+  | E_ref m -> Digraph.dir (Maintenance.graph m) u v = Digraph.Out
+
+let compare_heights t u v =
+  match t.m with
+  | E_fast f -> Fast_maintenance.compare_heights f u v
+  | E_ref m -> Maintenance.compare_heights m u v
+
+let engine_route t src =
+  match t.m with
+  | E_fast f -> Fast_maintenance.route f src
+  | E_ref m -> Maintenance.route m src
+
+let has_path_to_destination t src =
+  match t.m with
+  | E_fast f -> Fast_maintenance.has_path f src
+  | E_ref m -> Digraph.has_path (Maintenance.graph m) src (Maintenance.destination m)
 
 (* The in-service checker: a path must start at the source, end at the
    destination, and descend strictly in both the orientation and the
@@ -35,13 +93,12 @@ let mem_node t u = Node.Set.mem u (Digraph.nodes (graph t))
    its own, so a validated path is a witness of acyclicity along the
    route. *)
 let path_valid t ~src path =
-  let g = graph t in
   let dest = destination t in
   let rec hops = function
     | a :: (b :: _ as rest) ->
-        Digraph.mem_edge g a b
-        && Digraph.dir g a b = Digraph.Out
-        && Maintenance.compare_heights t.m a b > 0
+        mem_edge t a b
+        && edge_out t a b
+        && compare_heights t a b > 0
         && hops rest
     | [ last ] -> Node.equal last dest
     | [] -> false
@@ -51,7 +108,7 @@ let path_valid t ~src path =
 let route ~validate t src =
   if not (mem_node t src) then { response = Op.Noop; work = 0; validation_failures = 0 }
   else
-    match Maintenance.route t.m src with
+    match engine_route t src with
     | Some path ->
         let bad = validate && not (path_valid t ~src path) in
         {
@@ -63,20 +120,23 @@ let route ~validate t src =
         (* An honest No_route means the source really cannot reach the
            destination; a directed path existing despite the refusal is
            an engine bug the validator must surface. *)
-        let bad = validate && Digraph.has_path (graph t) src (destination t) in
+        let bad = validate && has_path_to_destination t src in
         { response = Op.No_route; work = 0; validation_failures = (if bad then 1 else 0) }
 
 let link_down t u v =
-  let g = graph t in
   if Node.equal u v || (not (mem_node t u)) || (not (mem_node t v))
-     || not (Digraph.mem_edge g u v)
+     || not (mem_edge t u v)
   then { response = Op.Noop; work = 0; validation_failures = 0 }
   else begin
-    let before = Maintenance.total_work t.m in
-    let result = Maintenance.fail_link t.m u v in
+    let before = total_work t in
+    let result =
+      match t.m with
+      | E_fast f -> Fast_maintenance.fail_link f u v
+      | E_ref m -> Maintenance.fail_link m u v
+    in
     (* [Partitioned] still stabilizes the destination's side; the work
        delta covers both branches. *)
-    let work = Maintenance.total_work t.m - before in
+    let work = total_work t - before in
     match result with
     | Maintenance.Stabilized { node_steps; _ } ->
         { response = Op.Repaired { node_steps }; work; validation_failures = 0 }
@@ -86,15 +146,16 @@ let link_down t u v =
   end
 
 let link_up t u v =
-  let g = graph t in
   if Node.equal u v || (not (mem_node t u)) || (not (mem_node t v))
-     || Digraph.mem_edge g u v
+     || mem_edge t u v
      || Node.Set.mem u t.dead || Node.Set.mem v t.dead
   then { response = Op.Noop; work = 0; validation_failures = 0 }
   else begin
-    let before = Maintenance.total_work t.m in
-    Maintenance.add_link t.m u v;
-    let node_steps = Maintenance.total_work t.m - before in
+    let before = total_work t in
+    (match t.m with
+    | E_fast f -> Fast_maintenance.add_link f u v
+    | E_ref m -> Maintenance.add_link m u v);
+    let node_steps = total_work t - before in
     { response = Op.Linked { node_steps }; work = node_steps;
       validation_failures = 0 }
   end
@@ -119,16 +180,22 @@ let crash_destination t =
         let candidates =
           List.filter (fun o -> live o.Failover.leader) outcomes
         in
+        (* Primary: most members, then the greater leader id.  Both
+           components of the key are compared explicitly (ints and
+           [Node.compare]) so the order can never silently drift with
+           the representation of either. *)
+        let better o b =
+          let co = Node.Set.cardinal o.Failover.members
+          and cb = Node.Set.cardinal b.Failover.members in
+          if co <> cb then co > cb
+          else Node.compare o.Failover.leader b.Failover.leader > 0
+        in
         let primary =
           List.fold_left
             (fun best o ->
               match best with
               | None -> Some o
-              | Some b ->
-                  let key o =
-                    (Node.Set.cardinal o.Failover.members, o.Failover.leader)
-                  in
-                  if compare (key o) (key b) > 0 then Some o else Some b)
+              | Some b -> if better o b then Some o else Some b)
             None candidates
         in
         (match primary with
@@ -140,16 +207,16 @@ let crash_destination t =
                 (fun v g -> Digraph.remove_edge g old v)
                 (Digraph.neighbors g old) g
             in
-            t.work_base <- t.work_base + Maintenance.total_work t.m;
+            t.work_base <- total_work t;
             t.dead <- Node.Set.add old t.dead;
             t.m <-
-              Maintenance.create t.rule
+              make_engine t.kind t.rule
                 (Linkrev.Config.make_exn stripped ~destination:leader);
             t.epoch <- t.epoch + 1;
             (* The adoption work is the fresh session's stabilization —
                the reversals actually performed on this shard's state
                (Failover's own re-orientation ran on a throwaway copy). *)
-            let node_steps = Maintenance.total_work t.m in
+            let node_steps = total_work t - t.work_base in
             { response = Op.New_destination { leader; node_steps };
               work = node_steps; validation_failures = 0 })
 
@@ -162,4 +229,12 @@ let apply ?(validate = true) t op =
   | Op.Stats -> invalid_arg "Shard.apply: Stats is a dispatcher-level op"
 
 let consistent t =
-  Digraph.is_acyclic (graph t) && Maintenance.is_destination_oriented t.m
+  match t.m with
+  | E_fast f ->
+      (* Acyclicity is structural for the fast engine (orientation is
+         the strict height order); [consistent] additionally recounts
+         its incremental state and checks the cache for staleness. *)
+      Fast_maintenance.consistent f
+  | E_ref m ->
+      Digraph.is_acyclic (Maintenance.graph m)
+      && Maintenance.is_destination_oriented m

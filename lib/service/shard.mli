@@ -17,10 +17,22 @@ open Lr_routing
 
 type t
 
-val create : rule:Maintenance.rule -> id:int -> Linkrev.Config.t -> t
-(** Stabilizes the initial instance (like [Maintenance.create]). *)
+type engine_kind = Fast | Reference
+(** Which maintenance tier serves this shard.  [Fast] is
+    {!Lr_routing.Fast_maintenance} — flat arrays, sink worklist,
+    next-hop route cache; [Reference] is the persistent
+    {!Lr_routing.Maintenance}.  The two are byte-equivalent in every
+    response, counter and fingerprint (the fast engine replicates the
+    reference's sink-selection order exactly); [Reference] stays
+    available as the differential oracle and as a fallback. *)
+
+val create :
+  ?engine:engine_kind -> rule:Maintenance.rule -> id:int -> Linkrev.Config.t -> t
+(** Stabilizes the initial instance (like [Maintenance.create]).
+    [engine] defaults to [Fast]. *)
 
 val id : t -> int
+val engine_kind : t -> engine_kind
 val destination : t -> Node.t
 val graph : t -> Digraph.t
 val dead : t -> Node.Set.t
@@ -31,6 +43,10 @@ val epoch : t -> int
 
 val total_work : t -> int
 (** Cumulative reversal steps across all epochs. *)
+
+val cache_stats : t -> Fast_maintenance.cache_stats option
+(** Next-hop cache counters of the current maintenance session; [None]
+    on the reference engine (which has no cache). *)
 
 type outcome = {
   response : Op.response;

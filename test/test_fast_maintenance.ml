@@ -1,0 +1,213 @@
+(* Differential tests of the fast maintenance engine against the
+   persistent reference: identical work, heights order, orientation,
+   routes and partition reports under seeded churn — plus the next-hop
+   cache contract (hits when quiescent, invalidation on churn, never a
+   stale path; staleness is also recomputed inside [FM.consistent]). *)
+
+open Lr_graph
+open Linkrev
+open Helpers
+module M = Lr_routing.Maintenance
+module FM = Lr_routing.Fast_maintenance
+
+type sys = { m : M.t; f : FM.t; n : int }
+
+let make rule config =
+  {
+    m = M.create rule config;
+    f = FM.create rule config;
+    n = Digraph.num_nodes config.Config.initial;
+  }
+
+let route_testable = Alcotest.(option (list int))
+
+(* Full-state agreement: work, orientation, height order, routes. *)
+let agree what sys =
+  check_int (what ^ ": total work") (M.total_work sys.m) (FM.total_work sys.f);
+  Alcotest.check digraph_testable
+    (what ^ ": oriented graph")
+    (M.graph sys.m) (FM.graph sys.f);
+  for u = 0 to sys.n - 1 do
+    for v = 0 to sys.n - 1 do
+      if u <> v then
+        check_int
+          (Printf.sprintf "%s: height order %d/%d" what u v)
+          (compare (M.compare_heights sys.m u v) 0)
+          (compare (FM.compare_heights sys.f u v) 0)
+    done;
+    Alcotest.check route_testable
+      (Printf.sprintf "%s: route from %d" what u)
+      (M.route sys.m u) (FM.route sys.f u)
+  done;
+  check_bool
+    (what ^ ": destination oriented")
+    (M.is_destination_oriented sys.m)
+    (FM.is_destination_oriented sys.f);
+  check_bool (what ^ ": fast internals consistent") true (FM.consistent sys.f)
+
+let check_result what rm rf =
+  match (rm, rf) with
+  | ( M.Stabilized { node_steps = s1; affected = a1 },
+      M.Stabilized { node_steps = s2; affected = a2 } ) ->
+      check_int (what ^ ": node steps") s1 s2;
+      check_node_set (what ^ ": affected") a1 a2
+  | M.Partitioned a, M.Partitioned b -> check_node_set (what ^ ": lost") a b
+  | M.Stabilized _, M.Partitioned _ ->
+      Alcotest.failf "%s: reference stabilized, fast partitioned" what
+  | M.Partitioned _, M.Stabilized _ ->
+      Alcotest.failf "%s: reference partitioned, fast stabilized" what
+
+(* Seeded churn in lockstep.  Every event is applied to both engines
+   and the full state compared; node failures every 23rd event keep
+   partitions and reconnections frequent. *)
+let churn ~rule ~seed ~events ~extra_edges n =
+  let config = random_config ~extra_edges ~seed n in
+  let sys = make rule config in
+  agree "create" sys;
+  let rand = rng (seed + 77) in
+  for k = 1 to events do
+    let u = Random.State.int rand n and v = Random.State.int rand n in
+    if u <> v then begin
+      let what = Printf.sprintf "event %d (%d,%d)" k u v in
+      if k mod 23 = 0 then begin
+        let victim = if u = M.destination sys.m then v else u in
+        check_result what (M.fail_node sys.m victim) (FM.fail_node sys.f victim)
+      end
+      else if Digraph.mem_edge (M.graph sys.m) u v then
+        check_result what (M.fail_link sys.m u v) (FM.fail_link sys.f u v)
+      else begin
+        M.add_link sys.m u v;
+        FM.add_link sys.f u v
+      end;
+      agree what sys
+    end
+  done
+
+let test_lockstep_churn_pr () =
+  churn ~rule:M.Partial_reversal ~seed:11 ~events:160 ~extra_edges:12 14
+
+let test_lockstep_churn_fr () =
+  churn ~rule:M.Full_reversal ~seed:12 ~events:160 ~extra_edges:12 14
+
+let test_lockstep_churn_sparse () =
+  (* A near-tree graph partitions on almost every removal, exercising
+     the incremental component membership and the absorb-side sink
+     scan on every reconnection. *)
+  churn ~rule:M.Partial_reversal ~seed:13 ~events:200 ~extra_edges:1 12
+
+(* A partitioned side accumulates sinks the reference only repairs
+   after reconnection (its component scan sees them then); the fast
+   engine must find them via the absorb-side scan, not the worklist. *)
+let test_reconnection_finds_stale_sinks () =
+  let config =
+    Config.make_exn
+      (Digraph.of_directed_edges [ (0, 1); (1, 2); (2, 3) ])
+      ~destination:0
+  in
+  List.iter
+    (fun rule ->
+      let sys = make rule config in
+      check_result "cut 1-2" (M.fail_link sys.m 1 2) (FM.fail_link sys.f 1 2);
+      agree "after cut" sys;
+      (* Churn inside the lost side: drop 2-3, then restore it.  The
+         side is not stabilized, so this leaves sinks pending there. *)
+      check_result "cut 2-3" (M.fail_link sys.m 2 3) (FM.fail_link sys.f 2 3);
+      M.add_link sys.m 2 3;
+      FM.add_link sys.f 2 3;
+      agree "lost side churned" sys;
+      (* Reconnect: both engines must now repair the absorbed side. *)
+      M.add_link sys.m 1 2;
+      FM.add_link sys.f 1 2;
+      agree "after reconnection" sys;
+      check_bool "oriented after reconnection" true
+        (FM.is_destination_oriented sys.f))
+    [ M.Partial_reversal; M.Full_reversal ]
+
+let test_errors_match_reference () =
+  let config = random_config ~seed:5 10 in
+  let sys = make M.Partial_reversal config in
+  let raises f = try f (); false with Invalid_argument _ -> true in
+  let some_edge =
+    match Digraph.directed_edges (M.graph sys.m) with
+    | (u, v) :: _ -> (u, v)
+    | [] -> Alcotest.fail "graph has no edges"
+  in
+  let u, v = some_edge in
+  check_bool "duplicate add rejected" true
+    (raises (fun () -> FM.add_link sys.f u v));
+  check_bool "self-loop add rejected" true
+    (raises (fun () -> FM.add_link sys.f 3 3));
+  check_bool "out-of-range add rejected" true
+    (raises (fun () -> FM.add_link sys.f 0 99));
+  check_bool "absent fail_link rejected" true
+    (raises (fun () ->
+         ignore (FM.fail_link sys.f 99 0)));
+  check_bool "destination fail_node rejected" true
+    (raises (fun () -> ignore (FM.fail_node sys.f (FM.destination sys.f))));
+  agree "after rejected calls" sys
+
+(* {1 Next-hop cache} *)
+
+let test_cache_hits_when_quiescent () =
+  let config = random_config ~seed:21 16 in
+  let f = FM.create M.Partial_reversal config in
+  let query_all () =
+    for u = 0 to FM.num_nodes f - 1 do
+      ignore (FM.route f u)
+    done
+  in
+  query_all ();
+  let s1 = FM.cache_stats f in
+  check_bool "first pass computes entries" true (s1.FM.misses > 0);
+  query_all ();
+  let s2 = FM.cache_stats f in
+  check_int "quiescent queries add no misses" s1.FM.misses s2.FM.misses;
+  check_bool "quiescent queries hit the cache" true (s2.FM.hits > s1.FM.hits);
+  check_bool "no churn, no invalidations" true (s2.FM.invalidations = s1.FM.invalidations)
+
+let test_cache_invalidated_by_churn () =
+  let config = random_config ~seed:22 16 in
+  let sys = make M.Partial_reversal config in
+  for u = 0 to sys.n - 1 do
+    ignore (FM.route sys.f u)
+  done;
+  let before = FM.cache_stats sys.f in
+  (* Knock out an edge on some served route: heights and topology
+     change, so entries must be dropped... *)
+  let u, v =
+    match Digraph.directed_edges (M.graph sys.m) with
+    | e :: _ -> e
+    | [] -> Alcotest.fail "no edges"
+  in
+  check_result "churn" (M.fail_link sys.m u v) (FM.fail_link sys.f u v);
+  let after = FM.cache_stats sys.f in
+  check_bool "churn invalidates" true
+    (after.FM.invalidations > before.FM.invalidations);
+  (* ... and the refilled cache must agree with the reference: no hop
+     served from a stale entry. *)
+  agree "after churn" sys;
+  for u = 0 to sys.n - 1 do
+    ignore (FM.route sys.f u)
+  done;
+  check_bool "cache sound after refill" true (FM.consistent sys.f)
+
+let () =
+  Alcotest.run "fast_maintenance"
+    [
+      suite "lockstep"
+        [
+          case "PR churn matches reference" test_lockstep_churn_pr;
+          case "FR churn matches reference" test_lockstep_churn_fr;
+          case "sparse churn (partition-heavy)" test_lockstep_churn_sparse;
+          case "reconnection repairs stale sinks"
+            test_reconnection_finds_stale_sinks;
+          case "invalid calls rejected like the reference"
+            test_errors_match_reference;
+        ];
+      suite "route cache"
+        [
+          case "hits when quiescent" test_cache_hits_when_quiescent;
+          case "invalidated by churn, never stale"
+            test_cache_invalidated_by_churn;
+        ];
+    ]

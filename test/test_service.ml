@@ -224,6 +224,57 @@ let test_create_rejects_bad_config () =
     (try ignore (S.create S.default_config [||]); false
      with Invalid_argument _ -> true)
 
+(* The two maintenance tiers must be indistinguishable through the
+   service: same responses, counters and fingerprint on a churny
+   workload (the fast engine replicates the reference's sink-selection
+   order exactly). *)
+let test_engines_agree () =
+  let s = spec ~mix:churny ~ops:1_200 ~stats_every:301 () in
+  let ops = W.generate s in
+  let run engine =
+    let cfg = { S.default_config with S.engine } in
+    let svc = S.create cfg (W.shard_configs s) in
+    Fun.protect
+      ~finally:(fun () -> S.shutdown svc)
+      (fun () ->
+        let responses = S.run svc ops in
+        let m = S.metrics svc in
+        (responses, S.fingerprint responses m,
+         m.Metrics.snapshot_totals.Metrics.validation_failures))
+  in
+  let rf, fpf, vf_fast = run Shard.Fast in
+  let rr, fpr, vf_ref = run Shard.Reference in
+  check_bool "responses identical across engines" true (rf = rr);
+  check_bool "fingerprints identical across engines" true (fpf = fpr);
+  check_int "no validation failures (fast)" 0 vf_fast;
+  check_int "no validation failures (reference)" 0 vf_ref
+
+(* Pin the failover tie-break: with two equal-cardinality components,
+   the greater leader id (Node.compare) wins — on both engines.  The
+   graph is a path 0-1-[2]-3-4 with destination 2; crashing it leaves
+   {0,1} (leader 1) and {3,4} (leader 4). *)
+let test_crash_tiebreak_pinned () =
+  let config =
+    Linkrev.Config.make_exn
+      (Lr_graph.Digraph.of_directed_edges [ (0, 1); (1, 2); (4, 3); (3, 2) ])
+      ~destination:2
+  in
+  List.iter
+    (fun engine ->
+      let shard =
+        Shard.create ~engine ~rule:Lr_routing.Maintenance.Partial_reversal
+          ~id:0 config
+      in
+      let o = Shard.apply shard (Op.Crash_destination { shard = 0 }) in
+      match o.Shard.response with
+      | Op.New_destination { leader; _ } ->
+          check_int "tie broken toward the greater leader id" 4 leader;
+          check_int "new destination adopted" 4 (Shard.destination shard)
+      | r ->
+          Alcotest.failf "expected New_destination, got %s"
+            (Op.response_to_string r))
+    [ Shard.Fast; Shard.Reference ]
+
 let () =
   Alcotest.run "service"
     [
@@ -241,5 +292,7 @@ let () =
           case "trace dir records auditable traces"
             test_trace_dir_records_auditable_traces;
           case "bad configs rejected" test_create_rejects_bad_config;
+          case "fast and reference engines agree" test_engines_agree;
+          case "failover tie-break pinned" test_crash_tiebreak_pinned;
         ];
     ]
