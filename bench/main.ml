@@ -1732,6 +1732,57 @@ let micro () =
     results
 
 (* ------------------------------------------------------------------ *)
+(* D-L1: the static analyser over the whole library tree — wall clock
+   and a hard failure if the tree stopped linting clean. *)
+
+let lint () =
+  section "D-L1" "lr_lint static analysis of lib/ (typed-tree walk)";
+  let module Lint = Lr_lint.Lint in
+  let module Diagnostic = Lr_lint.Diagnostic in
+  let root = if Sys.file_exists "_build/default" then "." else "../.." in
+  let config = Lint.default_config ~root in
+  let result, seconds = P.timed (fun () -> Lint.run config) in
+  match result with
+  | Error e ->
+      Printf.printf "FAILURE: %s\n" e;
+      exit 1
+  | Ok r ->
+      let errors = Lint.count Diagnostic.Error r.Lint.diagnostics in
+      let warnings = Lint.count Diagnostic.Warning r.Lint.diagnostics in
+      T.print
+        ~title:"typed-tree lint over lib/"
+        (T.make
+           ~headers:[ "units"; "errors"; "warnings"; "wall" ]
+           [
+             [
+               string_of_int r.Lint.units;
+               string_of_int errors;
+               string_of_int warnings;
+               Printf.sprintf "%.3f s" seconds;
+             ];
+           ]);
+      let file = "BENCH_lint.json" in
+      Out_channel.with_open_text file (fun oc ->
+          Out_channel.output_string oc
+            (Lr_lint.Json.to_string
+               (Lr_lint.Json.Obj
+                  [
+                    ("units", Lr_lint.Json.Int r.Lint.units);
+                    ("errors", Lr_lint.Json.Int errors);
+                    ("warnings", Lr_lint.Json.Int warnings);
+                    ("seconds", Lr_lint.Json.Float seconds);
+                  ])));
+      Printf.printf "wrote %s\n" file;
+      List.iter
+        (fun d -> Printf.printf "%s\n" (Diagnostic.to_human d))
+        r.Lint.diagnostics;
+      if Lint.count Diagnostic.Error r.Lint.diagnostics > 0 || warnings > 0
+      then begin
+        Printf.printf "FAILURE: the library tree no longer lints clean\n";
+        exit 1
+      end
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
@@ -1739,7 +1790,7 @@ let experiments =
     ("f1", f1); ("f2", f2); ("f3", f3); ("f4", f4); ("f5", f5);
     ("f6", f6); ("f7", f7); ("f8", f8); ("f9", f9);
     ("parallel", parallel); ("trace", trace); ("service", service);
-    ("maintenance", maintenance); ("micro", micro);
+    ("maintenance", maintenance); ("micro", micro); ("lint", lint);
   ]
 
 (* Strip --jobs N / -j N / --jobs=N and --trials N / --trials=N;

@@ -931,11 +931,162 @@ module Service_cli = struct
       term
 end
 
+(* {1 lint} *)
+
+module Lint_cli = struct
+  open Lr_lint
+
+  let parse_rules = function
+    | None -> Ok Rule.all
+    | Some s ->
+        let rec go acc = function
+          | [] -> Ok (List.rev acc)
+          | id :: rest -> (
+              match Rule.of_string (String.trim id) with
+              | Some r -> go (r :: acc) rest
+              | None ->
+                  Error
+                    (Printf.sprintf "unknown rule %S (expected l1, l2, l3 or l4)"
+                       id))
+        in
+        go [] (String.split_on_char ',' s)
+
+  let load_allow root = function
+    | Some file -> Allowlist.load file
+    | None ->
+        let default = Filename.concat root "lint_allow.conf" in
+        if Sys.file_exists default then Allowlist.load default
+        else Ok Allowlist.empty
+
+  let lint_cmd =
+    let rules_arg =
+      Arg.(
+        value & opt (some string) None
+        & info [ "rules" ] ~docv:"IDS"
+            ~doc:
+              "Comma-separated subset of rules to run (l1 poly-ops, l2 \
+               domain-race surface, l3 interface hygiene, l4 forbidden \
+               constructs). Default: all four.")
+    in
+    let json_arg =
+      Arg.(
+        value & flag
+        & info [ "json" ] ~doc:"Print the report as JSON instead of text.")
+    in
+    let output_arg =
+      Arg.(
+        value & opt (some string) None
+        & info [ "output" ] ~docv:"FILE"
+            ~doc:"Also write the JSON report to $(docv).")
+    in
+    let baseline_arg =
+      Arg.(
+        value & opt (some string) None
+        & info [ "baseline" ] ~docv:"FILE"
+            ~doc:
+              "Subtract the findings recorded in $(docv); only new findings \
+               fail the lint.")
+    in
+    let write_baseline_arg =
+      Arg.(
+        value & opt (some string) None
+        & info [ "write-baseline" ] ~docv:"FILE"
+            ~doc:"Record the current findings to $(docv) and exit 0.")
+    in
+    let allow_arg =
+      Arg.(
+        value & opt (some string) None
+        & info [ "allow" ] ~docv:"FILE"
+            ~doc:
+              "Allowlist file (default: lint_allow.conf at the root, if \
+               present).")
+    in
+    let root_arg =
+      Arg.(
+        value & opt string "."
+        & info [ "root" ] ~docv:"DIR" ~doc:"Repository root.")
+    in
+    let build_dir_arg =
+      Arg.(
+        value & opt (some string) None
+        & info [ "build-dir" ] ~docv:"DIR"
+            ~doc:"Dune context root (default: ROOT/_build/default).")
+    in
+    let dir_arg =
+      Arg.(
+        value & opt_all string []
+        & info [ "dir" ] ~docv:"DIR"
+            ~doc:
+              "Source directory to report on, relative to the root \
+               (repeatable; default: lib).")
+    in
+    let lint rules json output baseline write_baseline allow root build_dir
+        dirs =
+      let ( let* ) r f = match r with Error e -> `Error (false, e) | Ok v -> f v in
+      let* rules = parse_rules rules in
+      let* allow = load_allow root allow in
+      let config =
+        let c = Lint.default_config ~root in
+        {
+          c with
+          Lint.rules;
+          allow;
+          build_dir = Option.value build_dir ~default:c.Lint.build_dir;
+          dirs = (match dirs with [] -> c.Lint.dirs | ds -> ds);
+        }
+      in
+      let* report = Lint.run config in
+      let all = report.Lint.diagnostics in
+      match write_baseline with
+      | Some file ->
+          Baseline.save file all;
+          Printf.printf "wrote %d finding(s) to %s\n" (List.length all) file;
+          `Ok ()
+      | None ->
+          let* kept, suppressed =
+            match baseline with
+            | None -> Ok (all, 0)
+            | Some file ->
+                Result.map (fun b -> Baseline.apply b all) (Baseline.load file)
+          in
+          let units = report.Lint.units in
+          let doc = Lint.report_json ~units ~suppressed kept in
+          Option.iter
+            (fun file ->
+              Out_channel.with_open_text file (fun oc ->
+                  Out_channel.output_string oc (Json.to_string doc)))
+            output;
+          if json then print_endline (Json.to_string doc)
+          else (
+            List.iter (fun d -> print_endline (Diagnostic.to_human d)) kept;
+            print_endline (Lint.summary ~units ~suppressed kept));
+          if List.compare_length_with kept 0 = 0 then `Ok ()
+          else
+            `Error
+              ( false,
+                Printf.sprintf "lint failed with %d finding(s)"
+                  (List.length kept) )
+    in
+    let term =
+      Term.(
+        ret
+          (const lint $ rules_arg $ json_arg $ output_arg $ baseline_arg
+          $ write_baseline_arg $ allow_arg $ root_arg $ build_dir_arg $ dir_arg))
+    in
+    Cmd.v
+      (Cmd.info "lint"
+         ~doc:
+           "Static analysis over the dune-produced typed trees: hot-path \
+            purity (l1), domain-race surface (l2), interface hygiene (l3), \
+            forbidden constructs (l4).")
+      term
+end
+
 let main_cmd =
   let doc = "link reversal algorithms (Partial Reversal Acyclicity reproduction)" in
   Cmd.group (Cmd.info "linkrev" ~version:"1.0.0" ~doc)
     [ run_cmd; sweep_cmd; check_cmd; game_cmd; stats_cmd; theorems_cmd;
       tora_cmd; generate_cmd; Trace_cli.cmd; Service_cli.serve_cmd;
-      Service_cli.loadgen_cmd ]
+      Service_cli.loadgen_cmd; Lint_cli.lint_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -99,7 +99,9 @@ let best_response_violations ?max_steps config profile =
     profile []
 
 let is_nash ?max_steps config profile =
-  best_response_violations ?max_steps config profile = []
+  match best_response_violations ?max_steps config profile with
+  | [] -> true
+  | _ :: _ -> false
 
 let social_optimum ?max_steps config =
   match all_profiles config with

@@ -42,10 +42,11 @@ let to_csv t =
   let line row = String.concat "," (List.map csv_escape row) ^ "\n" in
   String.concat "" (line t.headers :: List.map line t.rows)
 
-let print ?title t =
+let print ?(ppf = Format.std_formatter) ?title t =
   (match title with
   | Some s ->
-      print_endline s;
-      print_endline (String.make (String.length s) '=')
+      Format.fprintf ppf "%s@\n%s@\n" s (String.make (String.length s) '=')
   | None -> ());
-  print_string (render t)
+  Format.pp_print_string ppf (render t);
+  (* flush so output interleaves correctly with direct [Printf] users *)
+  Format.pp_print_flush ppf ()

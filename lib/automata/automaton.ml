@@ -11,12 +11,13 @@ type ('s, 'a) t = {
 
 let opaque what ppf _ = Format.fprintf ppf "<%s>" what
 
-let make ~name ~initial ~enabled ~step ?is_enabled ?equal_state ?pp_state
-    ?pp_action () =
+let make ~name ~initial ~enabled ~step ?equal_action ?is_enabled ?equal_state
+    ?pp_state ?pp_action () =
+  let eq_action = match equal_action with Some f -> f | None -> ( = ) in
   let is_enabled =
     match is_enabled with
     | Some f -> f
-    | None -> fun s a -> List.mem a (enabled s)
+    | None -> fun s a -> List.exists (eq_action a) (enabled s)
   in
   {
     name;
@@ -29,7 +30,7 @@ let make ~name ~initial ~enabled ~step ?is_enabled ?equal_state ?pp_state
     pp_action = Option.value ~default:(opaque "action") pp_action;
   }
 
-let quiescent t s = t.enabled s = []
+let quiescent t s = match t.enabled s with [] -> true | _ :: _ -> false
 
 let fold_reachable ?(max_states = 1_000_000) ~key t ~init ~f =
   let seen = Hashtbl.create 1024 in

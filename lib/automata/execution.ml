@@ -28,7 +28,10 @@ let final e =
 let length e = List.length e.steps
 let states e = e.init :: List.map (fun st -> st.after) e.steps
 let actions e = List.map (fun st -> st.action) e.steps
-let quiescent e = e.automaton.Automaton.enabled (final e) = []
+let quiescent e =
+  match e.automaton.Automaton.enabled (final e) with
+  | [] -> true
+  | _ :: _ -> false
 
 let replay (aut : ('s, 'a) Automaton.t) init actions =
   let rec loop s steps i = function

@@ -26,20 +26,22 @@ let check (type c) ~(classify : _ -> c) ~patience exec =
             (M.filter (fun cls _ -> M.mem cls enabled) windows)
         in
         let fired = classify action in
+        let windows = M.remove fired windows in
         let starved =
           M.fold
             (fun cls from acc ->
               let length = i - from + 1 in
-              if compare cls fired <> 0 && length = patience then
+              if length = patience then
                 { actor = cls; from_step = from; steps_enabled = length }
                 :: acc
               else acc)
             windows starved
         in
-        (i + 1, M.remove fired windows, starved))
+        (i + 1, windows, starved))
       (0, M.empty, [])
       exec.Execution.steps
   in
   List.rev starved
 
-let is_fair ~classify ~patience exec = check ~classify ~patience exec = []
+let is_fair ~classify ~patience exec =
+  match check ~classify ~patience exec with [] -> true | _ :: _ -> false

@@ -36,4 +36,4 @@ let check_states inv states =
   loop 0 states
 
 let check_execution inv exec = check_states inv (Execution.states exec)
-let holds_on inv exec = check_execution inv exec = None
+let holds_on inv exec = Option.is_none (check_execution inv exec)

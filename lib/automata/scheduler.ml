@@ -46,7 +46,7 @@ let greedy ~score () _ actions =
   | a :: rest ->
       Some
         (List.fold_left
-           (fun best a' -> if score a' > score best then a' else best)
+           (fun best a' -> if (score a' : int) > score best then a' else best)
            a rest)
 
 let stop_after n sched =

@@ -14,7 +14,9 @@ let count_flips g1 g2 =
   Undirected.fold_edges
     (fun e acc ->
       let u, v = Edge.endpoints e in
-      if Digraph.dir g1 u v = Digraph.dir g2 u v then acc else acc + 1)
+      if Digraph.direction_equal (Digraph.dir g1 u v) (Digraph.dir g2 u v) then
+        acc
+      else acc + 1)
     (Digraph.skeleton g1) 0
 
 let run_execution ?observe ~destination (algo : ('s, 'a) Algo.t) exec =

@@ -32,7 +32,8 @@ let pr_inv_3_1 config =
             | None ->
                 let u, v = Edge.endpoints e in
                 let duv = Digraph.dir g u v and dvu = Digraph.dir g v u in
-                if duv = Digraph.flip dvu then None else Some (u, v))
+                if Digraph.direction_equal duv (Digraph.flip dvu) then None
+                else Some (u, v))
           (Config.skeleton config) None
       in
       match bad with
@@ -45,20 +46,22 @@ let pr_inv_3_1 config =
    currently incoming. *)
 let part1 config (s : Pr.state) u =
   let g = s.Pr.graph in
-  Node.Set.for_all (fun w -> Digraph.dir g u w = Digraph.In)
+  Node.Set.for_all
+    (fun w -> Digraph.direction_equal (Digraph.dir g u w) Digraph.In)
     (Config.out_nbrs config u)
   && Node.Set.equal (Pr.list_of s u)
        (Node.Set.filter
-          (fun v -> Digraph.dir g u v = Digraph.In)
+          (fun v -> Digraph.direction_equal (Digraph.dir g u v) Digraph.In)
           (Config.in_nbrs config u))
 
 let part2 config (s : Pr.state) u =
   let g = s.Pr.graph in
-  Node.Set.for_all (fun w -> Digraph.dir g u w = Digraph.In)
+  Node.Set.for_all
+    (fun w -> Digraph.direction_equal (Digraph.dir g u w) Digraph.In)
     (Config.in_nbrs config u)
   && Node.Set.equal (Pr.list_of s u)
        (Node.Set.filter
-          (fun v -> Digraph.dir g u v = Digraph.In)
+          (fun v -> Digraph.direction_equal (Digraph.dir g u v) Digraph.In)
           (Config.out_nbrs config u))
 
 let pr_inv_3_2 config =
@@ -145,7 +148,7 @@ let pr_all config =
    currently points from the left endpoint to the right one. *)
 let points_left_to_right config g u v =
   let left, right = if Config.is_left_of config u v then (u, v) else (v, u) in
-  Digraph.dir g left right = Digraph.Out
+  Digraph.direction_equal (Digraph.dir g left right) Digraph.Out
 
 let newpr_inv_4_1 config =
   Invariant.make ~name:"Invariant 4.1" (fun (s : New_pr.state) ->
@@ -199,7 +202,10 @@ let newpr_inv_4_2 config =
             else None
           in
           let part_d x cx y cy =
-            if cx > cy && Digraph.dir g x y <> Digraph.Out then
+            if
+              cx > cy
+              && not (Digraph.direction_equal (Digraph.dir g x y) Digraph.Out)
+            then
               Some
                 (Format.asprintf
                    "(d): count[%a]=%d > count[%a]=%d but edge not %a->%a"

@@ -35,7 +35,9 @@ let of_instance inst =
   done;
   let out0 =
     Array.init n (fun u ->
-        Array.map (fun w -> Digraph.dir g u w = Digraph.Out) nbrs.(u))
+        Array.map
+          (fun w -> Digraph.direction_equal (Digraph.dir g u w) Digraph.Out)
+          nbrs.(u))
   in
   { n; destination = inst.Generators.destination; nbrs; mirror; out0 }
 

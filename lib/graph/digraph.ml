@@ -6,6 +6,9 @@ let pp_direction ppf = function
 
 let flip = function In -> Out | Out -> In
 
+let direction_equal a b =
+  match (a, b) with In, In | Out, Out -> true | In, Out | Out, In -> false
+
 (* [orient] maps every skeleton edge to [true] when the edge is directed
    from its low endpoint to its high endpoint. *)
 type t = { skel : Undirected.t; orient : bool Edge.Map.t }
@@ -67,10 +70,10 @@ let dir g u v =
     if Node.equal (edge_target g e) v then Out else In
 
 let out_neighbors g u =
-  Node.Set.filter (fun v -> dir g u v = Out) (neighbors g u)
+  Node.Set.filter (fun v -> direction_equal (dir g u v) Out) (neighbors g u)
 
 let in_neighbors g u =
-  Node.Set.filter (fun v -> dir g u v = In) (neighbors g u)
+  Node.Set.filter (fun v -> direction_equal (dir g u v) In) (neighbors g u)
 
 let in_degree g u = Node.Set.cardinal (in_neighbors g u)
 let out_degree g u = Node.Set.cardinal (out_neighbors g u)
@@ -78,12 +81,12 @@ let out_degree g u = Node.Set.cardinal (out_neighbors g u)
 let is_sink g u =
   let nbrs = neighbors g u in
   (not (Node.Set.is_empty nbrs))
-  && Node.Set.for_all (fun v -> dir g u v = In) nbrs
+  && Node.Set.for_all (fun v -> direction_equal (dir g u v) In) nbrs
 
 let is_source g u =
   let nbrs = neighbors g u in
   (not (Node.Set.is_empty nbrs))
-  && Node.Set.for_all (fun v -> dir g u v = Out) nbrs
+  && Node.Set.for_all (fun v -> direction_equal (dir g u v) Out) nbrs
 
 let sinks g = Node.Set.filter (is_sink g) (nodes g)
 let sources g = Node.Set.filter (is_source g) (nodes g)
@@ -134,7 +137,7 @@ let topological_sort g =
   in
   loop indeg initial [] 0
 
-let is_acyclic g = topological_sort g <> None
+let is_acyclic g = Option.is_some (topological_sort g)
 
 (* DFS with colors; returns a directed cycle when one exists. *)
 let find_cycle g =
@@ -160,7 +163,9 @@ let find_cycle g =
     Hashtbl.replace color u `Black
   in
   try
-    Node.Set.iter (fun u -> if get u = `White then visit [ u ] u) (nodes g);
+    Node.Set.iter
+      (fun u -> match get u with `White -> visit [ u ] u | `Gray | `Black -> ())
+      (nodes g);
     None
   with Found cycle -> Some cycle
 

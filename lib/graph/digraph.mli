@@ -15,6 +15,10 @@ type direction = In | Out
 val pp_direction : Format.formatter -> direction -> unit
 val flip : direction -> direction
 
+val direction_equal : direction -> direction -> bool
+(** Monomorphic equality, for hot paths where polymorphic [=] is
+    banned (see the L1 lint rule). *)
+
 (** {1 Construction} *)
 
 val orient : Undirected.t -> toward:(Edge.t -> Node.t) -> t

@@ -1,0 +1,68 @@
+type severity = Error | Warning
+
+let severity_id = function Error -> "error" | Warning -> "warning"
+
+type t = {
+  rule : Rule.t;
+  severity : severity;
+  file : string;
+  line : int;
+  col : int;
+  message : string;
+  key : string;
+}
+
+let make ~rule ~severity ~file ~line ~col message =
+  { rule; severity; file; line; col; message; key = "" }
+
+let of_location ~rule ~severity (loc : Location.t) message =
+  let p = loc.Location.loc_start in
+  make ~rule ~severity ~file:p.Lexing.pos_fname ~line:p.Lexing.pos_lnum
+    ~col:(p.Lexing.pos_cnum - p.Lexing.pos_bol)
+    message
+
+let compare a b =
+  let c = String.compare a.file b.file in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.line b.line in
+    if c <> 0 then c
+    else
+      let c = Int.compare a.col b.col in
+      if c <> 0 then c
+      else
+        let c = Rule.compare a.rule b.rule in
+        if c <> 0 then c else String.compare a.message b.message
+
+(* Baseline keys must survive unrelated edits, so they carry no line
+   numbers: rule + file + message, with a [#k] suffix distinguishing
+   repeated identical findings in one file (in line order). *)
+let finalize diags =
+  let sorted = List.sort compare diags in
+  let seen = Hashtbl.create 64 in
+  List.map
+    (fun d ->
+      let base = Printf.sprintf "%s:%s:%s" (Rule.id d.rule) d.file d.message in
+      let n =
+        match Hashtbl.find_opt seen base with None -> 0 | Some k -> k
+      in
+      Hashtbl.replace seen base (n + 1);
+      let key = if n = 0 then base else Printf.sprintf "%s#%d" base n in
+      { d with key })
+    sorted
+
+let to_human d =
+  Printf.sprintf "%s:%d:%d: [%s/%s] %s" d.file d.line d.col (Rule.id d.rule)
+    (severity_id d.severity) d.message
+
+let to_json d =
+  Json.Obj
+    [
+      ("rule", Json.Str (Rule.id d.rule));
+      ("severity", Json.Str (severity_id d.severity));
+      ("file", Json.Str d.file);
+      ("line", Json.Int d.line);
+      ("col", Json.Int d.col);
+      ("message", Json.Str d.message);
+      ("key", Json.Str d.key);
+    ]

@@ -1,0 +1,261 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+(* {1 Emission} *)
+
+let add_escaped buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let rec emit buf indent v =
+  let pad n = String.make n ' ' in
+  match v with
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (string_of_bool b)
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float f -> Buffer.add_string buf (Printf.sprintf "%.6g" f)
+  | Str s -> add_escaped buf s
+  | Arr [] -> Buffer.add_string buf "[]"
+  | Arr items ->
+      Buffer.add_string buf "[\n";
+      List.iteri
+        (fun i item ->
+          if i > 0 then Buffer.add_string buf ",\n";
+          Buffer.add_string buf (pad (indent + 2));
+          emit buf (indent + 2) item)
+        items;
+      Buffer.add_char buf '\n';
+      Buffer.add_string buf (pad indent);
+      Buffer.add_char buf ']'
+  | Obj [] -> Buffer.add_string buf "{}"
+  | Obj fields ->
+      Buffer.add_string buf "{\n";
+      List.iteri
+        (fun i (k, item) ->
+          if i > 0 then Buffer.add_string buf ",\n";
+          Buffer.add_string buf (pad (indent + 2));
+          add_escaped buf k;
+          Buffer.add_string buf ": ";
+          emit buf (indent + 2) item)
+        fields;
+      Buffer.add_char buf '\n';
+      Buffer.add_string buf (pad indent);
+      Buffer.add_char buf '}'
+
+let to_string v =
+  let buf = Buffer.create 1024 in
+  emit buf 0 v;
+  Buffer.add_char buf '\n';
+  Buffer.contents buf
+
+(* {1 Parsing}
+
+   A small recursive-descent parser over the whole input string; enough
+   JSON for baseline files this library wrote itself (and hand edits). *)
+
+exception Parse_error of string
+
+type cursor = { text : string; mutable pos : int }
+
+let peek c = if c.pos < String.length c.text then Some c.text.[c.pos] else None
+
+let fail c msg =
+  raise (Parse_error (Printf.sprintf "%s at offset %d" msg c.pos))
+
+let advance c = c.pos <- c.pos + 1
+
+let rec skip_ws c =
+  match peek c with
+  | Some (' ' | '\t' | '\n' | '\r') ->
+      advance c;
+      skip_ws c
+  | _ -> ()
+
+let expect c ch =
+  match peek c with
+  | Some k when Char.equal k ch -> advance c
+  | _ -> fail c (Printf.sprintf "expected %C" ch)
+
+let literal c word value =
+  let n = String.length word in
+  if
+    c.pos + n <= String.length c.text
+    && String.equal (String.sub c.text c.pos n) word
+  then begin
+    c.pos <- c.pos + n;
+    value
+  end
+  else fail c (Printf.sprintf "expected %s" word)
+
+let hex_digit c ch =
+  match ch with
+  | '0' .. '9' -> Char.code ch - Char.code '0'
+  | 'a' .. 'f' -> Char.code ch - Char.code 'a' + 10
+  | 'A' .. 'F' -> Char.code ch - Char.code 'A' + 10
+  | _ -> fail c "bad hex digit"
+
+let parse_string c =
+  expect c '"';
+  let buf = Buffer.create 16 in
+  let rec loop () =
+    match peek c with
+    | None -> fail c "unterminated string"
+    | Some '"' -> advance c
+    | Some '\\' ->
+        advance c;
+        (match peek c with
+        | Some '"' -> Buffer.add_char buf '"'
+        | Some '\\' -> Buffer.add_char buf '\\'
+        | Some '/' -> Buffer.add_char buf '/'
+        | Some 'n' -> Buffer.add_char buf '\n'
+        | Some 't' -> Buffer.add_char buf '\t'
+        | Some 'r' -> Buffer.add_char buf '\r'
+        | Some 'b' -> Buffer.add_char buf '\b'
+        | Some 'f' -> Buffer.add_char buf '\012'
+        | Some 'u' ->
+            if c.pos + 4 >= String.length c.text then fail c "bad \\u escape";
+            let v =
+              (hex_digit c c.text.[c.pos + 1] lsl 12)
+              lor (hex_digit c c.text.[c.pos + 2] lsl 8)
+              lor (hex_digit c c.text.[c.pos + 3] lsl 4)
+              lor hex_digit c c.text.[c.pos + 4]
+            in
+            c.pos <- c.pos + 4;
+            (* encode the BMP code point as UTF-8 *)
+            if v < 0x80 then Buffer.add_char buf (Char.chr v)
+            else if v < 0x800 then begin
+              Buffer.add_char buf (Char.chr (0xc0 lor (v lsr 6)));
+              Buffer.add_char buf (Char.chr (0x80 lor (v land 0x3f)))
+            end
+            else begin
+              Buffer.add_char buf (Char.chr (0xe0 lor (v lsr 12)));
+              Buffer.add_char buf (Char.chr (0x80 lor ((v lsr 6) land 0x3f)));
+              Buffer.add_char buf (Char.chr (0x80 lor (v land 0x3f)))
+            end
+        | _ -> fail c "bad escape");
+        advance c;
+        loop ()
+    | Some ch ->
+        Buffer.add_char buf ch;
+        advance c;
+        loop ()
+  in
+  loop ();
+  Buffer.contents buf
+
+let parse_number c =
+  let start = c.pos in
+  let is_num_char ch =
+    match ch with
+    | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+    | _ -> false
+  in
+  let rec run () =
+    match peek c with
+    | Some ch when is_num_char ch ->
+        advance c;
+        run ()
+    | _ -> ()
+  in
+  run ();
+  let s = String.sub c.text start (c.pos - start) in
+  match int_of_string_opt s with
+  | Some i -> Int i
+  | None -> (
+      match float_of_string_opt s with
+      | Some f -> Float f
+      | None -> fail c "bad number")
+
+let rec parse_value c =
+  skip_ws c;
+  match peek c with
+  | None -> fail c "unexpected end of input"
+  | Some '"' -> Str (parse_string c)
+  | Some '{' ->
+      advance c;
+      skip_ws c;
+      if Option.is_some (peek c) && Char.equal (Option.get (peek c)) '}' then begin
+        advance c;
+        Obj []
+      end
+      else
+        let rec fields acc =
+          skip_ws c;
+          let k = parse_string c in
+          skip_ws c;
+          expect c ':';
+          let v = parse_value c in
+          skip_ws c;
+          match peek c with
+          | Some ',' ->
+              advance c;
+              fields ((k, v) :: acc)
+          | Some '}' ->
+              advance c;
+              Obj (List.rev ((k, v) :: acc))
+          | _ -> fail c "expected , or }"
+        in
+        fields []
+  | Some '[' ->
+      advance c;
+      skip_ws c;
+      if Option.is_some (peek c) && Char.equal (Option.get (peek c)) ']' then begin
+        advance c;
+        Arr []
+      end
+      else
+        let rec items acc =
+          let v = parse_value c in
+          skip_ws c;
+          match peek c with
+          | Some ',' ->
+              advance c;
+              items (v :: acc)
+          | Some ']' ->
+              advance c;
+              Arr (List.rev (v :: acc))
+          | _ -> fail c "expected , or ]"
+        in
+        items []
+  | Some 't' -> literal c "true" (Bool true)
+  | Some 'f' -> literal c "false" (Bool false)
+  | Some 'n' -> literal c "null" Null
+  | Some _ -> parse_number c
+
+let parse text =
+  let c = { text; pos = 0 } in
+  match parse_value c with
+  | v ->
+      skip_ws c;
+      if c.pos < String.length text then Error "trailing content after JSON value"
+      else Ok v
+  | exception Parse_error msg -> Error msg
+
+(* {1 Accessors} *)
+
+let member name v =
+  match v with
+  | Obj fields -> List.assoc_opt name fields
+  | _ -> None
+
+let to_list v = match v with Arr items -> Some items | _ -> None
+let to_str v = match v with Str s -> Some s | _ -> None
+let to_int v = match v with Int i -> Some i | _ -> None

@@ -1,0 +1,27 @@
+(** Minimal JSON: a value type, a pretty emitter, and a strict parser.
+
+    Used for the machine-readable lint report and the baseline file.
+    Not a general-purpose JSON library: integers and floats are kept
+    separate, objects preserve field order, and the parser rejects
+    trailing garbage. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Pretty-printed with two-space indentation and a trailing newline. *)
+
+val parse : string -> (t, string) result
+
+val member : string -> t -> t option
+(** Field lookup on [Obj]; [None] on other constructors. *)
+
+val to_list : t -> t list option
+val to_str : t -> string option
+val to_int : t -> int option

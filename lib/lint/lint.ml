@@ -1,0 +1,259 @@
+type config = {
+  root : string;
+  build_dir : string;
+  dirs : string list;
+  capture_dirs : string list;
+  rules : Rule.t list;
+  allow : Allowlist.t;
+}
+
+let default_config ~root =
+  {
+    root;
+    build_dir = Filename.concat root "_build/default";
+    dirs = [ "lib" ];
+    capture_dirs = [ "bin"; "bench" ];
+    rules = Rule.all;
+    allow = Allowlist.empty;
+  }
+
+type report = { diagnostics : Diagnostic.t list; units : int }
+
+(* Directories on the request/repair hot path: L1 findings there are
+   errors, elsewhere warnings.  Every finding still fails the lint. *)
+let hot_dirs = [ "lib/fast"; "lib/routing"; "lib/parallel"; "lib/service" ]
+
+let in_hot_dir file =
+  List.exists (fun d -> String.starts_with ~prefix:(d ^ "/") file) hot_dirs
+
+let enabled config rule = List.exists (Rule.equal rule) config.rules
+
+let allowed config rule names =
+  List.exists (Allowlist.mem config.allow ~rule) names
+
+let init_load_path cmi_dirs =
+  match
+    Load_path.init ~auto_include:Load_path.no_auto_include
+      (Config.standard_library :: cmi_dirs)
+  with
+  | () -> ()
+  | exception _ -> ()
+
+let resolver env =
+  match Envaux.env_of_only_summary env with
+  | env' -> env'
+  | exception _ -> env
+
+(* --- L1: polymorphic structural ops at non-immediate types -------- *)
+
+let l1_diags config (u : Cmt_unit.t) (facts : Walk.facts) =
+  List.filter_map
+    (fun (p : Walk.poly_app) ->
+      if p.Walk.exempt then None
+      else if
+        allowed config Rule.L1
+          [ u.Cmt_unit.pretty; u.Cmt_unit.pretty ^ "." ^ p.Walk.op ]
+      then None
+      else
+        let file = p.Walk.app_loc.Location.loc_start.Lexing.pos_fname in
+        let severity =
+          if in_hot_dir file then Diagnostic.Error else Diagnostic.Warning
+        in
+        Some
+          (Diagnostic.of_location ~rule:Rule.L1 ~severity p.Walk.app_loc
+             (Printf.sprintf
+                "polymorphic %s applied at non-immediate type %s" p.Walk.op
+                p.Walk.arg_type)))
+    facts.Walk.poly_apps
+
+(* --- L2: mutable toplevel state on the domain-parallel surface ---- *)
+
+let l2_reachable units roots =
+  let by_name = Hashtbl.create 64 in
+  List.iter
+    (fun (u : Cmt_unit.t) -> Hashtbl.replace by_name u.Cmt_unit.modname u)
+    units;
+  let seen = Hashtbl.create 64 in
+  let rec visit name =
+    if not (Hashtbl.mem seen name) then (
+      Hashtbl.replace seen name ();
+      match Hashtbl.find_opt by_name name with
+      | Some u ->
+          List.iter
+            (fun i -> if Hashtbl.mem by_name i then visit i)
+            u.Cmt_unit.imports
+      | None -> ())
+  in
+  List.iter visit roots;
+  seen
+
+let l2_diags config scanned reachable =
+  List.concat_map
+    (fun ((u : Cmt_unit.t), (facts : Walk.facts)) ->
+      if not (Hashtbl.mem reachable u.Cmt_unit.modname) then []
+      else
+        List.filter_map
+          (fun (m : Walk.mutable_binding) ->
+            let qname = u.Cmt_unit.pretty ^ "." ^ m.Walk.binding in
+            if allowed config Rule.L2 [ u.Cmt_unit.pretty; qname ] then None
+            else
+              Some
+                (Diagnostic.of_location ~rule:Rule.L2
+                   ~severity:Diagnostic.Error m.Walk.bind_loc
+                   (Printf.sprintf
+                      "toplevel mutable state %s (%s) is reachable from \
+                       domain-parallel code"
+                      qname m.Walk.kind)))
+          facts.Walk.mutables)
+    scanned
+
+(* --- L3: every .ml under lib/ needs an .mli ----------------------- *)
+
+let is_dir p =
+  match Sys.is_directory p with d -> d | exception Sys_error _ -> false
+
+let l3_diags config =
+  let rec scan rel acc =
+    let full = Filename.concat config.root rel in
+    match Sys.readdir full with
+    | exception Sys_error _ -> acc
+    | entries ->
+        Array.fold_left
+          (fun acc name ->
+            let rel' = rel ^ "/" ^ name in
+            let p = Filename.concat config.root rel' in
+            if is_dir p then
+              if
+                String.length name > 0
+                && (Char.equal name.[0] '_' || Char.equal name.[0] '.')
+              then acc
+              else scan rel' acc
+            else if
+              Filename.check_suffix name ".ml"
+              && (not (Sys.file_exists (p ^ "i")))
+              && not (allowed config Rule.L3 [ rel' ])
+            then
+              Diagnostic.make ~rule:Rule.L3 ~severity:Diagnostic.Error
+                ~file:rel' ~line:1 ~col:0 "missing interface file (.mli)"
+              :: acc
+            else acc)
+          acc entries
+  in
+  List.fold_left (fun acc d -> scan d acc) [] config.dirs
+
+(* --- L4: forbidden constructs ------------------------------------- *)
+
+let l4_diags config (u : Cmt_unit.t) (facts : Walk.facts) =
+  List.filter_map
+    (fun (f : Walk.forbidden) ->
+      if
+        allowed config Rule.L4
+          [ u.Cmt_unit.pretty; u.Cmt_unit.pretty ^ "." ^ f.Walk.construct ]
+      then None
+      else
+        let msg =
+          match f.Walk.construct with
+          | "Obj.magic" -> "Obj.magic defeats the type system"
+          | "exit" -> "bare exit in library code"
+          | c -> Printf.sprintf "printing to stdout (%s) in library code" c
+        in
+        Some
+          (Diagnostic.of_location ~rule:Rule.L4 ~severity:Diagnostic.Error
+             f.Walk.forbid_loc msg))
+    facts.Walk.forbiddens
+
+(* --- driver -------------------------------------------------------- *)
+
+let run config =
+  let units, cmi_dirs = Cmt_unit.load_tree config.build_dir in
+  if List.compare_length_with units 0 = 0 then
+    Error
+      (Printf.sprintf "no .cmt files under %s (run 'dune build' first)"
+         config.build_dir)
+  else (
+    init_load_path cmi_dirs;
+    let report_units =
+      List.filter (Cmt_unit.in_dirs config.dirs) units
+    in
+    let capture_units =
+      List.filter (Cmt_unit.in_dirs config.capture_dirs) units
+    in
+    let scan_facts us =
+      List.filter_map
+        (fun (u : Cmt_unit.t) ->
+          match u.Cmt_unit.structure with
+          | Some s -> Some (u, Walk.of_structure resolver s)
+          | None -> None)
+        us
+    in
+    let report_facts = scan_facts report_units in
+    let capture_facts = scan_facts capture_units in
+    let all_facts = report_facts @ capture_facts in
+    let known = Hashtbl.create 64 in
+    List.iter
+      (fun (u : Cmt_unit.t) -> Hashtbl.replace known u.Cmt_unit.modname ())
+      units;
+    let roots =
+      List.concat_map
+        (fun ((u : Cmt_unit.t), (facts : Walk.facts)) ->
+          match facts.Walk.pool_uses with
+          | [] -> []
+          | uses ->
+              u.Cmt_unit.modname
+              :: List.concat_map
+                   (fun (p : Walk.pool_use) ->
+                     List.filter (Hashtbl.mem known) p.Walk.captured_units)
+                   uses)
+        all_facts
+    in
+    let reachable = l2_reachable units (List.sort_uniq String.compare roots) in
+    let diags =
+      List.concat
+        [
+          (if enabled config Rule.L1 then
+             List.concat_map (fun (u, f) -> l1_diags config u f) report_facts
+           else []);
+          (if enabled config Rule.L2 then
+             l2_diags config report_facts reachable
+           else []);
+          (if enabled config Rule.L3 then l3_diags config else []);
+          (if enabled config Rule.L4 then
+             List.concat_map (fun (u, f) -> l4_diags config u f) report_facts
+           else []);
+        ]
+    in
+    Ok
+      {
+        diagnostics = Diagnostic.finalize diags;
+        units = List.length report_units;
+      })
+
+(* --- rendering ----------------------------------------------------- *)
+
+let count severity diags =
+  List.length
+    (List.filter
+       (fun (d : Diagnostic.t) ->
+         match (d.Diagnostic.severity, severity) with
+         | Diagnostic.Error, Diagnostic.Error -> true
+         | Diagnostic.Warning, Diagnostic.Warning -> true
+         | _ -> false)
+       diags)
+
+let summary ~units ~suppressed diags =
+  Printf.sprintf "lint: %d unit(s), %d error(s), %d warning(s)%s"
+    units
+    (count Diagnostic.Error diags)
+    (count Diagnostic.Warning diags)
+    (if suppressed > 0 then Printf.sprintf ", %d baselined" suppressed else "")
+
+let report_json ~units ~suppressed diags =
+  Json.Obj
+    [
+      ("version", Json.Int 1);
+      ("units", Json.Int units);
+      ("errors", Json.Int (count Diagnostic.Error diags));
+      ("warnings", Json.Int (count Diagnostic.Warning diags));
+      ("suppressed", Json.Int suppressed);
+      ("findings", Json.Arr (List.map Diagnostic.to_json diags));
+    ]

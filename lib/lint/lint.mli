@@ -1,0 +1,28 @@
+(** The lint driver: loads dune-produced [.cmt] typed trees and checks
+    the four rules ({!Rule.t}) over the configured source dirs.
+
+    [dirs] (default [lib]) are reported on; [capture_dirs] (default
+    [bin], [bench]) are additionally scanned so Pool-parallel regions
+    launched from executables count as L2 roots without their own
+    findings being reported. *)
+
+type config = {
+  root : string;  (** repo root (where [lib/] lives) *)
+  build_dir : string;  (** dune context root, usually [_build/default] *)
+  dirs : string list;
+  capture_dirs : string list;
+  rules : Rule.t list;  (** rules to run *)
+  allow : Allowlist.t;
+}
+
+val default_config : root:string -> config
+
+type report = { diagnostics : Diagnostic.t list; units : int }
+
+val run : config -> (report, string) result
+(** [Error _] only for environmental failures (no cmts found); findings
+    are data, not errors. *)
+
+val count : Diagnostic.severity -> Diagnostic.t list -> int
+val summary : units:int -> suppressed:int -> Diagnostic.t list -> string
+val report_json : units:int -> suppressed:int -> Diagnostic.t list -> Json.t

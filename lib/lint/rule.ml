@@ -1,0 +1,28 @@
+type t = L1 | L2 | L3 | L4
+
+let all = [ L1; L2; L3; L4 ]
+
+let id = function L1 -> "L1" | L2 -> "L2" | L3 -> "L3" | L4 -> "L4"
+
+let of_string s =
+  match String.uppercase_ascii (String.trim s) with
+  | "L1" -> Some L1
+  | "L2" -> Some L2
+  | "L3" -> Some L3
+  | "L4" -> Some L4
+  | _ -> None
+
+let describe = function
+  | L1 ->
+      "poly-ops: applications of polymorphic =, <>, compare, <, >, <=, >=, \
+       Hashtbl.hash, List.mem/assoc at non-immediate types"
+  | L2 ->
+      "domain-race surface: toplevel refs, Hashtbls, arrays and mutable \
+       records in modules reachable from Pool worker closures"
+  | L3 -> "interface hygiene: every .ml in the linted tree has a matching .mli"
+  | L4 ->
+      "forbidden constructs: Obj.magic, printing to stdout, and bare exit \
+       inside library code"
+
+let compare a b = Stdlib.compare (id a) (id b)
+let equal a b = Int.equal 0 (compare a b)

@@ -1,0 +1,29 @@
+(** Lint rule identifiers.
+
+    Four rules, individually toggleable from the CLI:
+
+    - {b L1 poly-ops} — applications of the polymorphic comparison and
+      hashing primitives at non-immediate types.  A generic structural
+      walk over graph state is both a performance trap and a
+      determinism hazard (it traverses arbitrarily deep structure and
+      distinguishes representations the code considers equal).
+    - {b L2 domain-race surface} — toplevel mutable state ([ref]s,
+      [Hashtbl]s, arrays, mutable records, ...) in modules whose values
+      are reachable from [Lr_parallel.Pool] worker closures, minus an
+      explicit allowlist of serialized-by-design state.
+    - {b L3 interface hygiene} — every [.ml] under the linted tree is
+      sealed by a matching [.mli].
+    - {b L4 forbidden constructs} — [Obj.magic], printing primitives
+      that write to stdout (stdout belongs to the service protocol and
+      the CLI), and bare [exit] inside library code. *)
+
+type t = L1 | L2 | L3 | L4
+
+val all : t list
+val id : t -> string
+val of_string : string -> t option
+(** Case-insensitive; [None] on an unknown id. *)
+
+val describe : t -> string
+val compare : t -> t -> int
+val equal : t -> t -> bool

@@ -213,10 +213,12 @@ let check_termination ?(max_states = 200_000) config =
             List.find_opt
               (fun k ->
                 let (s : Pr.state), outs = A.Statekey.Table.find succs k in
-                outs = []
-                && not
-                     (Lr_graph.Digraph.is_destination_oriented s.Pr.graph
-                        config.Config.destination))
+                match outs with
+                | _ :: _ -> false
+                | [] ->
+                    not
+                      (Lr_graph.Digraph.is_destination_oriented s.Pr.graph
+                         config.Config.destination))
               keys
           in
           {

@@ -24,7 +24,8 @@ let map_range ?chunk ~jobs n f =
       let continue_ = ref true in
       while !continue_ do
         let lo = Atomic.fetch_and_add cursor chunk in
-        if lo >= n || Atomic.get failure <> None then continue_ := false
+        if lo >= n || Option.is_some (Atomic.get failure) then
+          continue_ := false
         else
           let hi = min n (lo + chunk) in
           try
@@ -106,7 +107,8 @@ module Persistent = struct
     let continue_ = ref true in
     while !continue_ do
       let lo = Atomic.fetch_and_add cursor chunk in
-      if lo >= total || Atomic.get failure <> None then continue_ := false
+      if lo >= total || Option.is_some (Atomic.get failure) then
+        continue_ := false
       else
         let hi = min total (lo + chunk) in
         try

@@ -20,7 +20,7 @@ type result = {
 
 let believes_sink st =
   (not (Node.Map.is_empty st.dirs))
-  && Node.Map.for_all (fun _ d -> d = Digraph.In) st.dirs
+  && Node.Map.for_all (fun _ d -> Digraph.direction_equal d Digraph.In) st.dirs
 
 (* PR's effect computed on the local view only. *)
 let local_reverse st =
@@ -87,7 +87,7 @@ let run ?latency ?jitter ?drop ?max_deliveries config =
         let u, v = Edge.endpoints e in
         let du = Node.Map.find v (state u).dirs
         and dv = Node.Map.find u (state v).dirs in
-        du = Digraph.flip dv)
+        Digraph.direction_equal du (Digraph.flip dv))
       topology true
   in
   let destination_oriented =

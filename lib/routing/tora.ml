@@ -53,14 +53,15 @@ let destination t = t.dest
 let height t u = Node.Map.find_or ~default:Null u t.heights
 let skeleton t = t.skel
 let reactions_total t = t.reactions
-let is_routed t u = height t u <> Null
+let is_null = function Null -> true | Height _ -> false
+let is_routed t u = not (is_null (height t u))
 
 let routed_neighbors t u =
   Node.Set.filter (is_routed t) (Undirected.neighbors t.skel u)
 
 let downstream t u =
   let hu = height t u in
-  if hu = Null then Node.Set.empty
+  if is_null hu then Node.Set.empty
   else
     Node.Set.filter
       (fun v -> compare_height (height t v) hu < 0)
@@ -246,7 +247,7 @@ let route t u =
     in
     descend u [] (Undirected.num_nodes t.skel + 1)
 
-let has_route t u = route t u <> None
+let has_route t u = Option.is_some (route t u)
 
 let routed_fraction t =
   let nodes = Node.Set.remove t.dest (Undirected.nodes t.skel) in

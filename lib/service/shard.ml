@@ -70,7 +70,8 @@ let mem_edge t u v =
 let edge_out t u v =
   match t.m with
   | E_fast f -> Fast_maintenance.edge_out f u v
-  | E_ref m -> Digraph.dir (Maintenance.graph m) u v = Digraph.Out
+  | E_ref m ->
+      Digraph.direction_equal (Digraph.dir (Maintenance.graph m) u v) Digraph.Out
 
 let compare_heights t u v =
   match t.m with

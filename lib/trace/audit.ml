@@ -128,7 +128,8 @@ let run ?(stride = 1) path =
                   in
                   loop 0))
 
-let clean r = r.summary_ok && r.violations = []
+let clean r =
+  r.summary_ok && match r.violations with [] -> true | _ :: _ -> false
 
 (* {1 Single-pass scan (no replay, no invariant checks)} *)
 

@@ -103,7 +103,8 @@ let fast_new_pr ?max_steps ?seed ~path config =
 
 let reversed_by before after u =
   Node.Set.filter
-    (fun w -> Digraph.dir before u w <> Digraph.dir after u w)
+    (fun w ->
+      not (Digraph.direction_equal (Digraph.dir before u w) (Digraph.dir after u w)))
     (Digraph.neighbors before u)
 
 (* Sorted adjacency rows of the (static) topology, one per node — the

@@ -1,0 +1,8 @@
+(* Deliberate L4 violations; test_lint asserts the exact lines. *)
+
+let announce x =
+  print_endline "starting";
+  Printf.printf "x = %d\n" x
+
+let coerce (x : int) : bool = Obj.magic x
+let bail () = exit 2

@@ -1,0 +1,3 @@
+val announce : int -> unit
+val coerce : int -> bool
+val bail : unit -> 'a

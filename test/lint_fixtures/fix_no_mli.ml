@@ -1,0 +1,3 @@
+(* Deliberate L3 violation: this module has no .mli on purpose. *)
+
+let answer = 42

@@ -1,0 +1,18 @@
+(* Deliberate L1 violations; test_lint asserts the exact lines. *)
+
+type color = Red | Green | Blue
+
+let same_color (a : color) b = a = b
+let rank (c : color) = compare c Green
+let has (c : color) cs = List.mem c cs
+let hash_color (c : color) = Hashtbl.hash c
+let max_color (a : color) b = max a b
+
+(* Fine: immediate/primitive types are exempt. *)
+let same_int (a : int) b = a = b
+let same_string (a : string) b = a = b
+let same_pair (a : int * bool) b = compare a b = 0
+let has_three = List.mem 3 [ 1; 2; 3 ]
+
+(* Fine: a bare alias is not an application. *)
+let default_compare : color -> color -> int = compare

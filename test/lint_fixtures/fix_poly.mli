@@ -1,0 +1,12 @@
+type color = Red | Green | Blue
+
+val same_color : color -> color -> bool
+val rank : color -> int
+val has : color -> color list -> bool
+val hash_color : color -> int
+val max_color : color -> color -> color
+val same_int : int -> int -> bool
+val same_string : string -> string -> bool
+val same_pair : int * bool -> int * bool -> bool
+val has_three : bool
+val default_compare : color -> color -> int

@@ -1,0 +1,24 @@
+(* Deliberate L2 violations: toplevel mutable state in a unit that
+   launches Pool-parallel work; test_lint asserts the exact lines. *)
+
+let counters : (string, int) Hashtbl.t = Hashtbl.create 8
+let total = ref 0
+
+type cell = { mutable value : int }
+
+let shared = { value = 0 }
+let allowed_cache = ref 0
+
+module Inner = struct
+  let buffer = Buffer.create 16
+end
+
+(* Fine: immutable toplevel state. *)
+let limits = [ 1; 2; 3 ]
+
+let run_parallel n =
+  Lr_parallel.Pool.map_range ~jobs:2 n (fun i ->
+      total := !total + i;
+      Buffer.add_char Inner.buffer 'x';
+      shared.value <- shared.value + i;
+      i)

@@ -1,0 +1,13 @@
+type cell = { mutable value : int }
+
+val counters : (string, int) Hashtbl.t
+val total : int ref
+val shared : cell
+val allowed_cache : int ref
+
+module Inner : sig
+  val buffer : Buffer.t
+end
+
+val limits : int list
+val run_parallel : int -> int array

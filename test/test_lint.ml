@@ -1,0 +1,242 @@
+(* The lint rules, exercised against the deliberately broken modules in
+   test/lint_fixtures/ and against the real library tree.
+
+   Runs from _build/default/test, so the dune context root (where both
+   the copied sources and the .cmt files live) is [".."]. *)
+
+module Rule = Lr_lint.Rule
+module Lint = Lr_lint.Lint
+module Diagnostic = Lr_lint.Diagnostic
+module Allowlist = Lr_lint.Allowlist
+module Baseline = Lr_lint.Baseline
+module Json = Lr_lint.Json
+
+let context_root =
+  if Sys.file_exists "../test/lint_fixtures" then ".."
+  else Filename.concat (Sys.getcwd ()) "_build/default"
+
+let config ?(dirs = [ "test/lint_fixtures" ]) ?(rules = Rule.all)
+    ?(allow = Allowlist.empty) () =
+  {
+    (Lint.default_config ~root:context_root) with
+    Lint.build_dir = context_root;
+    dirs;
+    capture_dirs = [];
+    rules;
+    allow;
+  }
+
+let run cfg =
+  match Lint.run cfg with
+  | Ok r -> r.Lint.diagnostics
+  | Error e -> Alcotest.failf "lint run failed: %s" e
+
+let locs rule diags =
+  List.filter_map
+    (fun (d : Diagnostic.t) ->
+      if Rule.equal d.Diagnostic.rule rule then
+        Some (Filename.basename d.Diagnostic.file, d.Diagnostic.line)
+      else None)
+    diags
+
+let loc_list = Alcotest.(list (pair string int))
+
+let contains ~sub s =
+  let n = String.length s and m = String.length sub in
+  let rec at i = i + m <= n && (String.equal (String.sub s i m) sub || at (i + 1)) in
+  at 0
+
+(* {1 The rules} *)
+
+let test_l1_poly_ops () =
+  let diags = run (config ~rules:[ Rule.L1 ] ()) in
+  Alcotest.check loc_list "L1 fires exactly on the five poly applications"
+    [
+      ("fix_poly.ml", 5);
+      ("fix_poly.ml", 6);
+      ("fix_poly.ml", 7);
+      ("fix_poly.ml", 8);
+      ("fix_poly.ml", 9);
+    ]
+    (locs Rule.L1 diags);
+  List.iteri
+    (fun i op ->
+      let d = List.nth diags i in
+      let msg = d.Diagnostic.message in
+      if not (contains ~sub:op msg) then
+        Alcotest.failf "finding %d should mention %s: %s" i op msg)
+    [ "="; "compare"; "List.mem"; "Hashtbl.hash"; "max" ]
+
+let test_l2_race_surface () =
+  let diags = run (config ~rules:[ Rule.L2 ] ()) in
+  Alcotest.check loc_list
+    "L2 fires on every toplevel mutable of the Pool-calling unit"
+    [
+      ("fix_races.ml", 4);
+      ("fix_races.ml", 5);
+      ("fix_races.ml", 9);
+      ("fix_races.ml", 10);
+      ("fix_races.ml", 13);
+    ]
+    (locs Rule.L2 diags)
+
+let test_l2_allowlist () =
+  let allow =
+    match
+      Allowlist.of_lines
+        [
+          "# serialized by design";
+          "L2 Lint_fixtures.Fix_races.allowed_cache";
+        ]
+    with
+    | Ok a -> a
+    | Error e -> Alcotest.failf "allowlist parse: %s" e
+  in
+  let diags = run (config ~rules:[ Rule.L2 ] ~allow ()) in
+  Alcotest.check loc_list "the allowlisted binding no longer fires"
+    [
+      ("fix_races.ml", 4);
+      ("fix_races.ml", 5);
+      ("fix_races.ml", 9);
+      ("fix_races.ml", 13);
+    ]
+    (locs Rule.L2 diags)
+
+let test_l2_wildcard_allowlist () =
+  let allow =
+    match Allowlist.of_lines [ "L2 Lint_fixtures.Fix_races.*" ] with
+    | Ok a -> a
+    | Error e -> Alcotest.failf "allowlist parse: %s" e
+  in
+  let diags = run (config ~rules:[ Rule.L2 ] ~allow ()) in
+  Alcotest.check loc_list "a trailing * suppresses the whole unit" []
+    (locs Rule.L2 diags)
+
+let test_l3_missing_mli () =
+  let diags = run (config ~rules:[ Rule.L3 ] ()) in
+  Alcotest.check loc_list "only the module without an .mli fires"
+    [ ("fix_no_mli.ml", 1) ]
+    (locs Rule.L3 diags)
+
+let test_l4_forbidden () =
+  let diags = run (config ~rules:[ Rule.L4 ] ()) in
+  Alcotest.check loc_list
+    "L4 fires on stdout printing, Obj.magic and bare exit"
+    [
+      ("fix_forbidden.ml", 4);
+      ("fix_forbidden.ml", 5);
+      ("fix_forbidden.ml", 7);
+      ("fix_forbidden.ml", 8);
+    ]
+    (locs Rule.L4 diags)
+
+(* {1 Driver behaviour} *)
+
+let test_rules_filter () =
+  let all = run (config ()) in
+  Alcotest.(check int) "all four rules together" 15 (List.length all);
+  let some = run (config ~rules:[ Rule.L1; Rule.L3 ] ()) in
+  Alcotest.(check int) "a subset runs only those rules" 6 (List.length some);
+  List.iter
+    (fun (d : Diagnostic.t) ->
+      match d.Diagnostic.rule with
+      | Rule.L1 | Rule.L3 -> ()
+      | r -> Alcotest.failf "unexpected rule %s" (Rule.id r))
+    some
+
+let with_tmp f =
+  let path = Filename.temp_file "lint_baseline" ".json" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () -> f path)
+
+let test_baseline_roundtrip () =
+  with_tmp (fun path ->
+      let all = run (config ()) in
+      Baseline.save path all;
+      let b =
+        match Baseline.load path with
+        | Ok b -> b
+        | Error e -> Alcotest.failf "baseline load: %s" e
+      in
+      let kept, suppressed = Baseline.apply b all in
+      Alcotest.(check int) "a full baseline suppresses everything" 0
+        (List.length kept);
+      Alcotest.(check int) "all findings accounted for" 15 suppressed)
+
+let test_baseline_redetects () =
+  with_tmp (fun path ->
+      let all = run (config ()) in
+      (* Baseline everything except one finding: that one must come
+         back, everything else stays suppressed. *)
+      Baseline.save path (List.tl all);
+      let b =
+        match Baseline.load path with
+        | Ok b -> b
+        | Error e -> Alcotest.failf "baseline load: %s" e
+      in
+      let kept, suppressed = Baseline.apply b all in
+      Alcotest.(check int) "one finding re-detected" 1 (List.length kept);
+      Alcotest.(check int) "the rest stays suppressed" 14 suppressed;
+      let reappeared = List.hd kept and dropped = List.hd all in
+      Alcotest.(check string) "and it is the un-baselined one"
+        dropped.Diagnostic.key reappeared.Diagnostic.key)
+
+let test_report_json_roundtrip () =
+  let diags = run (config ()) in
+  let doc = Lint.report_json ~units:4 ~suppressed:0 diags in
+  match Json.parse (Json.to_string doc) with
+  | Error e -> Alcotest.failf "report JSON does not parse back: %s" e
+  | Ok doc' -> (
+      match Option.bind (Json.member "findings" doc') Json.to_list with
+      | Some items ->
+          Alcotest.(check int) "findings survive the roundtrip" 15
+            (List.length items)
+      | None -> Alcotest.fail "findings array missing")
+
+(* {1 The real tree} *)
+
+let test_lib_is_clean () =
+  let cfg =
+    {
+      (Lint.default_config ~root:context_root) with
+      Lint.build_dir = context_root;
+    }
+  in
+  let report =
+    match Lint.run cfg with
+    | Ok r -> r
+    | Error e -> Alcotest.failf "lint run failed: %s" e
+  in
+  List.iter
+    (fun d -> Printf.eprintf "unexpected: %s\n" (Diagnostic.to_human d))
+    report.Lint.diagnostics;
+  Alcotest.(check int) "lib/ lints clean with no baseline" 0
+    (List.length report.Lint.diagnostics)
+
+let () =
+  Alcotest.run "lint"
+    [
+      ( "rules",
+        [
+          Alcotest.test_case "L1 poly ops" `Quick test_l1_poly_ops;
+          Alcotest.test_case "L2 race surface" `Quick test_l2_race_surface;
+          Alcotest.test_case "L2 allowlist" `Quick test_l2_allowlist;
+          Alcotest.test_case "L2 wildcard allowlist" `Quick
+            test_l2_wildcard_allowlist;
+          Alcotest.test_case "L3 missing mli" `Quick test_l3_missing_mli;
+          Alcotest.test_case "L4 forbidden" `Quick test_l4_forbidden;
+        ] );
+      ( "driver",
+        [
+          Alcotest.test_case "rules filter" `Quick test_rules_filter;
+          Alcotest.test_case "baseline roundtrip" `Quick
+            test_baseline_roundtrip;
+          Alcotest.test_case "baseline re-detects" `Quick
+            test_baseline_redetects;
+          Alcotest.test_case "report JSON roundtrip" `Quick
+            test_report_json_roundtrip;
+        ] );
+      ( "tree",
+        [ Alcotest.test_case "lib/ is lint-clean" `Quick test_lib_is_clean ] );
+    ]
