@@ -88,6 +88,10 @@ module Persistent = struct
     mutable task : int -> unit;
     mutable total : int;
     mutable chunk : int;
+    mutable pinned : bool;
+        (* this round's assignment: worker [i] runs [task i] directly
+           (resident loops) instead of stealing off the cursor *)
+    mutable busy : bool;  (* a [launch]ed round has not been [await]ed *)
     cursor : int Atomic.t;
     failure : (exn * Printexc.raw_backtrace) option Atomic.t;
     mutable generation : int;
@@ -121,7 +125,7 @@ module Persistent = struct
           continue_ := false
     done
 
-  let worker t =
+  let worker t idx =
     let seen = ref 0 in
     let running = ref true in
     while !running do
@@ -136,8 +140,16 @@ module Persistent = struct
       else begin
         seen := t.generation;
         let task = t.task and total = t.total and chunk = t.chunk in
+        let pinned = t.pinned in
         Mutex.unlock t.lock;
-        steal ~task ~total ~chunk ~cursor:t.cursor ~failure:t.failure;
+        (if pinned then begin
+           if idx < total then
+             try task idx
+             with e ->
+               let bt = Printexc.get_raw_backtrace () in
+               ignore (Atomic.compare_and_set t.failure None (Some (e, bt)))
+         end
+         else steal ~task ~total ~chunk ~cursor:t.cursor ~failure:t.failure);
         Mutex.lock t.lock;
         t.finished <- t.finished + 1;
         Condition.broadcast t.idle;
@@ -153,6 +165,8 @@ module Persistent = struct
         task = ignore;
         total = 0;
         chunk = 1;
+        pinned = false;
+        busy = false;
         cursor = Atomic.make 0;
         failure = Atomic.make None;
         generation = 0;
@@ -164,13 +178,14 @@ module Persistent = struct
         domains = [];
       }
     in
-    t.domains <- List.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker t));
+    t.domains <- List.init (jobs - 1) (fun i -> Domain.spawn (fun () -> worker t i));
     t
 
   let run ?(chunk = 1) t n f =
     if n < 0 then invalid_arg "Pool.Persistent.run: negative range";
     if chunk < 1 then invalid_arg "Pool.Persistent.run: chunk must be positive";
     if t.stopped then invalid_arg "Pool.Persistent.run: pool is shut down";
+    if t.busy then invalid_arg "Pool.Persistent.run: a launched round is live";
     if n = 0 then ()
     else if t.pjobs = 1 || n = 1 then
       for i = 0 to n - 1 do
@@ -181,6 +196,7 @@ module Persistent = struct
       t.task <- f;
       t.total <- n;
       t.chunk <- chunk;
+      t.pinned <- false;
       Atomic.set t.cursor 0;
       Atomic.set t.failure None;
       t.finished <- 0;
@@ -193,6 +209,48 @@ module Persistent = struct
         Condition.wait t.idle t.lock
       done;
       t.task <- ignore;
+      Mutex.unlock t.lock;
+      match Atomic.get t.failure with
+      | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+      | None -> ()
+    end
+
+  (* Resident rounds: [launch] wakes the workers and returns at once —
+     worker [i] runs [f i] to completion (a service shard loop runs
+     until its shutdown sentinel) while the caller keeps its own role
+     (dispatching into the loops' queues).  [await] joins the round. *)
+
+  let launch t n f =
+    if t.stopped then invalid_arg "Pool.Persistent.launch: pool is shut down";
+    if t.busy then invalid_arg "Pool.Persistent.launch: a round is already live";
+    if n < 1 then invalid_arg "Pool.Persistent.launch: need at least one loop";
+    if n > t.pjobs - 1 then
+      invalid_arg
+        (Printf.sprintf
+           "Pool.Persistent.launch: %d loops but only %d resident domains" n
+           (t.pjobs - 1));
+    Mutex.lock t.lock;
+    t.task <- f;
+    t.total <- n;
+    t.chunk <- 1;
+    t.pinned <- true;
+    t.busy <- true;
+    Atomic.set t.failure None;
+    t.finished <- 0;
+    t.generation <- t.generation + 1;
+    Condition.broadcast t.start;
+    Mutex.unlock t.lock
+
+  let failed t = Option.is_some (Atomic.get t.failure)
+
+  let await t =
+    if t.busy then begin
+      Mutex.lock t.lock;
+      while t.finished < t.pjobs - 1 do
+        Condition.wait t.idle t.lock
+      done;
+      t.task <- ignore;
+      t.busy <- false;
       Mutex.unlock t.lock;
       match Atomic.get t.failure with
       | Some (e, bt) -> Printexc.raise_with_backtrace e bt

@@ -1,0 +1,97 @@
+(* A bounded single-producer / single-consumer ring.
+
+   Correctness rests on the OCaml memory model's guarantees for
+   atomics: [Atomic.set] publishes (with release semantics, as part of
+   its SC ordering) every plain write program-ordered before it, and
+   [Atomic.get] acquires.  The producer writes the slot *then*
+   advances [tail]; the consumer reads [tail] *then* the slot — so the
+   slot content is always an acquired, fully-initialized value.
+   Symmetrically the consumer clears the slot before advancing [head],
+   and the producer re-reads [head] before overwriting, so a slot is
+   never touched by both domains at once.  Head and tail are
+   monotonically increasing ints masked into the power-of-two buffer
+   (at one op per nanosecond an overflow is ~292 years away).
+
+   Each side also keeps a plain-field cache of the other side's index
+   ([producer_head] / [cached_tail], each written by exactly one
+   domain) so the common case touches the shared atomic of the
+   opposite side only when the cache says the ring looks full/empty.
+   The [pad_*] arrays are live spacer blocks allocated between the two
+   atomics so they usually land on different cache lines (OCaml 5.1
+   has no [Atomic.make_contended]); this is best-effort — the GC may
+   relocate — and affects only throughput, never correctness. *)
+
+type 'a t = {
+  buf : 'a array;
+  mask : int;
+  dummy : 'a;
+  head : int Atomic.t;  (* next slot to pop; advanced by the consumer *)
+  pad_head : int array;
+  tail : int Atomic.t;  (* next slot to fill; advanced by the producer *)
+  pad_tail : int array;
+  mutable cached_tail : int;  (* consumer's snapshot of [tail] *)
+  mutable producer_head : int;  (* producer's snapshot of [head] *)
+}
+
+let max_capacity = 1 lsl 24
+
+let rec next_pow2 n acc = if acc >= n then acc else next_pow2 n (acc * 2)
+
+let create ~capacity dummy =
+  if capacity < 1 then invalid_arg "Spsc.create: capacity must be >= 1";
+  if capacity > max_capacity then
+    invalid_arg "Spsc.create: capacity too large";
+  let cap = next_pow2 capacity 1 in
+  {
+    buf = Array.make cap dummy;
+    mask = cap - 1;
+    dummy;
+    head = Atomic.make 0;
+    pad_head = Array.make 15 0;
+    tail = Atomic.make 0;
+    pad_tail = Array.make 15 0;
+    cached_tail = 0;
+    producer_head = 0;
+  }
+
+(* Keep the spacer blocks reachable so the optimizer can never drop
+   them; they carry no data. *)
+let _touch_padding t = t.pad_head.(0) + t.pad_tail.(0)
+
+let capacity t = t.mask + 1
+
+let length t =
+  (* A racy but safe snapshot: reading [head] first means the
+     difference can only under-count concurrent pushes; it is exact
+     whenever the caller is the only active side. *)
+  let h = Atomic.get t.head in
+  let tl = Atomic.get t.tail in
+  max 0 (tl - h)
+
+let is_empty t = Atomic.get t.tail = Atomic.get t.head
+
+(* Producer side. *)
+let try_push t x =
+  let tl = Atomic.get t.tail in
+  if tl - t.producer_head > t.mask then
+    t.producer_head <- Atomic.get t.head;
+  if tl - t.producer_head > t.mask then false
+  else begin
+    t.buf.(tl land t.mask) <- x;
+    Atomic.set t.tail (tl + 1);
+    true
+  end
+
+(* Consumer side. *)
+let try_pop t =
+  let h = Atomic.get t.head in
+  if h = t.cached_tail then t.cached_tail <- Atomic.get t.tail;
+  if h = t.cached_tail then None
+  else begin
+    let x = t.buf.(h land t.mask) in
+    (* Drop the reference before publishing the slot as free, so the
+       ring never retains popped values (matters for boxed ['a]). *)
+    t.buf.(h land t.mask) <- t.dummy;
+    Atomic.set t.head (h + 1);
+    Some x
+  end

@@ -9,7 +9,6 @@ type counters = {
   mutable reversal_steps : int;
   mutable rejected : int;
   mutable validation_failures : int;
-  mutable max_queue_depth : int;
 }
 
 type totals = {
@@ -23,8 +22,29 @@ type totals = {
   reversal_steps : int;
   rejected : int;
   validation_failures : int;
-  max_queue_depth : int;
   stats_ops : int;
+}
+
+(* Ring-occupancy and steal counters.  Occupancy fields are written by
+   the single producer (the dispatcher samples depth after each push);
+   steal counters are touched by whichever loop is acting as a thief
+   at that moment, hence atomic.  All of them are wall-clock-shaped
+   observability — like latency they are deliberately excluded from
+   [totals_line] and the determinism fingerprint. *)
+type ring_counters = {
+  mutable max_depth : int;
+  mutable depth_sum : int;
+  mutable depth_samples : int;
+  steal_attempts : int Atomic.t;
+  stolen : int Atomic.t;
+}
+
+type ring_totals = {
+  max_depth : int;
+  mean_depth : float;
+  depth_samples : int;
+  steal_attempts : int;
+  stolen : int;
 }
 
 (* Growable latency sample buffer — one per shard, appended to only by
@@ -33,6 +53,7 @@ type samples = { mutable data : float array; mutable len : int }
 
 type t = {
   counters : counters array;
+  rings : ring_counters array;
   latencies : samples array;
   mutable stats_ops : int;
 }
@@ -49,20 +70,42 @@ let fresh_counters () =
     reversal_steps = 0;
     rejected = 0;
     validation_failures = 0;
-    max_queue_depth = 0;
+  }
+
+let fresh_ring () =
+  {
+    max_depth = 0;
+    depth_sum = 0;
+    depth_samples = 0;
+    steal_attempts = Atomic.make 0;
+    stolen = Atomic.make 0;
   }
 
 let create ~shards =
   if shards < 1 then invalid_arg "Metrics.create: need at least one shard";
   {
     counters = Array.init shards (fun _ -> fresh_counters ());
+    rings = Array.init shards (fun _ -> fresh_ring ());
     latencies = Array.init shards (fun _ -> { data = Array.make 64 0.0; len = 0 });
     stats_ops = 0;
   }
 
 let num_shards t = Array.length t.counters
 let shard t i = t.counters.(i)
+let ring t i = t.rings.(i)
 let bump_stats t = t.stats_ops <- t.stats_ops + 1
+
+let record_depth t ~shard depth =
+  let r = t.rings.(shard) in
+  if depth > r.max_depth then r.max_depth <- depth;
+  r.depth_sum <- r.depth_sum + depth;
+  r.depth_samples <- r.depth_samples + 1
+
+let note_steal_attempt t ~shard =
+  Atomic.incr t.rings.(shard).steal_attempts
+
+let note_stolen t ~shard n =
+  ignore (Atomic.fetch_and_add t.rings.(shard).stolen n)
 
 let record_latency t ~shard dt =
   let b = t.latencies.(shard) in
@@ -86,7 +129,6 @@ let totals_of_counters ~stats_ops (c : counters) =
     reversal_steps = c.reversal_steps;
     rejected = c.rejected;
     validation_failures = c.validation_failures;
-    max_queue_depth = c.max_queue_depth;
     stats_ops;
   }
 
@@ -106,14 +148,52 @@ let totals t =
       acc.partitions <- acc.partitions + c.partitions;
       acc.reversal_steps <- acc.reversal_steps + c.reversal_steps;
       acc.rejected <- acc.rejected + c.rejected;
-      acc.validation_failures <- acc.validation_failures + c.validation_failures;
-      acc.max_queue_depth <- max acc.max_queue_depth c.max_queue_depth)
+      acc.validation_failures <- acc.validation_failures + c.validation_failures)
     t.counters;
   totals_of_counters ~stats_ops:t.stats_ops acc
+
+let ring_totals_of (r : ring_counters) =
+  {
+    max_depth = r.max_depth;
+    mean_depth =
+      (if r.depth_samples = 0 then 0.0
+       else float_of_int r.depth_sum /. float_of_int r.depth_samples);
+    depth_samples = r.depth_samples;
+    steal_attempts = Atomic.get r.steal_attempts;
+    stolen = Atomic.get r.stolen;
+  }
+
+let per_shard_rings t = Array.map ring_totals_of t.rings
+
+let rings_total t =
+  let max_depth = ref 0
+  and depth_sum = ref 0
+  and depth_samples = ref 0
+  and steal_attempts = ref 0
+  and stolen = ref 0 in
+  Array.iter
+    (fun (r : ring_counters) ->
+      if r.max_depth > !max_depth then max_depth := r.max_depth;
+      depth_sum := !depth_sum + r.depth_sum;
+      depth_samples := !depth_samples + r.depth_samples;
+      steal_attempts := !steal_attempts + Atomic.get r.steal_attempts;
+      stolen := !stolen + Atomic.get r.stolen)
+    t.rings;
+  {
+    max_depth = !max_depth;
+    mean_depth =
+      (if !depth_samples = 0 then 0.0
+       else float_of_int !depth_sum /. float_of_int !depth_samples);
+    depth_samples = !depth_samples;
+    steal_attempts = !steal_attempts;
+    stolen = !stolen;
+  }
 
 type snapshot = {
   snapshot_totals : totals;
   snapshot_per_shard : totals array;
+  snapshot_rings : ring_totals array;
+  rings_totals : ring_totals;
   latency : Lr_analysis.Stats.percentiles;
   latency_samples : int;
 }
@@ -129,6 +209,8 @@ let snapshot t =
   {
     snapshot_totals = totals t;
     snapshot_per_shard = per_shard t;
+    snapshot_rings = per_shard_rings t;
+    rings_totals = rings_total t;
     latency = Lr_analysis.Stats.percentiles all;
     latency_samples = List.length all;
   }
@@ -137,7 +219,11 @@ let totals_line c =
   Printf.sprintf
     "served=%d routes=%d no_routes=%d link_events=%d noops=%d crashes=%d \
      partitions=%d reversal_steps=%d rejected=%d validation_failures=%d \
-     max_queue_depth=%d stats_ops=%d"
+     stats_ops=%d"
     c.served c.routes c.no_routes c.link_events c.noops c.crashes c.partitions
-    c.reversal_steps c.rejected c.validation_failures c.max_queue_depth
-    c.stats_ops
+    c.reversal_steps c.rejected c.validation_failures c.stats_ops
+
+let ring_line r =
+  Printf.sprintf
+    "max_depth=%d mean_depth=%.1f depth_samples=%d steal_attempts=%d stolen=%d"
+    r.max_depth r.mean_depth r.depth_samples r.steal_attempts r.stolen

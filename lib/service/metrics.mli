@@ -1,13 +1,17 @@
 (** The service's metrics registry.
 
-    Counters are split per shard so that worker domains update them
-    without contention (a shard's ops are serialized, and a shard's
-    counter record is touched by exactly one worker per round), and so
-    that totals are aggregated in fixed shard order — deterministic
-    regardless of the domain count.  Latency samples are wall-clock
-    measurements and therefore the one deliberately non-deterministic
-    part of the registry; they are kept out of {!totals_line}, which is
-    what determinism fingerprints hash. *)
+    Counters are split per shard so that shard loops update them
+    without contention (a shard's ops are serialized — only the domain
+    holding the shard's ownership token touches its counter record,
+    and token handoffs are acquire/release edges), and so that totals
+    are aggregated in fixed shard order — deterministic regardless of
+    the domain count.
+
+    Two families are deliberately {e non}-deterministic and therefore
+    excluded from {!totals_line} (which determinism fingerprints
+    hash): latency samples, and the ring-occupancy / steal counters of
+    {!ring_counters} — queue depth under free-running dispatch is a
+    wall-clock fact, not a function of the op stream. *)
 
 type counters = {
   mutable served : int;  (** Ops executed (rejected ops excluded). *)
@@ -22,7 +26,6 @@ type counters = {
   mutable validation_failures : int;
       (** Route responses that failed the in-service acyclicity check —
           any nonzero value is a bug in the reversal engine. *)
-  mutable max_queue_depth : int;  (** High-water mark of the shard queue. *)
 }
 
 (** Immutable aggregate of {!counters}; [stats_ops] counts service-level
@@ -38,8 +41,29 @@ type totals = {
   reversal_steps : int;
   rejected : int;
   validation_failures : int;
-  max_queue_depth : int;
   stats_ops : int;
+}
+
+(** Per-shard op-ring observability.  Occupancy fields are sampled by
+    the single dispatcher after each push (and per admission on the
+    windowed path, where "ring" means the window queue); steal
+    counters are atomics because any idle loop may act as the thief. *)
+type ring_counters = {
+  mutable max_depth : int;  (** High-water occupancy. *)
+  mutable depth_sum : int;
+  mutable depth_samples : int;
+  steal_attempts : int Atomic.t;
+      (** Token claims tried by non-owner loops (successful or not). *)
+  stolen : int Atomic.t;  (** Ops drained from this ring by thieves. *)
+}
+
+(** Immutable aggregate of {!ring_counters}. *)
+type ring_totals = {
+  max_depth : int;
+  mean_depth : float;  (** [depth_sum / depth_samples] ([0.] if none). *)
+  depth_samples : int;
+  steal_attempts : int;
+  stolen : int;
 }
 
 type t
@@ -50,8 +74,20 @@ val num_shards : t -> int
 val shard : t -> int -> counters
 (** The mutable counter record of one shard. *)
 
+val ring : t -> int -> ring_counters
+(** The mutable ring-observability record of one shard. *)
+
 val bump_stats : t -> unit
 (** Count one served [Stats] snapshot. *)
+
+val record_depth : t -> shard:int -> int -> unit
+(** Sample one post-push ring occupancy (dispatcher side). *)
+
+val note_steal_attempt : t -> shard:int -> unit
+(** One thief token claim against the shard (whether or not it won). *)
+
+val note_stolen : t -> shard:int -> int -> unit
+(** [n] ops drained from the shard's ring by a thief. *)
 
 val record_latency : t -> shard:int -> float -> unit
 (** Append one admission-to-completion latency sample (seconds). *)
@@ -62,9 +98,16 @@ val totals : t -> totals
 val per_shard : t -> totals array
 (** Each shard's counters as immutable totals ([stats_ops = 0]). *)
 
+val per_shard_rings : t -> ring_totals array
+val rings_total : t -> ring_totals
+(** Aggregate ring observability: max of maxes, global mean, summed
+    steal counters. *)
+
 type snapshot = {
   snapshot_totals : totals;
   snapshot_per_shard : totals array;
+  snapshot_rings : ring_totals array;
+  rings_totals : ring_totals;
   latency : Lr_analysis.Stats.percentiles;  (** Seconds, over all samples. *)
   latency_samples : int;
 }
@@ -73,5 +116,9 @@ val snapshot : t -> snapshot
 
 val totals_line : totals -> string
 (** Canonical one-line rendering of every deterministic counter — the
-    unit determinism fingerprints are built from.  Latency never
-    appears here. *)
+    unit determinism fingerprints are built from.  Latency and ring
+    observability never appear here. *)
+
+val ring_line : ring_totals -> string
+(** One-line rendering of the (non-deterministic) ring counters, for
+    reports only — never part of a fingerprint. *)

@@ -1,46 +1,98 @@
 (** The sharded, domain-parallel routing service.
 
-    Execution model: the dispatcher admits ops from the stream in
-    windows.  Within a window each op is appended to its shard's
-    bounded queue — or answered [Rejected `Overloaded] on the spot when
-    the queue is full, so memory never grows past
-    [window + shards * queue_bound] pending ops.  The window is then
-    executed as one round on the resident domain pool: each busy shard
-    is drained by exactly one worker, in admission order.  That gives
-    the two guarantees the serving layer is built on:
+    {2 Execution model}
 
-    - {b per-shard serialization} — a shard's ops execute in stream
-      order (windows are admitted in order and drained fully before the
-      next one starts);
-    - {b determinism} — which ops are admitted, every response, and
-      every counter depend only on the op stream, never on the domain
-      count or scheduling (responses land in per-op slots, counters are
-      per-shard).  Only latency {e values} are wall-clock measurements.
+    The default dispatch is {b free-running}: each destination shard
+    owns a bounded lock-free SPSC op ring ({!Lr_parallel.Spsc}).  The
+    dispatcher pushes op indices into the rings while [jobs - 1]
+    resident run-to-completion loops (launched once on the persistent
+    pool, alive until the shutdown sentinel) drain them — there is no
+    window and no cross-shard barrier anywhere.  Backpressure is
+    per-ring occupancy: an op arriving at a full ring is answered
+    [Rejected `Overloaded] on the spot, so queue depth — not a window
+    budget — is the overload signal.
 
-    A [Stats] op is a dispatch barrier: it terminates the current
-    window and snapshots the counters once every earlier op has
-    completed, so snapshots are deterministic too. *)
+    {b Per-shard serialization} survives the loss of the barrier via
+    ownership tokens: a loop may pop a shard's ring and touch its
+    engine only while holding the shard's token (an [Atomic] CAS), and
+    token handoffs are acquire/release edges.  That is also what makes
+    {b work stealing} safe for Zipf-skewed workloads: an idle loop
+    claims a busy shard's token and drains a batch ([steal_batch]) on
+    the owner's behalf — consumption migrates, interleaving never
+    happens.  Each loop's pops are checked against a per-shard
+    sequence (op indices must strictly increase), so a serialization
+    break is an immediate failure, not a silent corruption.
+
+    A [Stats] op quiesces the service (every admitted op completed,
+    the dispatcher moonlighting as a thief while it waits) before
+    snapshotting, so snapshots count exactly the ops admitted before
+    them.  With [jobs = 1] the dispatcher is also the only consumer:
+    it serves a full ring inline instead of rejecting (overload means
+    nothing when producer and consumer share one domain).
+
+    {2 Determinism}
+
+    Free-running responses land in per-op slots and every shard's ops
+    execute in admission order, so on any stream where nothing is
+    rejected the responses, counters and {!fingerprint} are identical
+    to the deterministic path's — that equality is checked
+    differentially in the bench and CI.  {e Which} ops are rejected
+    under genuine overload, and the ring-occupancy/steal observability
+    in {!Metrics.ring_totals}, are wall-clock facts and the two
+    deliberately non-deterministic parts of the free-running mode.
+
+    Setting [deterministic = true] selects the pre-rearchitecture
+    {b windowed} dispatcher, kept verbatim as the differential oracle:
+    ops are admitted in windows of [window] ops, each window drained
+    as one barrier-synchronized pool round, rejections spend window
+    budget, and everything — including rejections — depends only on
+    the op stream. *)
 
 type config = {
-  jobs : int;  (** Domains (the dispatcher participates in rounds). *)
-  queue_bound : int;  (** Per-shard queue capacity within a window. *)
+  jobs : int;
+      (** Domains.  Free-running: one dispatcher plus [jobs - 1]
+          resident shard loops.  Windowed: the dispatcher participates
+          in rounds. *)
+  queue_bound : int;
+      (** Per-shard ring capacity (rounded up to a power of two by the
+          ring; the rounded value is the effective bound).  On the
+          windowed path, the per-shard queue capacity within a
+          window. *)
   window : int;
-      (** Ops consumed from the stream per round (admitted or rejected
-          — a rejection spends window budget too, so an overloaded
-          round still ends and drains). *)
+      (** Ops consumed from the stream per round — deterministic
+          (windowed) mode only. *)
   rule : Lr_routing.Maintenance.rule;
   validate : bool;  (** In-service route validation (default on). *)
   engine : Shard.engine_kind;
       (** Maintenance tier for every shard ({!Shard.engine_kind}).
           Responses, counters and the fingerprint are byte-identical
           across the two. *)
+  deterministic : bool;
+      (** [true] selects the windowed barrier dispatcher (the
+          differential oracle); [false] — the default — the
+          barrier-free rings. *)
+  steal_batch : int;
+      (** Max ops a thief drains per stolen token claim.  Small enough
+          to return the shard to its owner promptly, large enough to
+          amortize the claim. *)
+  pin_loops : bool;
+      (** By default ([false]) the service spawns at most
+          [available domains - 1] resident loops no matter how large
+          [jobs] is: in OCaml 5 {e every} live domain — even one
+          parked in a blocking section — is woken into each minor-GC
+          stop-the-world barrier, so domains beyond the hardware are
+          pure tax (measured 15–25% on one core).  Requested [jobs]
+          beyond the clamp run as if the hardware were the limit;
+          responses and counters are unaffected (jobs never change
+          results).  [true] pins exactly [jobs - 1] loops regardless,
+          so tests and benches can exercise the token/steal protocol
+          on any host. *)
 }
 
 val default_config : config
 (** [jobs = 1], [queue_bound = 128], [window = 256], Partial Reversal,
-    validation on, the fast engine.  The window is deliberately close to
-    the queue bound: a much larger window lets one hot shard overflow
-    its queue inside a single round even at modest load. *)
+    validation on, the fast engine, free-running dispatch,
+    [steal_batch = 64], loops clamped to the hardware. *)
 
 type t
 
@@ -50,7 +102,8 @@ val create : ?trace_dir:string -> config -> Linkrev.Config.t array -> t
     orientation is recorded there as a replayable LRT1 trace
     ([shard-NNN.lrt], via {!Lr_trace.Record.fast} — auditable with
     [linkrev trace audit]).  @raise Invalid_argument on an empty
-    instance array or a non-positive [jobs]/[queue_bound]/[window]. *)
+    instance array or a non-positive
+    [jobs]/[queue_bound]/[window]/[steal_batch]. *)
 
 val num_shards : t -> int
 val shard : t -> int -> Shard.t
@@ -59,14 +112,18 @@ val config : t -> config
 val run : t -> Op.t array -> Op.response array
 (** Execute the stream; slot [i] answers op [i].  Ops must name shards
     in range ([Workload.load]/[generate] guarantee it).
-    @raise Invalid_argument on an out-of-range shard id. *)
+    @raise Invalid_argument on an out-of-range shard id.
+    @raise Failure if a shard loop breaks per-shard serialization or
+    loses an op in flight (both are engine bugs, checked live). *)
 
 val metrics : t -> Metrics.snapshot
 
 val fingerprint : Op.response array -> Metrics.snapshot -> string
 (** Hex digest over the canonical rendering of all responses plus all
-    deterministic counters (latency excluded) — byte-identical across
-    [jobs] settings for the same stream. *)
+    deterministic counters (latency and ring observability excluded) —
+    byte-identical across [jobs] settings and across
+    free-running/deterministic dispatch whenever the rejection sets
+    agree (always, absent overload). *)
 
 val rejected_in : Op.response array -> int
 (** Count of [Rejected] responses — must equal the metrics' rejected

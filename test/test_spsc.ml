@@ -1,0 +1,108 @@
+open Helpers
+module Spsc = Lr_parallel.Spsc
+
+let test_capacity_rounding () =
+  List.iter
+    (fun (asked, got) ->
+      check_int (Printf.sprintf "capacity %d rounds to %d" asked got) got
+        (Spsc.capacity (Spsc.create ~capacity:asked (-1))))
+    [ (1, 1); (2, 2); (3, 4); (4, 4); (5, 8); (100, 128); (1024, 1024) ];
+  List.iter
+    (fun capacity ->
+      check_bool (Printf.sprintf "capacity %d rejected" capacity) true
+        (try ignore (Spsc.create ~capacity (-1)); false
+         with Invalid_argument _ -> true))
+    [ 0; -1; (1 lsl 24) + 1 ]
+
+let test_push_pop_fifo () =
+  let r = Spsc.create ~capacity:8 (-1) in
+  check_bool "fresh ring is empty" true (Spsc.is_empty r);
+  check_int "fresh ring length" 0 (Spsc.length r);
+  for i = 0 to 5 do
+    check_bool (Printf.sprintf "push %d" i) true (Spsc.try_push r i)
+  done;
+  check_int "length counts pushes" 6 (Spsc.length r);
+  for i = 0 to 5 do
+    match Spsc.try_pop r with
+    | Some v -> check_int (Printf.sprintf "pop %d in order" i) i v
+    | None -> Alcotest.fail "ring empty too early"
+  done;
+  check_bool "drained ring is empty" true (Spsc.is_empty r);
+  check_bool "pop on empty is None" true (Spsc.try_pop r = None)
+
+let test_full_ring_refuses () =
+  let r = Spsc.create ~capacity:4 (-1) in
+  for i = 0 to 3 do
+    check_bool (Printf.sprintf "push %d fits" i) true (Spsc.try_push r i)
+  done;
+  check_bool "push into full ring refused" false (Spsc.try_push r 99);
+  check_int "refusal does not grow the ring" 4 (Spsc.length r);
+  (* one pop frees exactly one slot *)
+  check_bool "pop after full" true (Spsc.try_pop r = Some 0);
+  check_bool "freed slot accepts a push" true (Spsc.try_push r 4);
+  check_bool "ring is full again" false (Spsc.try_push r 99)
+
+(* Wraparound: drive head and tail far past the capacity so the masked
+   indices lap the buffer many times, with the occupancy crossing both
+   the empty and the full boundary on every lap. *)
+let test_wraparound () =
+  let cap = 8 in
+  let r = Spsc.create ~capacity:cap (-1) in
+  let next_pop = ref 0 in
+  let next_push = ref 0 in
+  for lap = 1 to 100 do
+    while Spsc.try_push r !next_push do incr next_push done;
+    check_int (Printf.sprintf "lap %d fills to capacity" lap) cap
+      (Spsc.length r);
+    for _ = 1 to cap do
+      match Spsc.try_pop r with
+      | Some v ->
+          check_int (Printf.sprintf "lap %d pops in order" lap) !next_pop v;
+          incr next_pop
+      | None -> Alcotest.fail "ring empty mid-lap"
+    done;
+    check_bool (Printf.sprintf "lap %d drains empty" lap) true
+      (Spsc.is_empty r)
+  done;
+  check_int "laps moved the indices far past capacity" (100 * cap) !next_push
+
+(* Two domains, one on each side of the ring: every pushed value must
+   come out exactly once, in order, across many full/empty transitions
+   (the ring is much smaller than the stream). *)
+let test_two_domain_stress () =
+  let n = 200_000 in
+  let r = Spsc.create ~capacity:16 (-1) in
+  let producer =
+    Domain.spawn (fun () ->
+        for i = 0 to n - 1 do
+          while not (Spsc.try_push r i) do Domain.cpu_relax () done
+        done)
+  in
+  let sum = ref 0 in
+  let in_order = ref true in
+  let popped = ref 0 in
+  while !popped < n do
+    match Spsc.try_pop r with
+    | Some v ->
+        if v <> !popped then in_order := false;
+        sum := !sum + v;
+        incr popped
+    | None -> Domain.cpu_relax ()
+  done;
+  Domain.join producer;
+  check_bool "values arrive in push order" true !in_order;
+  check_int "every value arrives exactly once" (n * (n - 1) / 2) !sum;
+  check_bool "stream drained" true (Spsc.is_empty r)
+
+let () =
+  Alcotest.run "spsc"
+    [
+      suite "spsc"
+        [
+          case "capacity rounds to a power of two" test_capacity_rounding;
+          case "push/pop is FIFO" test_push_pop_fifo;
+          case "full ring refuses pushes" test_full_ring_refuses;
+          case "wraparound at the capacity boundary" test_wraparound;
+          case "two-domain producer/consumer stress" test_two_domain_stress;
+        ];
+    ]
