@@ -9,7 +9,7 @@
    Run everything:      dune exec bench/main.exe
    Run one experiment:  dune exec bench/main.exe -- t1
    (ids: t1 t2 t3 t4 t5 f1 f2 f3 f4 f5 f6 f7 f8 f9 parallel trace service
-   maintenance micro)
+   maintenance micro packet)
 
    --jobs N (or -j N) runs the trial loops on an N-domain pool; trial
    results are identical for every N (deterministic per-trial seeding).
@@ -1338,6 +1338,8 @@ let service () =
          mostly honest No_routes — real fleets crash destinations far
          less often than they query. *)
       mix = { Wl.route = 900; churn = 98; crash = 2 };
+      pmix = Wl.no_packets;
+      burst = 4;
       skew = 0.8;
       stats_every = 1_000;
     }
@@ -1357,6 +1359,16 @@ let service () =
      host; the clamped "free" rows are what production would do. *)
   let run_once ~mode ~jobs ?(queue_bound = 4_096) ~repeats (spec : Wl.spec)
       ops configs =
+    (* The free-vs-windowed differential below only holds when nothing
+       rejects, and per-shard ring depth between stats quiesces is
+       bounded by stats_every — so the bound must clear it, by
+       construction rather than by luck. *)
+    if spec.Wl.stats_every > 0 && spec.Wl.stats_every >= queue_bound then
+      invalid_arg
+        (Printf.sprintf
+           "D-S1: stats_every (%d) must stay below queue_bound (%d) or the \
+            differential can reject"
+           spec.Wl.stats_every queue_bound);
     let deterministic = mode = "windowed" in
     let svc =
       Svc.create
@@ -1529,6 +1541,8 @@ let service () =
       seed = 1024;
       ops = (if smoke then 1_000 else 20_000);
       mix = { Wl.route = 900; churn = 98; crash = 2 };
+      pmix = Wl.no_packets;
+      burst = 4;
       skew = 1.2;
       stats_every = (if smoke then 500 else 4_000);
     }
@@ -1613,9 +1627,10 @@ type storm_result = {
   st_identical : bool;
 }
 
-let write_maintenance_json ~file storms ~route_heavy ~svc_parity =
+let write_maintenance_json ~file storms ~big_storm ~route_heavy ~svc_parity =
   let rh_n, rh_queries, rh_ref, rh_fast, rh_agree, (ch, cm, ci) = route_heavy in
   let sp_ops, sp_ref, sp_fast, sp_identical = svc_parity in
+  let bs_n, bs_events, bs_seconds, bs_consistent = big_storm in
   let oc = open_out file in
   Fun.protect
     ~finally:(fun () -> close_out oc)
@@ -1635,7 +1650,11 @@ let write_maintenance_json ~file storms ~route_heavy ~svc_parity =
         storms;
       Printf.fprintf oc
         "  ],\n\
-        \  \"route_heavy\": {\"n\": %d, \"queries\": %d, \
+        \  \"big_storm\": {\"n\": %d, \"events\": %d, \"fast_seconds\": \
+         %.4f, \"consistent\": %b},\n"
+        bs_n bs_events bs_seconds bs_consistent;
+      Printf.fprintf oc
+        "  \"route_heavy\": {\"n\": %d, \"queries\": %d, \
          \"ref_seconds\": %.4f, \"fast_seconds\": %.4f, \"speedup\": %.2f, \
          \"routes_identical\": %b, \"cache\": {\"hits\": %d, \"misses\": %d, \
          \"invalidations\": %d}},\n"
@@ -1761,6 +1780,39 @@ let maintenance () =
               string_of_bool s.st_identical;
             ])
           storms));
+  (* -- fast-only scale storm ---------------------------------------- *)
+  (* n=4096 is 16x past the differential storms' ceiling: the
+     persistent reference cannot replay a storm that size inside a
+     bench budget, so the big storm runs the fast engine alone — the
+     point is that the flat-array engine holds its throughput and its
+     own invariants (FM.consistent) at a scale the oracle cannot
+     check.  It runs at full size even under --trials smoke (fewer
+     events, same n): CI is exactly where the scale regression would
+     otherwise hide. *)
+  let bs_n = 4096 in
+  let bs_config = random_config ~seed:11 bs_n in
+  let bs_ops =
+    gen_storm ~seed:11 ~events:((if smoke then 2 else 6) * bs_n)
+      M.Partial_reversal bs_config bs_n
+  in
+  let bs_fm, bs_seconds =
+    P.timed (fun () ->
+        let fm = FM.create M.Partial_reversal bs_config in
+        List.iter
+          (function
+            | S_down (u, v) -> ignore (FM.fail_link fm u v)
+            | S_up (u, v) -> FM.add_link fm u v
+            | S_fail u -> ignore (FM.fail_node fm u))
+          bs_ops;
+        fm)
+  in
+  let bs_consistent = FM.consistent bs_fm in
+  Printf.printf
+    "scale storm (fast only): n=%d, %d events in %.3f s (%.0f events/s), \
+     consistent %b\n"
+    bs_n (List.length bs_ops) bs_seconds
+    (float_of_int (List.length bs_ops) /. Float.max 1e-9 bs_seconds)
+    bs_consistent;
   (* -- route-heavy workload ---------------------------------------- *)
   let rh_n = if smoke then 64 else 200 in
   let rh_queries = if smoke then 20_000 else 500_000 in
@@ -1799,6 +1851,8 @@ let maintenance () =
       seed = 42;
       ops = (if smoke then 3_000 else 60_000);
       mix = { Wl.route = 900; churn = 98; crash = 2 };
+      pmix = Wl.no_packets;
+      burst = 4;
       skew = 0.8;
       stats_every = 1_000;
     }
@@ -1827,6 +1881,7 @@ let maintenance () =
     (if sp_identical then "identical" else "DIFFER");
   let file = "BENCH_maintenance.json" in
   write_maintenance_json ~file storms
+    ~big_storm:(bs_n, List.length bs_ops, bs_seconds, bs_consistent)
     ~route_heavy:
       ( rh_n, rh_queries, rh_ref, rh_fast, !rh_agree,
         (cache.FM.hits, cache.FM.misses, cache.FM.invalidations) )
@@ -1835,6 +1890,9 @@ let maintenance () =
   let storm_mismatch = List.exists (fun s -> not s.st_identical) storms in
   if storm_mismatch then
     Printf.printf "FAILURE: fast and reference engines diverged under a repair storm\n";
+  if not bs_consistent then
+    Printf.printf
+      "FAILURE: fast engine inconsistent after the n=%d scale storm\n" bs_n;
   if not !rh_agree then
     Printf.printf "FAILURE: fast and reference routes differ on the route-heavy instance\n";
   if not sp_identical then
@@ -1842,8 +1900,8 @@ let maintenance () =
   if fast_vf > 0 || ref_vf > 0 then
     Printf.printf "FAILURE: route validation failures (fast %d, reference %d)\n"
       fast_vf ref_vf;
-  if storm_mismatch || (not !rh_agree) || (not sp_identical) || fast_vf > 0
-     || ref_vf > 0
+  if storm_mismatch || (not bs_consistent) || (not !rh_agree)
+     || (not sp_identical) || fast_vf > 0 || ref_vf > 0
   then exit 1
 
 (* ------------------------------------------------------------------ *)
@@ -1973,6 +2031,211 @@ let lint () =
       end
 
 (* ------------------------------------------------------------------ *)
+(* D-B1 (packet): the forwarding layer end to end — throughput vs
+   injection rate with the stability threshold, delivery under link
+   churn, the geographic-void recovery contrast, and cross-jobs
+   determinism of the packet counters through the service.  Exits 1 if
+   the stability curve loses its shape (a below-threshold rate
+   dropping under 99% delivery, or no diverging rate above), if
+   recovery fails to out-deliver stranded greedy packets, or if the
+   service fingerprint moves across jobs/dispatchers. *)
+
+let packet () =
+  section "D-B1" "packet forwarding: backpressure stability, void recovery";
+  let module Ps = Lr_packet.Scenario in
+  let module Geo = Lr_packet.Geo in
+  let module Wl = Lr_service.Workload in
+  let module Svc = Lr_service.Service in
+  let module Metrics = Lr_service.Metrics in
+  let smoke = !trials > 0 in
+  let failures = ref [] in
+  let fail fmt = Printf.ksprintf (fun m -> failures := m :: !failures) fmt in
+  (* -- rate sweep ---------------------------------------------------- *)
+  let bp =
+    if smoke then { Ps.default_bp with Ps.slots = 128; drain = 2_048 }
+    else Ps.default_bp
+  in
+  let rates = if smoke then [ 1; 2; 4; 8; 64 ] else [ 1; 2; 4; 8; 12; 16; 24; 32; 64 ] in
+  let results, sweep_seconds = P.timed (fun () -> Ps.sweep bp ~rates) in
+  T.print
+    ~title:
+      (Printf.sprintf
+         "throughput vs injection rate (%d nodes, %d planes, %d slots, qcap \
+          %d)"
+         bp.Ps.nodes bp.Ps.dests bp.Ps.slots bp.Ps.qcap)
+    (T.make
+       ~headers:
+         [ "rate"; "offered"; "delivered"; "delivery"; "dropped";
+           "queued@end"; "high water"; "reversals"; "stretch"; "diverged" ]
+       (List.map
+          (fun (r : Ps.bp_result) ->
+            [
+              string_of_int r.Ps.rate;
+              string_of_int r.Ps.offered;
+              string_of_int r.Ps.delivered;
+              Printf.sprintf "%.4f" (Ps.delivery r);
+              string_of_int r.Ps.dropped;
+              string_of_int r.Ps.queued_end;
+              string_of_int r.Ps.high_water;
+              string_of_int r.Ps.reversals;
+              Printf.sprintf "%.3f" (Ps.stretch r);
+              string_of_bool r.Ps.diverged;
+            ])
+          results));
+  let threshold = Ps.stability_threshold results in
+  (match threshold with
+  | Some r -> Printf.printf "stability threshold: rate %d (%.1f s sweep)\n" r sweep_seconds
+  | None ->
+      Printf.printf "stability threshold: none (%.1f s sweep)\n" sweep_seconds;
+      fail "no stable rate in the sweep");
+  (match threshold with
+  | None -> ()
+  | Some thr ->
+      List.iter
+        (fun (r : Ps.bp_result) ->
+          if r.Ps.rate <= thr && Float.compare (Ps.delivery r) 0.99 < 0 then
+            fail "rate %d is below the threshold yet delivered %.4f < 0.99"
+              r.Ps.rate (Ps.delivery r))
+        results;
+      if
+        not
+          (List.exists
+             (fun (r : Ps.bp_result) -> r.Ps.rate > thr && r.Ps.diverged)
+             results)
+      then
+        fail
+          "no diverging rate above the threshold (%d) — the sweep never \
+           crossed the stability boundary"
+          thr);
+  (* -- delivery under churn ------------------------------------------ *)
+  let churn_rate = match threshold with Some t -> max 1 (t / 2) | None -> 1 in
+  let churn_spec = { bp with Ps.rate = churn_rate; churn_every = 16 } in
+  let churn_run, churn_seconds =
+    P.timed (fun () -> Ps.run_backpressure churn_spec)
+  in
+  Printf.printf
+    "churn (rate %d, toggle every %d slots): delivery %.4f, %d reversals, \
+     %d dropped, diverged %b (%.1f s)\n"
+    churn_rate churn_spec.Ps.churn_every (Ps.delivery churn_run)
+    churn_run.Ps.reversals churn_run.Ps.dropped churn_run.Ps.diverged
+    churn_seconds;
+  if Float.compare (Ps.delivery churn_run) 0.99 < 0 then
+    fail "churn at rate %d delivered %.4f < 0.99" churn_rate
+      (Ps.delivery churn_run);
+  (* -- geographic void ----------------------------------------------- *)
+  let void_res, void_seconds = P.timed (fun () -> Ps.run_void Ps.default_void) in
+  let g = void_res.Ps.greedy and rcv = void_res.Ps.recovery in
+  Printf.printf
+    "void (%d greedy local minima): greedy %d/%d delivered, recovery %d/%d \
+     (max level %d, stretch %.3f, %.1f s)\n"
+    void_res.Ps.minima g.Geo.delivered g.Geo.injected rcv.Geo.delivered
+    rcv.Geo.injected rcv.Geo.max_level (Geo.stretch rcv) void_seconds;
+  if g.Geo.delivered >= g.Geo.injected then
+    fail "void: greedy delivered everything — the void is not a void";
+  if rcv.Geo.delivered < rcv.Geo.injected then
+    fail "void: recovery stranded %d packets" rcv.Geo.remaining;
+  (* -- cross-jobs / cross-dispatcher determinism --------------------- *)
+  let spec =
+    {
+      Wl.shards = 8;
+      nodes = 24;
+      extra_edges = 16;
+      seed = 42;
+      ops = (if smoke then 2_000 else 40_000);
+      mix = { Wl.route = 60; churn = 9; crash = 1 };
+      pmix = { Wl.inject = 20; forward = 10 };
+      burst = 4;
+      skew = 0.8;
+      stats_every = 500;
+    }
+  in
+  let ops = Wl.generate spec in
+  let configs = Wl.shard_configs spec in
+  let run_cfg ~jobs ~deterministic =
+    let svc =
+      Svc.create
+        { Svc.default_config with Svc.jobs; queue_bound = Array.length ops + 1;
+          deterministic; pin_loops = true }
+        configs
+    in
+    Fun.protect
+      ~finally:(fun () -> Svc.shutdown svc)
+      (fun () ->
+        let responses, seconds = P.timed (fun () -> Svc.run svc ops) in
+        let snap = Svc.metrics svc in
+        (Svc.fingerprint responses snap, snap, seconds))
+  in
+  let fp1, snap1, s1 = run_cfg ~jobs:1 ~deterministic:false in
+  let fp4, _, s4 = run_cfg ~jobs:4 ~deterministic:false in
+  let fpw, _, sw = run_cfg ~jobs:1 ~deterministic:true in
+  let t = snap1.Metrics.snapshot_totals in
+  Printf.printf
+    "service packet stream (%s): packets_in %d, out %d, dropped %d, \
+     reversals %d, queue peak %d\n"
+    (Wl.describe spec) t.Metrics.packets_in t.Metrics.packets_out
+    t.Metrics.packets_dropped t.Metrics.packet_reversals
+    t.Metrics.packet_queue_peak;
+  Printf.printf
+    "fingerprints: jobs=1 %s (%.2f s), jobs=4 %s (%.2f s), windowed %s \
+     (%.2f s)\n"
+    fp1 s1 fp4 s4 fpw sw;
+  if fp1 <> fp4 then fail "packet fingerprint differs across jobs (1 vs 4)";
+  if fp1 <> fpw then
+    fail "packet fingerprint differs between free-running and windowed";
+  if t.Metrics.packets_in = 0 then
+    fail "the packet stream injected nothing — pmix wiring is broken";
+  (* -- JSON ---------------------------------------------------------- *)
+  let file = "BENCH_packet.json" in
+  let oc = open_out file in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      Printf.fprintf oc
+        "{\n  \"generated_by\": \"bench/main.exe packet\",\n  \"sweep\": {\n\
+        \    \"nodes\": %d, \"dests\": %d, \"slots\": %d, \"qcap\": %d,\n\
+        \    \"stability_threshold\": %s,\n    \"rates\": [\n"
+        bp.Ps.nodes bp.Ps.dests bp.Ps.slots bp.Ps.qcap
+        (match threshold with Some r -> string_of_int r | None -> "null");
+      List.iteri
+        (fun i (r : Ps.bp_result) ->
+          Printf.fprintf oc
+            "      {\"rate\": %d, \"offered\": %d, \"delivered\": %d, \
+             \"delivery\": %.4f, \"dropped\": %d, \"queued_end\": %d, \
+             \"high_water\": %d, \"reversals\": %d, \"stretch\": %.4f, \
+             \"diverged\": %b}%s\n"
+            r.Ps.rate r.Ps.offered r.Ps.delivered (Ps.delivery r) r.Ps.dropped
+            r.Ps.queued_end r.Ps.high_water r.Ps.reversals (Ps.stretch r)
+            r.Ps.diverged
+            (if i = List.length results - 1 then "" else ","))
+        results;
+      Printf.fprintf oc
+        "    ]\n  },\n\
+        \  \"churn\": {\"rate\": %d, \"every\": %d, \"delivery\": %.4f, \
+         \"reversals\": %d, \"dropped\": %d, \"diverged\": %b},\n"
+        churn_rate churn_spec.Ps.churn_every (Ps.delivery churn_run)
+        churn_run.Ps.reversals churn_run.Ps.dropped churn_run.Ps.diverged;
+      Printf.fprintf oc
+        "  \"void\": {\"minima\": %d, \"greedy_delivered\": %d, \
+         \"recovery_delivered\": %d, \"injected\": %d, \"max_level\": %d, \
+         \"recovery_stretch\": %.4f},\n"
+        void_res.Ps.minima g.Geo.delivered rcv.Geo.delivered g.Geo.injected
+        rcv.Geo.max_level (Geo.stretch rcv);
+      Printf.fprintf oc
+        "  \"service\": {\"ops\": %d, \"packets_in\": %d, \"packets_out\": \
+         %d, \"packets_dropped\": %d, \"packet_reversals\": %d, \
+         \"queue_peak\": %d, \"fingerprints_identical\": %b}\n}\n"
+        spec.Wl.ops t.Metrics.packets_in t.Metrics.packets_out
+        t.Metrics.packets_dropped t.Metrics.packet_reversals
+        t.Metrics.packet_queue_peak
+        (fp1 = fp4 && fp1 = fpw));
+  Printf.printf "wrote %s\n" file;
+  match !failures with
+  | [] -> ()
+  | fs ->
+      List.iter (fun m -> Printf.printf "FAILURE: %s\n" m) (List.rev fs);
+      exit 1
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
@@ -1980,7 +2243,8 @@ let experiments =
     ("f1", f1); ("f2", f2); ("f3", f3); ("f4", f4); ("f5", f5);
     ("f6", f6); ("f7", f7); ("f8", f8); ("f9", f9);
     ("parallel", parallel); ("trace", trace); ("service", service);
-    ("maintenance", maintenance); ("micro", micro); ("lint", lint);
+    ("maintenance", maintenance); ("micro", micro); ("packet", packet);
+    ("lint", lint);
   ]
 
 (* Strip --jobs N / -j N / --jobs=N and --trials N / --trials=N;

@@ -719,6 +719,22 @@ module Service_cli = struct
             "Op mix weights route/churn/crash (churn splits evenly into \
              link-down and link-up).")
 
+  let pmix_arg =
+    Arg.(
+      value
+      & opt (t2 ~sep:'/' int int) (0, 0)
+      & info [ "pmix" ] ~docv:"I/F"
+          ~doc:
+            "Packet-op mix weights inject/forward, rolled together with \
+             $(b,--mix) in a single die (0/0 = pure routing workload).")
+
+  let burst_arg =
+    Arg.(value & opt int 4
+         & info [ "burst" ] ~docv:"K"
+             ~doc:
+               "Packets per inject op and slots per forward op (must be >= \
+                1).")
+
   let skew_arg =
     Arg.(value & opt float 0.8
          & info [ "skew" ] ~docv:"S"
@@ -732,14 +748,16 @@ module Service_cli = struct
              ~doc:"Insert a stats barrier op every $(docv) ops (0 = never).")
 
   let spec_term =
-    let make shards nodes extra_edges seed ops (route, churn, crash) skew
-        stats_every =
+    let make shards nodes extra_edges seed ops (route, churn, crash)
+        (inject, forward) burst skew stats_every =
       { Wl.shards; nodes; extra_edges; seed; ops;
-        mix = { Wl.route; churn; crash }; skew; stats_every }
+        mix = { Wl.route; churn; crash }; pmix = { Wl.inject; forward };
+        burst; skew; stats_every }
     in
     Term.(
       const make $ shards_arg $ nodes_arg $ extra_edges_arg $ seed_arg
-      $ ops_arg $ mix_arg $ skew_arg $ stats_every_arg)
+      $ ops_arg $ mix_arg $ pmix_arg $ burst_arg $ skew_arg
+      $ stats_every_arg)
 
   let loadgen_cmd =
     let out_arg =
@@ -776,14 +794,43 @@ module Service_cli = struct
                loadgen') instead of generating one; the file's spec \
                overrides the generation flags.")
     in
+    let queue_bound_conv =
+      let parse s =
+        if s = "auto" then Ok None
+        else
+          match int_of_string_opt s with
+          | Some n -> Ok (Some n)
+          | None ->
+              Error (`Msg (Printf.sprintf "expected an integer or 'auto', got %S" s))
+      in
+      let print ppf = function
+        | None -> Format.pp_print_string ppf "auto"
+        | Some n -> Format.pp_print_int ppf n
+      in
+      Arg.conv (parse, print)
+    in
     let queue_bound_arg =
       Arg.(
-        value & opt int Svc.default_config.Svc.queue_bound
+        value
+        & opt queue_bound_conv (Some Svc.default_config.Svc.queue_bound)
         & info [ "queue-bound" ] ~docv:"B"
             ~doc:
               "Per-shard op-ring capacity (rounded up to a power of two); \
                an op arriving at a full ring is answered 'rejected \
-               overloaded' on the spot instead of queueing unboundedly.")
+               overloaded' on the spot instead of queueing unboundedly.  \
+               $(b,auto) sets the bound to the op count + 1, which makes \
+               rejection impossible by construction — so free-running and \
+               windowed runs of the same stream must agree byte-for-byte \
+               (the CI differential uses this).")
+    in
+    let packet_queue_arg =
+      Arg.(
+        value & opt int Svc.default_config.Svc.packet_queue
+        & info [ "packet-queue" ] ~docv:"Q"
+            ~doc:
+              "Per-node packet queue bound on each shard's forwarding \
+               plane (inject ops that find the source queue full drop the \
+               overflow).")
     in
     let window_arg =
       Arg.(
@@ -859,7 +906,7 @@ module Service_cli = struct
                audit').")
     in
     let serve spec workload jobs queue_bound window rule no_validate engine
-        deterministic steal_batch pin_loops trace_dir =
+        deterministic steal_batch pin_loops packet_queue trace_dir =
       let loaded =
         match workload with
         | None -> (
@@ -871,10 +918,15 @@ module Service_cli = struct
       match loaded with
       | Error e -> `Error (false, e)
       | Ok (spec, ops) ->
+          let queue_bound =
+            match queue_bound with
+            | Some b -> b
+            | None -> Array.length ops + 1
+          in
           let cfg =
             { Svc.jobs; queue_bound; window; rule;
               validate = not no_validate; engine; deterministic; steal_batch;
-              pin_loops }
+              pin_loops; packet_queue }
           in
           let svc =
             try Ok (Svc.create ?trace_dir cfg (Wl.shard_configs spec))
@@ -964,7 +1016,7 @@ module Service_cli = struct
           (const serve $ spec_term $ workload_arg $ jobs_arg $ queue_bound_arg
           $ window_arg $ rule_arg $ no_validate_arg $ engine_arg
           $ deterministic_arg $ steal_batch_arg $ pin_loops_arg
-          $ trace_dir_arg))
+          $ packet_queue_arg $ trace_dir_arg))
     in
     Cmd.v
       (Cmd.info "serve"
@@ -1126,11 +1178,250 @@ module Lint_cli = struct
       term
 end
 
+(* {1 packet} *)
+
+module Packet_cli = struct
+  module Ps = Lr_packet.Scenario
+  module Geo = Lr_packet.Geo
+
+  let sweep_cmd =
+    let d = Ps.default_bp in
+    let nodes_arg =
+      Arg.(value & opt int d.Ps.nodes
+           & info [ "nodes"; "n" ] ~docv:"N" ~doc:"Nodes in the random DAG.")
+    in
+    let extra_edges_arg =
+      Arg.(value & opt int d.Ps.extra_edges
+           & info [ "extra-edges" ] ~docv:"E"
+               ~doc:"Chords beyond the spanning tree.")
+    in
+    let dests_arg =
+      Arg.(value & opt int d.Ps.dests
+           & info [ "dests" ] ~docv:"D"
+               ~doc:"Forwarding planes (destinations 0..D-1).")
+    in
+    let bseed_arg =
+      Arg.(value & opt int d.Ps.seed
+           & info [ "seed" ] ~docv:"SEED"
+               ~doc:"Seed for topology, injection and churn streams.")
+    in
+    let slots_arg =
+      Arg.(value & opt int d.Ps.slots
+           & info [ "slots" ] ~docv:"T" ~doc:"Injection slots.")
+    in
+    let drain_arg =
+      Arg.(value & opt int d.Ps.drain
+           & info [ "drain" ] ~docv:"T"
+               ~doc:
+                 "Injection-free slot budget after the run (early exit once \
+                  queues empty).")
+    in
+    let rates_arg =
+      Arg.(
+        value
+        & opt (list int) [ 1; 2; 4; 8; 16; 24; 32 ]
+        & info [ "rates" ] ~docv:"R1,R2,..."
+            ~doc:"Injection rates (packets per slot) to sweep, ascending.")
+    in
+    let skew_arg =
+      Arg.(value & opt float d.Ps.skew
+           & info [ "skew" ] ~docv:"S"
+               ~doc:"Zipf exponent over destinations; 0 = uniform.")
+    in
+    let qcap_arg =
+      Arg.(value & opt int d.Ps.qcap
+           & info [ "qcap" ] ~docv:"Q"
+               ~doc:"Per-node per-destination packet queue bound.")
+    in
+    let cap_arg =
+      Arg.(value & opt int d.Ps.cap
+           & info [ "cap" ] ~docv:"C"
+               ~doc:"Transmissions per node per slot.")
+    in
+    let churn_arg =
+      Arg.(value & opt int d.Ps.churn_every
+           & info [ "churn-every" ] ~docv:"K"
+               ~doc:
+                 "Toggle one tracked link down/up every $(docv) slots \
+                  (0 = no churn; a downed link is restored before \
+                  draining).")
+    in
+    let trace_dir_arg =
+      Arg.(
+        value
+        & opt (some string) None
+        & info [ "trace-dir" ] ~docv:"DIR"
+            ~doc:
+              "Record each plane's initial stabilization as a replayable \
+               LRT1 trace in $(docv) (queue-driven reversals themselves \
+               are not replayable events).")
+    in
+    let sweep nodes extra_edges dests seed slots drain rates skew qcap cap
+        churn_every trace_dir =
+      let spec =
+        { Ps.nodes; extra_edges; dests; seed; slots; drain; rate = 1; skew;
+          qcap; cap; churn_every }
+      in
+      match Ps.sweep ?trace_dir spec ~rates with
+      | exception Invalid_argument e -> `Error (false, e)
+      | results ->
+          let rows =
+            List.map
+              (fun (r : Ps.bp_result) ->
+                [
+                  string_of_int r.Ps.rate;
+                  string_of_int r.Ps.offered;
+                  string_of_int r.Ps.delivered;
+                  Printf.sprintf "%.4f" (Ps.delivery r);
+                  string_of_int r.Ps.dropped;
+                  string_of_int r.Ps.queued_end;
+                  string_of_int r.Ps.remaining;
+                  string_of_int r.Ps.high_water;
+                  string_of_int r.Ps.reversals;
+                  Printf.sprintf "%.3f" (Ps.stretch r);
+                  (if r.Ps.diverged then "yes" else "no");
+                ])
+              results
+          in
+          Lr_analysis.Table.print
+            ~title:
+              (Printf.sprintf
+                 "backpressure sweep: %d nodes, %d planes, %d slots, qcap \
+                  %d, churn every %d"
+                 nodes dests slots qcap churn_every)
+            (Lr_analysis.Table.make
+               ~headers:
+                 [ "rate"; "offered"; "delivered"; "delivery"; "dropped";
+                   "queued@end"; "undrained"; "high water"; "reversals";
+                   "stretch"; "diverged" ]
+               rows);
+          (match Ps.stability_threshold results with
+          | Some r -> Format.printf "stability threshold: rate %d@." r
+          | None ->
+              Format.printf
+                "stability threshold: none (unstable at every swept rate)@.");
+          `Ok ()
+    in
+    let term =
+      Term.(
+        ret
+          (const sweep $ nodes_arg $ extra_edges_arg $ dests_arg $ bseed_arg
+          $ slots_arg $ drain_arg $ rates_arg $ skew_arg $ qcap_arg $ cap_arg
+          $ churn_arg $ trace_dir_arg))
+    in
+    Cmd.v
+      (Cmd.info "sweep"
+         ~doc:
+           "Sweep injection rates through the backpressure link-reversal \
+            forwarding planes and report the stability threshold.")
+      term
+
+  let void_cmd =
+    let d = Ps.default_void in
+    let nodes_arg =
+      Arg.(value & opt int d.Ps.vnodes
+           & info [ "nodes"; "n" ] ~docv:"N"
+               ~doc:"Nodes in the geometric random graph.")
+    in
+    let radius_arg =
+      Arg.(value & opt float d.Ps.radius
+           & info [ "radius" ] ~docv:"R" ~doc:"Connection radius.")
+    in
+    let sources_arg =
+      Arg.(value & opt int d.Ps.sources
+           & info [ "sources" ] ~docv:"K"
+               ~doc:"Leftmost nodes used as traffic sources.")
+    in
+    let per_source_arg =
+      Arg.(value & opt int d.Ps.per_source
+           & info [ "per-source" ] ~docv:"P" ~doc:"Packets per source.")
+    in
+    let max_slots_arg =
+      Arg.(value & opt int d.Ps.max_slots
+           & info [ "max-slots" ] ~docv:"T" ~doc:"Forwarding slot budget.")
+    in
+    let qcap_arg =
+      Arg.(value & opt int d.Ps.vqcap
+           & info [ "qcap" ] ~docv:"Q" ~doc:"Per-node packet queue bound.")
+    in
+    let vseed_arg =
+      Arg.(value & opt int d.Ps.vseed
+           & info [ "seed" ] ~docv:"SEED"
+               ~doc:
+                 "Placement seed (the default is tuned so greedy strands \
+                  packets).")
+    in
+    let void_arg =
+      let x0, y0, x1, y1 = d.Ps.void_ in
+      Arg.(
+        value
+        & opt (t4 ~sep:',' float float float float) (x0, y0, x1, y1)
+        & info [ "void" ] ~docv:"X0,Y0,X1,Y1"
+            ~doc:"Rectangular void kept free of nodes.")
+    in
+    let void nodes radius seed sources per_source max_slots qcap void_ =
+      let spec =
+        { Ps.vnodes = nodes; radius; vseed = seed; sources; per_source;
+          max_slots; vqcap = qcap; void_ }
+      in
+      match Ps.run_void spec with
+      | exception Invalid_argument e -> `Error (false, e)
+      | { Ps.greedy; recovery; minima } ->
+          let row (g : Geo.result) =
+            [
+              (match g.Geo.mode with Geo.Greedy -> "greedy" | Geo.Recovery -> "recovery");
+              string_of_int g.Geo.injected;
+              string_of_int g.Geo.delivered;
+              Printf.sprintf "%.4f" (Geo.delivery g);
+              string_of_int g.Geo.remaining;
+              string_of_int g.Geo.slots_used;
+              string_of_int g.Geo.max_level;
+              Printf.sprintf "%.3f" (Geo.stretch g);
+            ]
+          in
+          Lr_analysis.Table.print
+            ~title:
+              (Printf.sprintf
+                 "geographic void: %d nodes, radius %.2f, %d greedy local \
+                  minima"
+                 nodes radius minima)
+            (Lr_analysis.Table.make
+               ~headers:
+                 [ "mode"; "injected"; "delivered"; "delivery"; "stranded";
+                   "slots"; "max level"; "stretch" ]
+               [ row greedy; row recovery ]);
+          if recovery.Geo.delivered < recovery.Geo.injected then
+            `Error (false, "recovery mode failed to deliver every packet")
+          else `Ok ()
+    in
+    let term =
+      Term.(
+        ret
+          (const void $ nodes_arg $ radius_arg $ vseed_arg $ sources_arg
+          $ per_source_arg $ max_slots_arg $ qcap_arg $ void_arg))
+    in
+    Cmd.v
+      (Cmd.info "void"
+         ~doc:
+           "Run greedy geographic forwarding and neighbour-oblivious \
+            link-reversal recovery over the same void instance; greedy \
+            strands packets at local minima, recovery must deliver all.")
+      term
+
+  let cmd =
+    Cmd.group
+      (Cmd.info "packet"
+         ~doc:
+           "Packet forwarding over link-reversal routes: backpressure rate \
+            sweeps and geographic-void recovery.")
+      [ sweep_cmd; void_cmd ]
+end
+
 let main_cmd =
   let doc = "link reversal algorithms (Partial Reversal Acyclicity reproduction)" in
   Cmd.group (Cmd.info "linkrev" ~version:"1.0.0" ~doc)
     [ run_cmd; sweep_cmd; check_cmd; game_cmd; stats_cmd; theorems_cmd;
       tora_cmd; generate_cmd; Trace_cli.cmd; Service_cli.serve_cmd;
-      Service_cli.loadgen_cmd; Lint_cli.lint_cmd ]
+      Service_cli.loadgen_cmd; Packet_cli.cmd; Lint_cli.lint_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -1,0 +1,223 @@
+type instance = {
+  n : int;
+  xs : float array;
+  ys : float array;
+  nbrs : int array array;
+  dest : int;
+  hop_dist : int array;
+}
+
+let dist2 xs ys u v =
+  let dx = xs.(u) -. xs.(v) and dy = ys.(u) -. ys.(v) in
+  (dx *. dx) +. (dy *. dy)
+
+let bfs_hops nbrs dest =
+  let n = Array.length nbrs in
+  let d = Array.make n (-1) in
+  let q = Array.make n 0 in
+  d.(dest) <- 0;
+  q.(0) <- dest;
+  let head = ref 0 and tail = ref 1 in
+  while !head < !tail do
+    let u = q.(!head) in
+    incr head;
+    Array.iter
+      (fun w ->
+        if d.(w) < 0 then begin
+          d.(w) <- d.(u) + 1;
+          q.(!tail) <- w;
+          incr tail
+        end)
+      nbrs.(u)
+  done;
+  d
+
+let generate rng ~n ~radius ?void_ () =
+  if n < 2 then invalid_arg "Geo.generate: n < 2";
+  let in_void x y =
+    match void_ with
+    | None -> false
+    | Some (x0, y0, x1, y1) -> x >= x0 && x <= x1 && y >= y0 && y <= y1
+  in
+  let xs = Array.make n 0. and ys = Array.make n 0. in
+  let r2 = radius *. radius in
+  let attempt () =
+    for u = 0 to n - 1 do
+      let x = ref (Random.State.float rng 1.0) and y = ref (Random.State.float rng 1.0) in
+      while in_void !x !y do
+        x := Random.State.float rng 1.0;
+        y := Random.State.float rng 1.0
+      done;
+      xs.(u) <- !x;
+      ys.(u) <- !y
+    done;
+    let nbrs =
+      Array.init n (fun u ->
+          let row = ref [] in
+          for v = n - 1 downto 0 do
+            if v <> u && Float.compare (dist2 xs ys u v) r2 <= 0 then row := v :: !row
+          done;
+          Array.of_list !row)
+    in
+    let hop0 = bfs_hops nbrs 0 in
+    if Array.exists (fun d -> d < 0) hop0 then None else Some nbrs
+  in
+  let rec draw k =
+    if k = 0 then invalid_arg "Geo.generate: could not draw a connected instance";
+    match attempt () with Some nbrs -> nbrs | None -> draw (k - 1)
+  in
+  let nbrs = draw 200 in
+  let dest = ref 0 in
+  for u = 1 to n - 1 do
+    if Float.compare xs.(u) xs.(!dest) > 0 then dest := u
+  done;
+  { n; xs; ys; nbrs; dest = !dest; hop_dist = bfs_hops nbrs !dest }
+
+let local_minima t =
+  let out = ref [] in
+  for u = t.n - 1 downto 0 do
+    if u <> t.dest then begin
+      let du = dist2 t.xs t.ys u t.dest in
+      let closer = ref false in
+      Array.iter
+        (fun w -> if Float.compare (dist2 t.xs t.ys w t.dest) du < 0 then closer := true)
+        t.nbrs.(u);
+      if not !closer then out := u :: !out
+    end
+  done;
+  !out
+
+type mode = Greedy | Recovery
+
+type result = {
+  mode : mode;
+  injected : int;
+  delivered : int;
+  remaining : int;
+  slots_used : int;
+  max_level : int;
+  hops_sum : int;
+  dist_sum : int;
+}
+
+(* Heights in Recovery mode: (level, Euclidean distance to dest, id),
+   compared lexicographically.  The destination never raises its level
+   and has distance zero, so it is the global minimum throughout. *)
+let height_less t (levels : int array) u v =
+  if levels.(u) <> levels.(v) then levels.(u) < levels.(v)
+  else
+    let c = Float.compare (dist2 t.xs t.ys u t.dest) (dist2 t.xs t.ys v t.dest) in
+    if c <> 0 then c < 0 else u < v
+
+let run mode t ~sources ~per_source ~max_slots ~qcap =
+  if per_source > qcap then invalid_arg "Geo.run: per_source > qcap";
+  Array.iter
+    (fun s -> if s < 0 || s >= t.n then invalid_arg "Geo.run: source out of range")
+    sources;
+  let queues = Array.init t.n (fun _ -> Fifo.create ~capacity:qcap) in
+  let levels = Array.make t.n 0 in
+  let m = Array.length sources * per_source in
+  let phops = Array.make (max m 1) 0 in
+  let pdist = Array.make (max m 1) 0 in
+  let injected = ref 0 and delivered = ref 0 in
+  let hops_sum = ref 0 and dist_sum = ref 0 in
+  Array.iter
+    (fun s ->
+      for _ = 1 to per_source do
+        if s = t.dest then begin
+          incr injected;
+          incr delivered
+        end
+        else begin
+          let id = !injected in
+          incr injected;
+          pdist.(id) <- (if t.hop_dist.(s) > 0 then t.hop_dist.(s) else 0);
+          ignore (Fifo.push queues.(s) id : bool)
+        end
+      done)
+    sources;
+  let in_add = Array.make t.n 0 in
+  let stage_node = Array.make t.n 0 and stage_pkt = Array.make t.n 0 in
+  let max_level = ref 0 in
+  let slots_used = ref 0 in
+  let running = ref (!delivered < !injected) in
+  while !running && !slots_used < max_slots do
+    Array.fill in_add 0 t.n 0;
+    let staged = ref 0 and progress = ref false in
+    for u = 0 to t.n - 1 do
+      if u <> t.dest && not (Fifo.is_empty queues.(u)) then begin
+        (* Best next hop: strictly closer (Greedy) or strictly lower
+           height (Recovery); among candidates with receive room, the
+           closest / lowest, ties to the lower id. *)
+        let best = ref (-1) and any_downhill = ref false in
+        let better w best =
+          match mode with
+          | Greedy ->
+              best < 0
+              || Float.compare (dist2 t.xs t.ys w t.dest) (dist2 t.xs t.ys best t.dest) < 0
+          | Recovery -> best < 0 || height_less t levels w best
+        in
+        let downhill w =
+          match mode with
+          | Greedy ->
+              Float.compare (dist2 t.xs t.ys w t.dest) (dist2 t.xs t.ys u t.dest) < 0
+          | Recovery -> height_less t levels w u
+        in
+        Array.iter
+          (fun w ->
+            if downhill w then begin
+              any_downhill := true;
+              let room = w = t.dest || Fifo.length queues.(w) + in_add.(w) < qcap in
+              if room && better w !best then best := w
+            end)
+          t.nbrs.(u);
+        if !best >= 0 then begin
+          let w = !best in
+          let pkt = Fifo.pop queues.(u) in
+          phops.(pkt) <- phops.(pkt) + 1;
+          if w = t.dest then begin
+            incr delivered;
+            hops_sum := !hops_sum + phops.(pkt);
+            dist_sum := !dist_sum + pdist.(pkt)
+          end
+          else begin
+            stage_node.(!staged) <- w;
+            stage_pkt.(!staged) <- pkt;
+            incr staged;
+            in_add.(w) <- in_add.(w) + 1
+          end;
+          progress := true
+        end
+        else if
+          (not !any_downhill) && match mode with Recovery -> true | Greedy -> false
+        then begin
+          (* The neighbour-oblivious step: stuck with packets, raise
+             our own level — no neighbour state consulted. *)
+          levels.(u) <- levels.(u) + 1;
+          if levels.(u) > !max_level then max_level := levels.(u);
+          progress := true
+        end
+      end
+    done;
+    for i = 0 to !staged - 1 do
+      ignore (Fifo.push queues.(stage_node.(i)) stage_pkt.(i) : bool)
+    done;
+    incr slots_used;
+    if !delivered = !injected || not !progress then running := false
+  done;
+  {
+    mode;
+    injected = !injected;
+    delivered = !delivered;
+    remaining = !injected - !delivered;
+    slots_used = !slots_used;
+    max_level = !max_level;
+    hops_sum = !hops_sum;
+    dist_sum = !dist_sum;
+  }
+
+let delivery r =
+  if r.injected = 0 then 1. else float_of_int r.delivered /. float_of_int r.injected
+
+let stretch r =
+  if r.dist_sum = 0 then 0. else float_of_int r.hops_sum /. float_of_int r.dist_sum

@@ -1,0 +1,81 @@
+(** Geographic forwarding over geometric random graphs with voids, and
+    the neighbour-oblivious finite-state link reversal of Ramachandran
+    et al. ("Neighbor Oblivious and Finite-State Algorithms for
+    Circumventing Local Minima in Geographic Forwarding", PAPERS.md)
+    that recovers delivery where plain greedy stalls.
+
+    {2 Model}
+
+    Nodes sit at fixed points in the unit square and are linked when
+    within [radius]; a rectangular {e void} keeps a region node-free,
+    so the boundary facing the destination contains {e local minima}:
+    nodes all of whose neighbours are farther from the destination
+    than themselves.  Plain greedy forwarding ({!Greedy}) strands every
+    packet that reaches one.
+
+    {!Recovery} runs the same greedy descent over {e heights}
+    [(level, distance, id)] compared lexicographically — distance is
+    the Euclidean distance to the destination, and [level] starts at
+    zero everywhere.  A node holding packets with no lower-height
+    neighbour raises {e its own} level by one: no neighbour state is
+    read (neighbour-oblivious), the per-node state is one bounded
+    counter (finite-state), and since orientation is derived from a
+    total order, every raise preserves acyclicity — the same
+    structural-acyclicity argument as the height engines'. *)
+
+type instance = {
+  n : int;
+  xs : float array;
+  ys : float array;
+  nbrs : int array array;  (** Ascending ids per row. *)
+  dest : int;  (** The rightmost node. *)
+  hop_dist : int array;  (** BFS hops to [dest]; [-1] unreachable. *)
+}
+
+val generate :
+  Random.State.t ->
+  n:int ->
+  radius:float ->
+  ?void_:float * float * float * float ->
+  unit ->
+  instance
+(** Uniform placement in the unit square, rejection-sampled outside the
+    [void_] rectangle [(x0, y0, x1, y1)] when given; nodes within
+    [radius] are linked.  Redraws until connected (the usual unit-disk
+    regime); @raise Invalid_argument when [n < 2] or 200 draws all come
+    out disconnected (radius too small for [n]). *)
+
+val local_minima : instance -> int list
+(** Nodes with no neighbour strictly closer to the destination —
+    greedy's stall set (ascending; excludes the destination). *)
+
+type mode = Greedy | Recovery
+
+type result = {
+  mode : mode;
+  injected : int;
+  delivered : int;
+  remaining : int;  (** Still queued (stranded, under {!Greedy}). *)
+  slots_used : int;
+  max_level : int;  (** Highest level any node reached (0 under {!Greedy}). *)
+  hops_sum : int;  (** Over delivered packets. *)
+  dist_sum : int;  (** Matching BFS hop distances at injection. *)
+}
+
+val run :
+  mode ->
+  instance ->
+  sources:int array ->
+  per_source:int ->
+  max_slots:int ->
+  qcap:int ->
+  result
+(** Inject [per_source] packets at every source, then run synchronous
+    slots (one transmission per node per slot, arrivals staged and
+    merged like {!Plane.slot}) until everything is delivered, nothing
+    can make progress, or [max_slots] elapse.  @raise Invalid_argument
+    when [per_source > qcap] or a source is out of range. *)
+
+val delivery : result -> float
+val stretch : result -> float
+(** [hops_sum / dist_sum] over delivered packets, [0.] if none. *)

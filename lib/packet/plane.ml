@@ -1,0 +1,390 @@
+module G = Lr_fast.Fast_graph
+
+type t = {
+  n : int;
+  dest : int;
+  qcap : int;
+  cap : int;
+  adj : G.Dyn.t;
+  (* Heights, keyed by node slot; the third lexicographic component is
+     the id itself.  Edge orientation is derived: higher -> lower. *)
+  ha : int array;
+  hb : int array;
+  queues : Fifo.t array;
+  (* Packet store: struct-of-arrays plus a free-id stack, grown by
+     doubling, so the steady-state slot loop never allocates. *)
+  mutable psrc : int array;
+  mutable pdist : int array;
+  mutable phops : int array;
+  mutable free : int array;
+  mutable free_len : int;
+  mutable pcap : int;
+  (* Per-slot scratch: staged arrivals (merged after the sweep) and the
+     reversal list. *)
+  in_add : int array;
+  stage_node : int array;
+  stage_pkt : int array;
+  rev_list : int array;
+  (* BFS hop distance from the destination over the current skeleton,
+     recomputed lazily after churn (birth distances for stretch). *)
+  dist : int array;
+  mutable dist_valid : bool;
+  bfs_q : int array;
+  mutable injected : int;
+  mutable dropped : int;
+  mutable delivered : int;
+  mutable reversals : int;
+  mutable hops_sum : int;
+  mutable dist_sum : int;
+  mutable queued : int;
+  mutable high_water : int;
+  mutable slots : int;
+}
+
+let num_nodes t = t.n
+let destination t = t.dest
+let queue_capacity t = t.qcap
+let queue_length t u = Fifo.length t.queues.(u)
+let queued t = t.queued
+let high_water t = t.high_water
+
+(* Same order as Fast_maintenance.compare_heights. *)
+let compare_heights t u v =
+  if t.ha.(u) <> t.ha.(v) then compare t.ha.(u) t.ha.(v)
+  else if t.hb.(u) <> t.hb.(v) then compare t.hb.(u) t.hb.(v)
+  else compare u v
+
+let edge_out t u v = compare_heights t u v > 0
+
+(* Deterministic topological seeding from the initial orientation:
+   Kahn's algorithm with a FIFO queue seeded in ascending id order.
+   Node popped [k]-th gets [hb = n - k], so every initial edge points
+   from its earlier-popped (higher-[hb]) endpoint to the later one —
+   the derived orientation reproduces [out0] exactly, on every
+   maintenance-engine tier alike. *)
+let topological_heights g =
+  let n = g.G.n in
+  let ha = Array.make n 0 and hb = Array.make n 0 in
+  let indeg = G.initial_in_degree g in
+  let q = Array.make n 0 in
+  let head = ref 0 and tail = ref 0 in
+  for u = 0 to n - 1 do
+    if indeg.(u) = 0 then begin
+      q.(!tail) <- u;
+      incr tail
+    end
+  done;
+  let popped = ref 0 in
+  while !head < !tail do
+    let u = q.(!head) in
+    incr head;
+    incr popped;
+    hb.(u) <- n - !popped;
+    let row = g.G.nbrs.(u) and out = g.G.out0.(u) in
+    for i = 0 to Array.length row - 1 do
+      if out.(i) then begin
+        let w = row.(i) in
+        indeg.(w) <- indeg.(w) - 1;
+        if indeg.(w) = 0 then begin
+          q.(!tail) <- w;
+          incr tail
+        end
+      end
+    done
+  done;
+  if !popped <> n then invalid_arg "Plane.create: initial orientation is cyclic";
+  (ha, hb)
+
+let create ?(qcap = 64) ?(cap = 1) ?heights config =
+  if qcap < 1 then invalid_arg "Plane.create: qcap < 1";
+  if cap < 1 then invalid_arg "Plane.create: cap < 1";
+  let g = G.of_config config in
+  let n = g.G.n in
+  let ha, hb =
+    match heights with
+    | None -> topological_heights g
+    | Some (a, b) ->
+        if Array.length a <> n || Array.length b <> n then
+          invalid_arg "Plane.create: mis-sized height arrays";
+        (Array.copy a, Array.copy b)
+  in
+  let pcap = 256 in
+  let free = Array.init pcap (fun i -> pcap - 1 - i) in
+  {
+    n;
+    dest = g.G.destination;
+    qcap;
+    cap;
+    adj = G.Dyn.of_graph g;
+    ha;
+    hb;
+    queues = Array.init n (fun _ -> Fifo.create ~capacity:qcap);
+    psrc = Array.make pcap 0;
+    pdist = Array.make pcap 0;
+    phops = Array.make pcap 0;
+    free;
+    free_len = pcap;
+    pcap;
+    in_add = Array.make n 0;
+    stage_node = Array.make (n * cap) 0;
+    stage_pkt = Array.make (n * cap) 0;
+    rev_list = Array.make n 0;
+    dist = Array.make n (-1);
+    dist_valid = false;
+    bfs_q = Array.make n 0;
+    injected = 0;
+    dropped = 0;
+    delivered = 0;
+    reversals = 0;
+    hops_sum = 0;
+    dist_sum = 0;
+    queued = 0;
+    high_water = 0;
+    slots = 0;
+  }
+
+(* {1 Packet store} *)
+
+let alloc t =
+  if t.free_len = 0 then begin
+    let ncap = 2 * t.pcap in
+    let ext a =
+      let b = Array.make ncap 0 in
+      Array.blit a 0 b 0 t.pcap;
+      b
+    in
+    t.psrc <- ext t.psrc;
+    t.pdist <- ext t.pdist;
+    t.phops <- ext t.phops;
+    let nfree = Array.make ncap 0 in
+    for i = 0 to ncap - t.pcap - 1 do
+      nfree.(i) <- ncap - 1 - i
+    done;
+    t.free <- nfree;
+    t.free_len <- ncap - t.pcap;
+    t.pcap <- ncap
+  end;
+  t.free_len <- t.free_len - 1;
+  t.free.(t.free_len)
+
+let free_pkt t id =
+  t.free.(t.free_len) <- id;
+  t.free_len <- t.free_len + 1
+
+(* {1 Birth distances} *)
+
+let ensure_dist t =
+  if not t.dist_valid then begin
+    Array.fill t.dist 0 t.n (-1);
+    t.dist.(t.dest) <- 0;
+    t.bfs_q.(0) <- t.dest;
+    let head = ref 0 and tail = ref 1 in
+    while !head < !tail do
+      let u = t.bfs_q.(!head) in
+      incr head;
+      for i = 0 to G.Dyn.degree t.adj u - 1 do
+        let w = G.Dyn.nbr t.adj u i in
+        if t.dist.(w) < 0 then begin
+          t.dist.(w) <- t.dist.(u) + 1;
+          t.bfs_q.(!tail) <- w;
+          incr tail
+        end
+      done
+    done;
+    t.dist_valid <- true
+  end
+
+(* {1 Traffic} *)
+
+let inject t ~src ~count =
+  if src < 0 || src >= t.n then invalid_arg "Plane.inject: src out of range";
+  if count < 0 then invalid_arg "Plane.inject: negative count";
+  ensure_dist t;
+  let accepted = ref 0 and dropped = ref 0 in
+  for _ = 1 to count do
+    if src = t.dest then begin
+      t.injected <- t.injected + 1;
+      t.delivered <- t.delivered + 1;
+      incr accepted
+    end
+    else if Fifo.is_full t.queues.(src) then begin
+      t.dropped <- t.dropped + 1;
+      incr dropped
+    end
+    else begin
+      let id = alloc t in
+      t.psrc.(id) <- src;
+      t.pdist.(id) <- (if t.dist.(src) > 0 then t.dist.(src) else 0);
+      t.phops.(id) <- 0;
+      ignore (Fifo.push t.queues.(src) id : bool);
+      t.queued <- t.queued + 1;
+      t.injected <- t.injected + 1;
+      incr accepted;
+      let l = Fifo.length t.queues.(src) in
+      if l > t.high_water then t.high_water <- l
+    end
+  done;
+  (!accepted, !dropped)
+
+(* One partial-reversal height raise — the same arithmetic as
+   [Fast_maintenance.step] under [Partial_reversal], without the
+   worklist (reversal scheduling here is queue-driven). *)
+let pr_step t u =
+  let d = G.Dyn.degree t.adj u in
+  if d > 0 then begin
+    let min_a = ref max_int in
+    for i = 0 to d - 1 do
+      let w = G.Dyn.nbr t.adj u i in
+      if t.ha.(w) < !min_a then min_a := t.ha.(w)
+    done;
+    let new_a = !min_a + 1 in
+    let min_b = ref max_int and same = ref false in
+    for i = 0 to d - 1 do
+      let w = G.Dyn.nbr t.adj u i in
+      if t.ha.(w) = new_a then begin
+        same := true;
+        if t.hb.(w) < !min_b then min_b := t.hb.(w)
+      end
+    done;
+    t.ha.(u) <- new_a;
+    if !same then t.hb.(u) <- !min_b - 1;
+    t.reversals <- t.reversals + 1
+  end
+
+type slot_outcome = { delivered : int; reversals : int }
+
+let slot (t : t) =
+  let delivered0 = t.delivered and rev0 = t.reversals in
+  Array.fill t.in_add 0 t.n 0;
+  let staged = ref 0 and nrev = ref 0 in
+  for u = 0 to t.n - 1 do
+    if u <> t.dest && not (Fifo.is_empty t.queues.(u)) then begin
+      let sent = ref 0 and blocked = ref false in
+      while (not !blocked) && !sent < t.cap && not (Fifo.is_empty t.queues.(u)) do
+        let qu = Fifo.length t.queues.(u) in
+        let d = G.Dyn.degree t.adj u in
+        (* Max positive differential among out-neighbours with receive
+           room; ties to the lower id.  [best_raw] ignores room — it
+           separates congestion from orientation below. *)
+        let best_w = ref (-1) and best_diff = ref 0 and best_raw = ref min_int in
+        for i = 0 to d - 1 do
+          let w = G.Dyn.nbr t.adj u i in
+          if edge_out t u w then begin
+            let qw =
+              if w = t.dest then 0 else Fifo.length t.queues.(w) + t.in_add.(w)
+            in
+            let raw = qu - qw in
+            if raw > !best_raw then best_raw := raw;
+            if
+              raw > 0
+              && (w = t.dest || qw < t.qcap)
+              && (raw > !best_diff || (raw = !best_diff && (!best_w < 0 || w < !best_w)))
+            then begin
+              best_diff := raw;
+              best_w := w
+            end
+          end
+        done;
+        if !best_w >= 0 then begin
+          let w = !best_w in
+          let pkt = Fifo.pop t.queues.(u) in
+          t.phops.(pkt) <- t.phops.(pkt) + 1;
+          if w = t.dest then begin
+            t.delivered <- t.delivered + 1;
+            t.queued <- t.queued - 1;
+            if t.pdist.(pkt) > 0 then begin
+              t.hops_sum <- t.hops_sum + t.phops.(pkt);
+              t.dist_sum <- t.dist_sum + t.pdist.(pkt)
+            end;
+            free_pkt t pkt
+          end
+          else begin
+            t.stage_node.(!staged) <- w;
+            t.stage_pkt.(!staged) <- pkt;
+            incr staged;
+            t.in_add.(w) <- t.in_add.(w) + 1
+          end;
+          incr sent
+        end
+        else begin
+          blocked := true;
+          (* Reversal trigger: held packets, sent nothing this slot,
+             and the block is orientational — no out-edge at all, or no
+             out-neighbour with a positive differential.  A positive
+             differential into a full queue is congestion: wait, do not
+             re-point the DAG. *)
+          if !sent = 0 && d > 0 && !best_raw <= 0 then begin
+            t.rev_list.(!nrev) <- u;
+            incr nrev
+          end
+        end
+      done
+    end
+  done;
+  (* Merge staged arrivals: room was reserved via [in_add], so no push
+     can fail. *)
+  for i = 0 to !staged - 1 do
+    let w = t.stage_node.(i) in
+    ignore (Fifo.push t.queues.(w) t.stage_pkt.(i) : bool);
+    let l = Fifo.length t.queues.(w) in
+    if l > t.high_water then t.high_water <- l
+  done;
+  for i = 0 to !nrev - 1 do
+    pr_step t t.rev_list.(i)
+  done;
+  t.slots <- t.slots + 1;
+  { delivered = t.delivered - delivered0; reversals = t.reversals - rev0 }
+
+(* {1 Topology churn} *)
+
+let mem_edge t u v = G.Dyn.mem_edge t.adj u v
+
+let remove_link t u v =
+  G.Dyn.remove_edge t.adj u v;
+  t.dist_valid <- false
+
+let add_link t u v =
+  G.Dyn.add_edge t.adj u v;
+  t.dist_valid <- false
+
+(* {1 Observation} *)
+
+type counters = {
+  injected : int;
+  dropped : int;
+  delivered : int;
+  reversals : int;
+  hops_sum : int;
+  dist_sum : int;
+  slots : int;
+}
+
+let counters (t : t) =
+  {
+    injected = t.injected;
+    dropped = t.dropped;
+    delivered = t.delivered;
+    reversals = t.reversals;
+    hops_sum = t.hops_sum;
+    dist_sum = t.dist_sum;
+    slots = t.slots;
+  }
+
+let stretch (t : t) =
+  if t.dist_sum = 0 then 0. else float_of_int t.hops_sum /. float_of_int t.dist_sum
+
+let consistent (t : t) =
+  let total = ref 0 and ok = ref true in
+  let seen = Array.make t.pcap false in
+  for u = 0 to t.n - 1 do
+    let q = t.queues.(u) in
+    let l = Fifo.length q in
+    if l > t.qcap then ok := false;
+    total := !total + l;
+    Fifo.iter
+      (fun id ->
+        if id < 0 || id >= t.pcap || seen.(id) then ok := false
+        else seen.(id) <- true)
+      q
+  done;
+  !ok && !total = t.queued && t.injected = t.delivered + t.queued

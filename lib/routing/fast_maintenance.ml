@@ -52,6 +52,7 @@ let compare_heights t u v =
   else compare u v
 
 let edge_out t u v = compare_heights t u v > 0
+let height t u = (t.ha.(u), t.hb.(u))
 
 let is_sink t u =
   let d = G.Dyn.degree t.adj u in

@@ -49,6 +49,12 @@ val edge_out : t -> Node.t -> Node.t -> bool
 val compare_heights : t -> Node.t -> Node.t -> int
 (** Same order as {!Maintenance.compare_heights}. *)
 
+val height : t -> Node.t -> int * int
+(** The node's current [(pa, pb)] height pair.  The third lexicographic
+    component is the node id itself.  This is the seeding hook for
+    layers that derive their own orientation from the engine's
+    stabilized heights (e.g. {e lr_packet} forwarding planes). *)
+
 val total_work : t -> int
 val is_destination_oriented : t -> bool
 

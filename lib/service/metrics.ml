@@ -9,6 +9,12 @@ type counters = {
   mutable reversal_steps : int;
   mutable rejected : int;
   mutable validation_failures : int;
+  mutable packets_in : int;
+  mutable packets_dropped : int;
+  mutable packets_out : int;
+  mutable packet_reversals : int;
+  mutable packet_hops : int;
+  mutable packet_queue_peak : int;
 }
 
 type totals = {
@@ -22,6 +28,12 @@ type totals = {
   reversal_steps : int;
   rejected : int;
   validation_failures : int;
+  packets_in : int;
+  packets_dropped : int;
+  packets_out : int;
+  packet_reversals : int;
+  packet_hops : int;
+  packet_queue_peak : int;
   stats_ops : int;
 }
 
@@ -70,6 +82,12 @@ let fresh_counters () =
     reversal_steps = 0;
     rejected = 0;
     validation_failures = 0;
+    packets_in = 0;
+    packets_dropped = 0;
+    packets_out = 0;
+    packet_reversals = 0;
+    packet_hops = 0;
+    packet_queue_peak = 0;
   }
 
 let fresh_ring () =
@@ -129,6 +147,12 @@ let totals_of_counters ~stats_ops (c : counters) =
     reversal_steps = c.reversal_steps;
     rejected = c.rejected;
     validation_failures = c.validation_failures;
+    packets_in = c.packets_in;
+    packets_dropped = c.packets_dropped;
+    packets_out = c.packets_out;
+    packet_reversals = c.packet_reversals;
+    packet_hops = c.packet_hops;
+    packet_queue_peak = c.packet_queue_peak;
     stats_ops;
   }
 
@@ -148,7 +172,13 @@ let totals t =
       acc.partitions <- acc.partitions + c.partitions;
       acc.reversal_steps <- acc.reversal_steps + c.reversal_steps;
       acc.rejected <- acc.rejected + c.rejected;
-      acc.validation_failures <- acc.validation_failures + c.validation_failures)
+      acc.validation_failures <- acc.validation_failures + c.validation_failures;
+      acc.packets_in <- acc.packets_in + c.packets_in;
+      acc.packets_dropped <- acc.packets_dropped + c.packets_dropped;
+      acc.packets_out <- acc.packets_out + c.packets_out;
+      acc.packet_reversals <- acc.packet_reversals + c.packet_reversals;
+      acc.packet_hops <- acc.packet_hops + c.packet_hops;
+      acc.packet_queue_peak <- max acc.packet_queue_peak c.packet_queue_peak)
     t.counters;
   totals_of_counters ~stats_ops:t.stats_ops acc
 
@@ -219,9 +249,12 @@ let totals_line c =
   Printf.sprintf
     "served=%d routes=%d no_routes=%d link_events=%d noops=%d crashes=%d \
      partitions=%d reversal_steps=%d rejected=%d validation_failures=%d \
-     stats_ops=%d"
+     packets_in=%d packets_dropped=%d packets_out=%d packet_reversals=%d \
+     packet_hops=%d packet_queue_peak=%d stats_ops=%d"
     c.served c.routes c.no_routes c.link_events c.noops c.crashes c.partitions
-    c.reversal_steps c.rejected c.validation_failures c.stats_ops
+    c.reversal_steps c.rejected c.validation_failures c.packets_in
+    c.packets_dropped c.packets_out c.packet_reversals c.packet_hops
+    c.packet_queue_peak c.stats_ops
 
 let ring_line r =
   Printf.sprintf

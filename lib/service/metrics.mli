@@ -26,6 +26,14 @@ type counters = {
   mutable validation_failures : int;
       (** Route responses that failed the in-service acyclicity check —
           any nonzero value is a bug in the reversal engine. *)
+  mutable packets_in : int;  (** Packets accepted by [Inject] ops. *)
+  mutable packets_dropped : int;  (** Refused by a full source queue. *)
+  mutable packets_out : int;  (** Packets delivered by [Forward] ops. *)
+  mutable packet_reversals : int;
+      (** Queue-differential reversals on the forwarding plane. *)
+  mutable packet_hops : int;  (** Transmissions behind the deliveries. *)
+  mutable packet_queue_peak : int;
+      (** Highest plane occupancy reported by a [Forward] response. *)
 }
 
 (** Immutable aggregate of {!counters}; [stats_ops] counts service-level
@@ -41,6 +49,12 @@ type totals = {
   reversal_steps : int;
   rejected : int;
   validation_failures : int;
+  packets_in : int;
+  packets_dropped : int;
+  packets_out : int;
+  packet_reversals : int;
+  packet_hops : int;
+  packet_queue_peak : int;  (** Aggregated with [max], not [+]. *)
   stats_ops : int;
 }
 

@@ -3,13 +3,17 @@ type t =
   | Link_down of { shard : int; u : int; v : int }
   | Link_up of { shard : int; u : int; v : int }
   | Crash_destination of { shard : int }
+  | Inject of { shard : int; src : int; count : int }
+  | Forward of { shard : int; slots : int }
   | Stats
 
 let shard_of = function
   | Route { shard; _ }
   | Link_down { shard; _ }
   | Link_up { shard; _ }
-  | Crash_destination { shard } ->
+  | Crash_destination { shard }
+  | Inject { shard; _ }
+  | Forward { shard; _ } ->
       Some shard
   | Stats -> None
 
@@ -20,6 +24,8 @@ type response =
   | Cut of { lost : int }
   | Linked of { node_steps : int }
   | New_destination of { leader : int; node_steps : int }
+  | Injected of { accepted : int; dropped : int }
+  | Forwarded of { delivered : int; reversals : int; queued : int; hops : int }
   | Noop
   | Snapshot of Metrics.totals
   | Rejected of [ `Overloaded ]
@@ -29,6 +35,8 @@ let to_line = function
   | Link_down { shard; u; v } -> Printf.sprintf "down %d %d %d" shard u v
   | Link_up { shard; u; v } -> Printf.sprintf "up %d %d %d" shard u v
   | Crash_destination { shard } -> Printf.sprintf "crash %d" shard
+  | Inject { shard; src; count } -> Printf.sprintf "inject %d %d %d" shard src count
+  | Forward { shard; slots } -> Printf.sprintf "forward %d %d" shard slots
   | Stats -> "stats"
 
 let of_line line =
@@ -54,6 +62,14 @@ let of_line line =
       match int s with
       | Some shard -> Ok (Crash_destination { shard })
       | None -> Error (Printf.sprintf "bad crash line %S" line))
+  | [ "inject"; s; src; k ] -> (
+      match (int s, int src, int k) with
+      | Some shard, Some src, Some count -> Ok (Inject { shard; src; count })
+      | _ -> Error (Printf.sprintf "bad inject line %S" line))
+  | [ "forward"; s; k ] -> (
+      match (int s, int k) with
+      | Some shard, Some slots -> Ok (Forward { shard; slots })
+      | _ -> Error (Printf.sprintf "bad forward line %S" line))
   | [ "stats" ] -> Ok Stats
   | _ -> Error (Printf.sprintf "unknown op line %S" line)
 
@@ -65,6 +81,9 @@ let response_to_string = function
   | Linked { node_steps } -> Printf.sprintf "linked %d" node_steps
   | New_destination { leader; node_steps } ->
       Printf.sprintf "new-destination %d %d" leader node_steps
+  | Injected { accepted; dropped } -> Printf.sprintf "injected %d %d" accepted dropped
+  | Forwarded { delivered; reversals; queued; hops } ->
+      Printf.sprintf "forwarded %d %d %d %d" delivered reversals queued hops
   | Noop -> "noop"
   | Snapshot totals -> "snapshot " ^ Metrics.totals_line totals
   | Rejected `Overloaded -> "rejected overloaded"

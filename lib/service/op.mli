@@ -16,6 +16,14 @@ type t =
   | Crash_destination of { shard : int }
       (** The shard's destination crashed; elect a replacement
           ({!Failover}) and re-orient toward it. *)
+  | Inject of { shard : int; src : int; count : int }
+      (** Offer [count] packets at [src] to the shard's forwarding
+          plane ({!Lr_packet.Plane}); a full source queue drops the
+          excess. *)
+  | Forward of { shard : int; slots : int }
+      (** Run [slots] synchronous forwarding rounds on the shard's
+          plane: backpressure transmissions plus queue-driven partial
+          reversals. *)
   | Stats  (** Snapshot the service-wide counters (a dispatch barrier). *)
 
 val shard_of : t -> int option
@@ -36,6 +44,12 @@ type response =
   | New_destination of { leader : int; node_steps : int }
       (** Failover outcome: the elected leader and the re-orientation
           work spent adopting it. *)
+  | Injected of { accepted : int; dropped : int }
+      (** Packets enqueued vs refused by the bounded source queue. *)
+  | Forwarded of { delivered : int; reversals : int; queued : int; hops : int }
+      (** Forwarding-round outcome: deliveries, queue-driven reversals
+          and hop count in these slots, plus the plane's remaining
+          occupancy. *)
   | Noop  (** The op was inapplicable in the current shard state. *)
   | Snapshot of Metrics.totals
   | Rejected of [ `Overloaded ]
@@ -43,7 +57,7 @@ type response =
 
 val to_line : t -> string
 (** Workload-file line: ["route S SRC"], ["down S U V"], ["up S U V"],
-    ["crash S"], ["stats"]. *)
+    ["crash S"], ["inject S SRC K"], ["forward S K"], ["stats"]. *)
 
 val of_line : string -> (t, string) result
 (** Inverse of {!to_line}; rejects malformed lines with a message. *)

@@ -11,6 +11,7 @@ type config = {
   deterministic : bool;
   steal_batch : int;
   pin_loops : bool;
+  packet_queue : int;
 }
 
 let default_config =
@@ -24,6 +25,7 @@ let default_config =
     deterministic = false;
     steal_batch = 64;
     pin_loops = false;
+    packet_queue = 64;
   }
 
 type t = {
@@ -57,6 +59,8 @@ let create ?trace_dir cfg configs =
   if cfg.window < 1 then invalid_arg "Service.create: window must be >= 1";
   if cfg.steal_batch < 1 then
     invalid_arg "Service.create: steal_batch must be >= 1";
+  if cfg.packet_queue < 1 then
+    invalid_arg "Service.create: packet_queue must be >= 1";
   let effective_jobs =
     if cfg.pin_loops then cfg.jobs
     else min cfg.jobs (max 1 (Pool.recommended_jobs ()))
@@ -73,7 +77,8 @@ let create ?trace_dir cfg configs =
     shards =
       Array.mapi
         (fun id config ->
-          Shard.create ~engine:cfg.engine ~rule:cfg.rule ~id config)
+          Shard.create ~engine:cfg.engine ~packet_queue:cfg.packet_queue
+            ~rule:cfg.rule ~id config)
         configs;
     metrics = Metrics.create ~shards:(Array.length configs);
     pool = Pool.Persistent.create ~jobs:effective_jobs;
@@ -106,6 +111,15 @@ let serve_op t ops responses admit_time s idx =
       c.Metrics.link_events <- c.Metrics.link_events + 1;
       c.Metrics.partitions <- c.Metrics.partitions + 1
   | Op.New_destination _ -> c.Metrics.crashes <- c.Metrics.crashes + 1
+  | Op.Injected { accepted; dropped } ->
+      c.Metrics.packets_in <- c.Metrics.packets_in + accepted;
+      c.Metrics.packets_dropped <- c.Metrics.packets_dropped + dropped
+  | Op.Forwarded { delivered; reversals; queued; hops } ->
+      c.Metrics.packets_out <- c.Metrics.packets_out + delivered;
+      c.Metrics.packet_reversals <- c.Metrics.packet_reversals + reversals;
+      c.Metrics.packet_hops <- c.Metrics.packet_hops + hops;
+      if queued > c.Metrics.packet_queue_peak then
+        c.Metrics.packet_queue_peak <- queued
   | Op.Noop -> c.Metrics.noops <- c.Metrics.noops + 1
   | Op.Snapshot _ | Op.Rejected _ ->
       (* shards never produce dispatcher-level responses *)

@@ -87,12 +87,16 @@ type config = {
           results).  [true] pins exactly [jobs - 1] loops regardless,
           so tests and benches can exercise the token/steal protocol
           on any host. *)
+  packet_queue : int;
+      (** Per-node queue bound on each shard's packet-forwarding plane
+          ({!Shard.create}). *)
 }
 
 val default_config : config
 (** [jobs = 1], [queue_bound = 128], [window = 256], Partial Reversal,
     validation on, the fast engine, free-running dispatch,
-    [steal_batch = 64], loops clamped to the hardware. *)
+    [steal_batch = 64], loops clamped to the hardware,
+    [packet_queue = 64]. *)
 
 type t
 

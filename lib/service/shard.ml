@@ -9,7 +9,16 @@ type t = {
   sid : int;
   rule : Maintenance.rule;
   kind : engine_kind;
+  packet_queue : int;
   mutable m : engine;
+  (* The packet-forwarding plane, created lazily at the first packet op
+     from a snapshot of the then-current graph and kept in sync with
+     the engine through every subsequent link event.  Seeded from a
+     deterministic topological order of that snapshot — never from
+     engine internals — so responses stay byte-identical across
+     maintenance tiers.  A failover discards it (in-flight packets go
+     down with the crashed destination). *)
+  mutable plane : Lr_packet.Plane.t option;
   mutable dead : Node.Set.t;
   mutable epoch : int;
   mutable work_base : int;  (* total_work of retired maintenance sessions *)
@@ -20,8 +29,10 @@ let make_engine kind rule config =
   | Fast -> E_fast (Fast_maintenance.create rule config)
   | Reference -> E_ref (Maintenance.create rule config)
 
-let create ?(engine = Fast) ~rule ~id config =
-  { sid = id; rule; kind = engine; m = make_engine engine rule config;
+let create ?(engine = Fast) ?(packet_queue = 64) ~rule ~id config =
+  if packet_queue < 1 then invalid_arg "Shard.create: packet_queue must be >= 1";
+  { sid = id; rule; kind = engine; packet_queue;
+    m = make_engine engine rule config; plane = None;
     dead = Node.Set.empty; epoch = 0; work_base = 0 }
 
 let id t = t.sid
@@ -124,11 +135,25 @@ let route ~validate t src =
         let bad = validate && has_path_to_destination t src in
         { response = Op.No_route; work = 0; validation_failures = (if bad then 1 else 0) }
 
+(* Mirror a link event into the forwarding plane (when one exists): the
+   plane's skeleton was snapshotted from the engine's graph and every
+   non-noop link op lands on both, so they can never drift. *)
+let plane_link_down t u v =
+  match t.plane with
+  | Some p -> Lr_packet.Plane.remove_link p u v
+  | None -> ()
+
+let plane_link_up t u v =
+  match t.plane with
+  | Some p -> Lr_packet.Plane.add_link p u v
+  | None -> ()
+
 let link_down t u v =
   if Node.equal u v || (not (mem_node t u)) || (not (mem_node t v))
      || not (mem_edge t u v)
   then { response = Op.Noop; work = 0; validation_failures = 0 }
   else begin
+    plane_link_down t u v;
     let before = total_work t in
     let result =
       match t.m with
@@ -152,6 +177,7 @@ let link_up t u v =
      || Node.Set.mem u t.dead || Node.Set.mem v t.dead
   then { response = Op.Noop; work = 0; validation_failures = 0 }
   else begin
+    plane_link_up t u v;
     let before = total_work t in
     (match t.m with
     | E_fast f -> Fast_maintenance.add_link f u v
@@ -213,6 +239,7 @@ let crash_destination t =
             t.m <-
               make_engine t.kind t.rule
                 (Linkrev.Config.make_exn stripped ~destination:leader);
+            t.plane <- None;
             t.epoch <- t.epoch + 1;
             (* The adoption work is the fresh session's stabilization —
                the reversals actually performed on this shard's state
@@ -221,12 +248,67 @@ let crash_destination t =
             { response = Op.New_destination { leader; node_steps };
               work = node_steps; validation_failures = 0 })
 
+(* The shard's forwarding plane, snapshotting the current graph and
+   destination on first use.  [Config.make] failing means the serving
+   graph went inconsistent — surfaced as a validation failure, like the
+   crash path. *)
+let ensure_plane t =
+  match t.plane with
+  | Some p -> Some p
+  | None -> (
+      match Linkrev.Config.make (graph t) ~destination:(destination t) with
+      | Error _ -> None
+      | Ok config ->
+          let p = Lr_packet.Plane.create ~qcap:t.packet_queue config in
+          t.plane <- Some p;
+          Some p)
+
+let inject t src count =
+  if count < 0 || not (mem_node t src) then
+    { response = Op.Noop; work = 0; validation_failures = 0 }
+  else
+    match ensure_plane t with
+    | None -> { response = Op.Noop; work = 0; validation_failures = 1 }
+    | Some p ->
+        let accepted, dropped = Lr_packet.Plane.inject p ~src ~count in
+        { response = Op.Injected { accepted; dropped }; work = 0;
+          validation_failures = 0 }
+
+let forward t slots =
+  if slots < 1 then { response = Op.Noop; work = 0; validation_failures = 0 }
+  else
+    match ensure_plane t with
+    | None -> { response = Op.Noop; work = 0; validation_failures = 1 }
+    | Some p ->
+        let before = Lr_packet.Plane.counters p in
+        for _ = 1 to slots do
+          ignore (Lr_packet.Plane.slot p : Lr_packet.Plane.slot_outcome)
+        done;
+        let after = Lr_packet.Plane.counters p in
+        {
+          response =
+            Op.Forwarded
+              {
+                delivered = after.Lr_packet.Plane.delivered - before.Lr_packet.Plane.delivered;
+                reversals = after.Lr_packet.Plane.reversals - before.Lr_packet.Plane.reversals;
+                queued = Lr_packet.Plane.queued p;
+                hops = after.Lr_packet.Plane.hops_sum - before.Lr_packet.Plane.hops_sum;
+              };
+          work = 0;
+          validation_failures = 0;
+        }
+
+let plane_queued t =
+  match t.plane with Some p -> Lr_packet.Plane.queued p | None -> 0
+
 let apply ?(validate = true) t op =
   match op with
   | Op.Route { src; _ } -> route ~validate t src
   | Op.Link_down { u; v; _ } -> link_down t u v
   | Op.Link_up { u; v; _ } -> link_up t u v
   | Op.Crash_destination _ -> crash_destination t
+  | Op.Inject { src; count; _ } -> inject t src count
+  | Op.Forward { slots; _ } -> forward t slots
   | Op.Stats -> invalid_arg "Shard.apply: Stats is a dispatcher-level op"
 
 let consistent t =

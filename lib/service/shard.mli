@@ -27,9 +27,23 @@ type engine_kind = Fast | Reference
     available as the differential oracle and as a fallback. *)
 
 val create :
-  ?engine:engine_kind -> rule:Maintenance.rule -> id:int -> Linkrev.Config.t -> t
+  ?engine:engine_kind ->
+  ?packet_queue:int ->
+  rule:Maintenance.rule ->
+  id:int ->
+  Linkrev.Config.t ->
+  t
 (** Stabilizes the initial instance (like [Maintenance.create]).
-    [engine] defaults to [Fast]. *)
+    [engine] defaults to [Fast]; [packet_queue] (default 64) bounds
+    each node's queue on the shard's packet-forwarding plane.
+
+    The plane ({!Lr_packet.Plane}) is created lazily at the first
+    [Inject]/[Forward] op from a snapshot of the shard's current graph,
+    follows every subsequent link event, and is discarded on failover
+    (in-flight packets are lost with the destination).  Its height
+    seeding is a deterministic topological order of the snapshot, so
+    packet responses — like all others — are byte-identical across
+    engine tiers. *)
 
 val id : t -> int
 val engine_kind : t -> engine_kind
@@ -58,6 +72,10 @@ val apply : ?validate:bool -> t -> Op.t -> outcome
 (** Execute one op ([Stats] and [Rejected] never reach a shard; [Stats]
     raises [Invalid_argument]).  [validate] (default [true]) controls
     the in-service route check. *)
+
+val plane_queued : t -> int
+(** Packets in flight on the forwarding plane ([0] before the first
+    packet op and after a failover). *)
 
 val consistent : t -> bool
 (** The shard's structural invariant, for tests: graph acyclic and the

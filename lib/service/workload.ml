@@ -1,6 +1,7 @@
 open Lr_graph
 
 type mix = { route : int; churn : int; crash : int }
+type pmix = { inject : int; forward : int }
 
 type spec = {
   shards : int;
@@ -9,11 +10,15 @@ type spec = {
   seed : int;
   ops : int;
   mix : mix;
+  pmix : pmix;
+  burst : int;
   skew : float;
   stats_every : int;
 }
 
 let default_mix = { route = 90; churn = 9; crash = 1 }
+let no_packets = { inject = 0; forward = 0 }
+let default_pmix = { inject = 30; forward = 10 }
 
 let validate_spec s =
   if s.shards < 1 then invalid_arg "Workload: need at least one shard";
@@ -22,8 +27,12 @@ let validate_spec s =
   if s.ops < 0 then invalid_arg "Workload: negative op count";
   if s.mix.route < 0 || s.mix.churn < 0 || s.mix.crash < 0 then
     invalid_arg "Workload: negative mix weight";
-  if s.mix.route + s.mix.churn + s.mix.crash <= 0 then
-    invalid_arg "Workload: empty mix";
+  if s.pmix.inject < 0 || s.pmix.forward < 0 then
+    invalid_arg "Workload: negative packet-mix weight";
+  if s.mix.route + s.mix.churn + s.mix.crash + s.pmix.inject + s.pmix.forward
+     <= 0
+  then invalid_arg "Workload: empty mix";
+  if s.burst < 1 then invalid_arg "Workload: burst must be >= 1";
   if s.skew < 0.0 then invalid_arg "Workload: negative skew";
   if s.stats_every < 0 then invalid_arg "Workload: negative stats_every"
 
@@ -50,7 +59,10 @@ let generate spec =
   validate_spec spec;
   let rng = rng_of spec 0 in
   let cum = popularity spec in
-  let mix_total = spec.mix.route + spec.mix.churn + spec.mix.crash in
+  let mix_total =
+    spec.mix.route + spec.mix.churn + spec.mix.crash + spec.pmix.inject
+    + spec.pmix.forward
+  in
   let distinct_pair () =
     let u = Random.State.int rng spec.nodes in
     let rec other () =
@@ -71,7 +83,15 @@ let generate spec =
           if Random.State.bool rng then Op.Link_down { shard; u; v }
           else Op.Link_up { shard; u; v }
         end
-        else Op.Crash_destination { shard })
+        else if roll < spec.mix.route + spec.mix.churn + spec.mix.crash then
+          Op.Crash_destination { shard }
+        else if
+          roll < spec.mix.route + spec.mix.churn + spec.mix.crash
+                 + spec.pmix.inject
+        then
+          Op.Inject
+            { shard; src = Random.State.int rng spec.nodes; count = spec.burst }
+        else Op.Forward { shard; slots = spec.burst })
 
 let shard_config spec shard =
   Linkrev.Config.of_instance
@@ -100,6 +120,8 @@ let save path spec ops =
       Printf.fprintf oc "seed %d\n" spec.seed;
       Printf.fprintf oc "mix %d %d %d\n" spec.mix.route spec.mix.churn
         spec.mix.crash;
+      Printf.fprintf oc "pmix %d %d\n" spec.pmix.inject spec.pmix.forward;
+      Printf.fprintf oc "burst %d\n" spec.burst;
       Printf.fprintf oc "skew %.17g\n" spec.skew;
       Printf.fprintf oc "stats-every %d\n" spec.stats_every;
       Printf.fprintf oc "ops %d\n" spec.ops;
@@ -119,6 +141,15 @@ let valid_op spec = function
       else Ok ()
   | Op.Crash_destination { shard } ->
       if shard < 0 || shard >= spec.shards then Error "shard out of range"
+      else Ok ()
+  | Op.Inject { shard; src; count } ->
+      if shard < 0 || shard >= spec.shards then Error "shard out of range"
+      else if src < 0 || src >= spec.nodes then Error "source out of range"
+      else if count < 0 then Error "negative inject count"
+      else Ok ()
+  | Op.Forward { shard; slots } ->
+      if shard < 0 || shard >= spec.shards then Error "shard out of range"
+      else if slots < 1 then Error "non-positive forward slots"
       else Ok ()
 
 let load path =
@@ -164,20 +195,33 @@ let load path =
             | _ -> fail "line %d: bad mix %S" !line_no line)
         | _ -> fail "line %d: expected mix header, got %S" !line_no line
       in
-      let* skew =
+      (* The packet headers postdate the format: absent on old files,
+         which read as a packet-free mix. *)
+      let* pmix, burst, skew_line =
         let* line = next () in
         match String.split_on_char ' ' line with
+        | [ "pmix"; i; f ] -> (
+            match (int_of_string_opt i, int_of_string_opt f) with
+            | Some inject, Some forward ->
+                let* burst = Result.bind (next ()) (key_int "burst") in
+                let* skew_line = next () in
+                Ok ({ inject; forward }, burst, skew_line)
+            | _ -> fail "line %d: bad pmix %S" !line_no line)
+        | _ -> Ok (no_packets, 1, line)
+      in
+      let* skew =
+        match String.split_on_char ' ' skew_line with
         | [ "skew"; v ] -> (
             match float_of_string_opt v with
             | Some f -> Ok f
             | None -> fail "line %d: bad skew %S" !line_no v)
-        | _ -> fail "line %d: expected skew header, got %S" !line_no line
+        | _ -> fail "line %d: expected skew header, got %S" !line_no skew_line
       in
       let* stats_every = Result.bind (next ()) (key_int "stats-every") in
       let* ops_count = Result.bind (next ()) (key_int "ops") in
       let spec =
-        { shards; nodes; extra_edges; seed; ops = ops_count; mix; skew;
-          stats_every }
+        { shards; nodes; extra_edges; seed; ops = ops_count; mix; pmix; burst;
+          skew; stats_every }
       in
       let* () =
         match validate_spec spec with
@@ -210,6 +254,8 @@ let load path =
 let describe spec =
   Printf.sprintf
     "%d ops over %d shards (%d nodes, %d extra edges each), seed %d, mix \
-     %d/%d/%d route/churn/crash, skew %.2f"
+     %d/%d/%d route/churn/crash, pmix %d/%d inject/forward (burst %d), skew \
+     %.2f"
     spec.ops spec.shards spec.nodes spec.extra_edges spec.seed spec.mix.route
-    spec.mix.churn spec.mix.crash spec.skew
+    spec.mix.churn spec.mix.crash spec.pmix.inject spec.pmix.forward spec.burst
+    spec.skew

@@ -13,6 +13,11 @@ type mix = {
   crash : int;  (** Weight of destination crashes. *)
 }
 
+type pmix = {
+  inject : int;  (** Weight of packet injections ([Inject]). *)
+  forward : int;  (** Weight of forwarding rounds ([Forward]). *)
+}
+
 type spec = {
   shards : int;
   nodes : int;  (** Nodes per shard graph. *)
@@ -20,12 +25,22 @@ type spec = {
   seed : int;
   ops : int;
   mix : mix;
+  pmix : pmix;  (** Packet-op weights, rolled with [mix] in one die. *)
+  burst : int;
+      (** Packets per [Inject] op and slots per [Forward] op
+          (must be [>= 1] even when [pmix] is all zeros). *)
   skew : float;  (** Zipf exponent; [0.] = uniform shard popularity. *)
   stats_every : int;  (** Emit a [Stats] op every K ops; [0] = never. *)
 }
 
 val default_mix : mix
 (** 90 route / 9 churn / 1 crash. *)
+
+val no_packets : pmix
+(** 0/0 — a pure routing workload (what old [lrw1] files decode to). *)
+
+val default_pmix : pmix
+(** 30 inject / 10 forward, for packet-heavy loadgen runs. *)
 
 val generate : spec -> Op.t array
 (** The spec's op stream.  @raise Invalid_argument on a nonsensical
@@ -42,11 +57,14 @@ val valid_op : spec -> Op.t -> (unit, string) result
 
 val save : string -> spec -> Op.t array -> unit
 (** Write the [lrw1] text format: a spec header followed by one
-    {!Op.to_line} per op. *)
+    {!Op.to_line} per op.  The [pmix]/[burst] header lines postdate the
+    format and always appear in saved files. *)
 
 val load : string -> (spec * Op.t array, string) result
 (** Parse a workload file, validating the magic, header completeness,
-    op count and every op's shard/node ranges. *)
+    op count and every op's shard/node ranges.  Files written before
+    the packet extension (no [pmix]/[burst] headers) load with
+    [pmix = no_packets]. *)
 
 val describe : spec -> string
 (** One-line human summary. *)

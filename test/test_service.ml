@@ -7,8 +7,10 @@ module Metrics = Lr_service.Metrics
 module Node = Lr_graph.Node
 
 let spec ?(shards = 6) ?(nodes = 12) ?(extra_edges = 8) ?(seed = 5)
-    ?(ops = 600) ?(mix = W.default_mix) ?(skew = 0.8) ?(stats_every = 0) () =
-  { W.shards; nodes; extra_edges; seed; ops; mix; skew; stats_every }
+    ?(ops = 600) ?(mix = W.default_mix) ?(pmix = W.no_packets) ?(burst = 4)
+    ?(skew = 0.8) ?(stats_every = 0) () =
+  { W.shards; nodes; extra_edges; seed; ops; mix; pmix; burst; skew;
+    stats_every }
 
 let churny = { W.route = 60; churn = 35; crash = 5 }
 
@@ -336,6 +338,99 @@ let test_engines_agree () =
   check_int "no validation failures (fast)" 0 vf_fast;
   check_int "no validation failures (reference)" 0 vf_ref
 
+(* Packet ops through the full service: the forwarding planes are
+   seeded from each shard's current graph snapshot (never engine
+   heights), so the whole packet surface — responses, packet counters,
+   the fingerprint — must stay byte-identical across engines, job
+   counts, and the free/windowed dispatchers. *)
+let packet_spec ?(ops = 900) () =
+  spec ~mix:{ W.route = 40; churn = 8; crash = 2 } ~pmix:W.default_pmix
+    ~burst:5 ~ops ~stats_every:113 ()
+
+let test_packet_ops_deterministic () =
+  let s = packet_spec () in
+  let r1, m1 = run_spec ~jobs:1 ~queue_bound:1024 s in
+  let t = m1.Metrics.snapshot_totals in
+  check_bool "packets injected" true (t.Metrics.packets_in > 0);
+  check_bool "packets delivered" true (t.Metrics.packets_out > 0);
+  check_bool "queue peak observed" true (t.Metrics.packet_queue_peak > 0);
+  check_bool "delivered cannot exceed injected" true
+    (t.Metrics.packets_out <= t.Metrics.packets_in);
+  List.iter
+    (fun jobs ->
+      let rj, mj = run_spec ~jobs ~queue_bound:1024 s in
+      check_bool (Printf.sprintf "packet responses jobs=%d" jobs) true
+        (r1 = rj);
+      check_bool (Printf.sprintf "packet fingerprint jobs=%d" jobs) true
+        (S.fingerprint r1 m1 = S.fingerprint rj mj))
+    [ 2; 4 ];
+  let rw, mw = run_spec ~deterministic:true ~queue_bound:1024 s in
+  check_bool "packet responses free = windowed" true (r1 = rw);
+  check_bool "packet fingerprint free = windowed" true
+    (S.fingerprint r1 m1 = S.fingerprint rw mw)
+
+let test_packet_ops_across_engines () =
+  let s = packet_spec ~ops:700 () in
+  let ops = W.generate s in
+  let run engine =
+    let cfg = { S.default_config with S.engine } in
+    let svc = S.create cfg (W.shard_configs s) in
+    Fun.protect
+      ~finally:(fun () -> S.shutdown svc)
+      (fun () ->
+        let responses = S.run svc ops in
+        let m = S.metrics svc in
+        (responses, S.fingerprint responses m))
+  in
+  let rf, fpf = run Shard.Fast in
+  let rr, fpr = run Shard.Reference in
+  check_bool "packet responses identical across engines" true (rf = rr);
+  check_bool "packet fingerprints identical across engines" true (fpf = fpr)
+
+let test_packet_shard_behaviour () =
+  let s = spec ~shards:1 ~nodes:8 () in
+  let shard =
+    Shard.create ~rule:Lr_routing.Maintenance.Partial_reversal
+      ~packet_queue:4 ~id:0 (W.shard_config s 0)
+  in
+  (* inject, then forward until the plane drains *)
+  let o = Shard.apply shard (Op.Inject { shard = 0; src = 0; count = 3 }) in
+  (match o.Shard.response with
+  | Op.Injected { accepted; dropped } ->
+      check_int "all accepted" 3 accepted;
+      check_int "none dropped" 0 dropped
+  | _ -> Alcotest.fail "inject answered with a non-inject response");
+  let rec drain budget delivered =
+    if budget = 0 then delivered
+    else
+      let o = Shard.apply shard (Op.Forward { shard = 0; slots = 8 }) in
+      match o.Shard.response with
+      | Op.Forwarded { delivered = d; queued; _ } ->
+          if queued = 0 then delivered + d else drain (budget - 1) (delivered + d)
+      | _ -> Alcotest.fail "forward answered with a non-forward response"
+  in
+  check_int "all packets delivered" 3 (drain 64 0);
+  (* a queue bound of 4 drops the overflow of a 10-packet burst *)
+  let o = Shard.apply shard (Op.Inject { shard = 0; src = 0; count = 10 }) in
+  (match o.Shard.response with
+  | Op.Injected { accepted; dropped } ->
+      check_int "bound respected" 4 accepted;
+      check_int "overflow dropped" 6 dropped
+  | _ -> Alcotest.fail "inject answered with a non-inject response");
+  (* invalid packet ops are Noops, not errors *)
+  let o = Shard.apply shard (Op.Inject { shard = 0; src = 999; count = 1 }) in
+  check_bool "unknown source is a noop" true (o.Shard.response = Op.Noop);
+  let o = Shard.apply shard (Op.Forward { shard = 0; slots = 0 }) in
+  check_bool "zero slots is a noop" true (o.Shard.response = Op.Noop);
+  (* a crash discards the plane: the next packet op rebuilds it against
+     the new destination and still works *)
+  ignore (Shard.apply shard (Op.Crash_destination { shard = 0 }));
+  let o = Shard.apply shard (Op.Inject { shard = 0; src = 0; count = 1 }) in
+  (match o.Shard.response with
+  | Op.Injected _ | Op.Noop -> ()
+  | _ -> Alcotest.fail "post-crash inject answered unexpectedly");
+  check_bool "consistent with a plane attached" true (Shard.consistent shard)
+
 (* Pin the failover tie-break: with two equal-cardinality components,
    the greater leader id (Node.compare) wins — on both engines.  The
    graph is a path 0-1-[2]-3-4 with destination 2; crashing it leaves
@@ -385,6 +480,11 @@ let () =
             test_trace_dir_records_auditable_traces;
           case "bad configs rejected" test_create_rejects_bad_config;
           case "fast and reference engines agree" test_engines_agree;
+          case "packet ops deterministic everywhere"
+            test_packet_ops_deterministic;
+          case "packet ops agree across engines"
+            test_packet_ops_across_engines;
+          case "packet shard behaviour" test_packet_shard_behaviour;
           case "failover tie-break pinned" test_crash_tiebreak_pinned;
         ];
     ]

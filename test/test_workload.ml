@@ -3,8 +3,10 @@ module W = Lr_service.Workload
 module Op = Lr_service.Op
 
 let spec ?(shards = 6) ?(nodes = 12) ?(extra_edges = 8) ?(seed = 7)
-    ?(ops = 500) ?(mix = W.default_mix) ?(skew = 0.8) ?(stats_every = 0) () =
-  { W.shards; nodes; extra_edges; seed; ops; mix; skew; stats_every }
+    ?(ops = 500) ?(mix = W.default_mix) ?(pmix = W.no_packets) ?(burst = 4)
+    ?(skew = 0.8) ?(stats_every = 0) () =
+  { W.shards; nodes; extra_edges; seed; ops; mix; pmix; burst; skew;
+    stats_every }
 
 let all_valid spec ops =
   Array.for_all (fun op -> Result.is_ok (W.valid_op spec op)) ops
@@ -145,6 +147,104 @@ let test_load_rejects_corruption () =
            lines);
       check_bool "out-of-range shard in op" true (Result.is_error (W.load path)))
 
+let test_packet_roundtrip () =
+  (* A packet-heavy stream must survive the lrw1 text format: inject
+     and forward ops included, spec equality exact. *)
+  let s = spec ~ops:300 ~pmix:W.default_pmix ~burst:7 ~stats_every:23 () in
+  let ops = W.generate s in
+  let has kind =
+    Array.exists
+      (fun op ->
+        match (op, kind) with
+        | Op.Inject _, `I | Op.Forward _, `F -> true
+        | _ -> false)
+      ops
+  in
+  check_bool "stream has injects" true (has `I);
+  check_bool "stream has forwards" true (has `F);
+  Array.iter
+    (fun op ->
+      match Op.of_line (Op.to_line op) with
+      | Ok op' -> check_bool (Op.to_line op) true (op = op')
+      | Error e -> Alcotest.failf "%s did not parse: %s" (Op.to_line op) e)
+    ops;
+  let path = Filename.temp_file "lrw" ".workload" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      W.save path s ops;
+      match W.load path with
+      | Error e -> Alcotest.failf "load failed: %s" e
+      | Ok (s', ops') ->
+          check_bool "packet spec round-trips" true (s = s');
+          check_bool "packet ops round-trip" true (ops = ops'))
+
+let test_load_pre_packet_format () =
+  (* Files written before the packet extension carry no pmix/burst
+     headers; they must still load, as a packet-free workload. *)
+  let s = spec ~ops:5 () in
+  let ops = W.generate s in
+  let path = Filename.temp_file "lrw" ".workload" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      W.save path s ops;
+      let lines = In_channel.with_open_text path In_channel.input_lines in
+      let stripped =
+        List.filter
+          (fun l ->
+            not
+              (String.length l >= 5 && String.sub l 0 5 = "pmix "
+              || String.length l >= 6 && String.sub l 0 6 = "burst "))
+          lines
+      in
+      check_bool "headers were stripped" true
+        (List.length stripped = List.length lines - 2);
+      let oc = open_out path in
+      List.iter (fun l -> output_string oc (l ^ "\n")) stripped;
+      close_out oc;
+      match W.load path with
+      | Error e -> Alcotest.failf "pre-packet file rejected: %s" e
+      | Ok (s', ops') ->
+          check_bool "pmix defaults to none" true (s'.W.pmix = W.no_packets);
+          check_bool "burst defaults to 1" true (s'.W.burst = 1);
+          check_bool "rest of the spec survives" true
+            ({ s with W.pmix = W.no_packets; burst = 1 } = s');
+          check_bool "ops survive" true (ops = ops'))
+
+let test_single_shard () =
+  (* shards = 1: the Zipf scan has one bucket; every op lands on it. *)
+  let s = spec ~shards:1 ~pmix:W.default_pmix ~ops:200 () in
+  let ops = W.generate s in
+  check_bool "ops generated" true (Array.length ops = 200);
+  Array.iter
+    (fun op ->
+      (match op with
+      | Op.Stats -> ()
+      | _ -> check_bool "single shard targeted" true (Op.shard_of op = Some 0));
+      check_bool "valid" true (Result.is_ok (W.valid_op s op)))
+    ops;
+  check_bool "configs" true (Array.length (W.shard_configs s) = 1)
+
+let test_zero_skew_uniform () =
+  (* skew = 0 is the uniform boundary of the popularity law: every
+     shard must actually receive traffic (with 6 shards over 3000 ops
+     a starved shard is ~1e-200 unlikely), and the stream must still
+     be deterministic. *)
+  let s = spec ~skew:0.0 ~ops:3_000 () in
+  let ops = W.generate s in
+  let counts = Array.make 6 0 in
+  Array.iter
+    (fun op ->
+      match Op.shard_of op with
+      | Some sh -> counts.(sh) <- counts.(sh) + 1
+      | None -> ())
+    ops;
+  Array.iteri
+    (fun i c -> check_bool (Printf.sprintf "shard %d hit" i) true (c > 0))
+    counts;
+  check_bool "deterministic at skew 0" true (W.generate s = ops)
+
 let test_spec_validation () =
   List.iter
     (fun s ->
@@ -157,6 +257,13 @@ let test_spec_validation () =
       spec ~mix:{ W.route = -1; churn = 2; crash = 0 } ();
       { (spec ()) with W.skew = -1.0 };
       { (spec ()) with W.ops = -1 };
+      spec ~pmix:{ W.inject = -1; forward = 0 } ();
+      spec ~burst:0 ();
+      {
+        (spec ()) with
+        W.mix = { W.route = 0; churn = 0; crash = 0 };
+        pmix = W.no_packets;
+      };
     ]
 
 let () =
@@ -173,6 +280,10 @@ let () =
           case "op text round-trips" test_op_line_roundtrip;
           case "save/load round-trips" test_save_load_roundtrip;
           case "load rejects corruption" test_load_rejects_corruption;
+          case "packet ops round-trip" test_packet_roundtrip;
+          case "pre-packet files still load" test_load_pre_packet_format;
+          case "single shard" test_single_shard;
+          case "zero skew is uniform" test_zero_skew_uniform;
           case "nonsensical specs rejected" test_spec_validation;
         ];
     ]
