@@ -477,6 +477,11 @@ module Trace_cli = struct
     let record family n seed engine via out graph_file =
       match instance ?graph_file ~family ~n ~seed () with
       | Error e -> `Error (false, e)
+      | Ok _ when engine = Event.Maint ->
+          `Error
+            ( false,
+              "maint traces are recorded by the chaos harness ('linkrev \
+               chaos'), not 'trace record'" )
       | Ok config ->
           let work, reversals, stats =
             if via then
@@ -495,6 +500,7 @@ module Trace_cli = struct
                 | Event.New_pr ->
                     Record.persistent ~seed ~path:out ~engine
                       ~scheduler:(scheduler ()) config (New_pr.algo config)
+                | Event.Maint -> assert false (* rejected above *)
               in
               ( outcome.Executor.total_node_steps,
                 outcome.Executor.edge_reversals,
@@ -505,6 +511,7 @@ module Trace_cli = struct
                 | Event.Pr -> Record.fast ~seed ~path:out ~rule:F.Partial config
                 | Event.Fr -> Record.fast ~seed ~path:out ~rule:F.Full config
                 | Event.New_pr -> Record.fast_new_pr ~seed ~path:out config
+                | Event.Maint -> assert false (* rejected above *)
               in
               (outcome.F.work, outcome.F.edge_reversals, stats)
           in
@@ -540,10 +547,10 @@ module Trace_cli = struct
         | Error e -> Error e
         | Ok r ->
             Format.printf
-              "fast replay: OK — %d events (%d steps, %d dummy, %d stale), %d \
-               edge reversals, fingerprint %Lx@."
+              "fast replay: OK — %d events (%d steps, %d dummy, %d stale, %d \
+               perturb), %d edge reversals, fingerprint %Lx@."
               r.Replay.events r.Replay.steps r.Replay.dummies r.Replay.stales
-              r.Replay.edge_reversals
+              r.Replay.perturbs r.Replay.edge_reversals
               r.Replay.summary.Event.final_fingerprint;
             Ok ()
       in
@@ -591,9 +598,10 @@ module Trace_cli = struct
             h.Event.n h.Event.destination
             (if h.Event.seed < 0 then "unknown" else string_of_int h.Event.seed);
           Format.printf
-            "%d events: %d steps, %d dummy, %d stale; %d edge reversals@."
+            "%d events: %d steps, %d dummy, %d stale, %d perturb; %d edge \
+             reversals@."
             r.Audit.events r.Audit.steps r.Audit.dummies r.Audit.stales
-            r.Audit.edge_reversals;
+            r.Audit.perturbs r.Audit.edge_reversals;
           Format.printf "recorded wall clock: %.3f ms; file: %d bytes@."
             (float_of_int r.Audit.summary.Event.wall_ns /. 1e6)
             r.Audit.bytes;
@@ -631,9 +639,11 @@ module Trace_cli = struct
             h.Event.n h.Event.destination
             (List.length h.Event.edges);
           Format.printf
-            "%d events (%d steps, %d dummy, %d stale), %d reversed edges@."
+            "%d events (%d steps, %d dummy, %d stale, %d perturb), %d \
+             reversed edges@."
             s.Audit.scan_events s.Audit.scan_steps s.Audit.scan_dummies
-            s.Audit.scan_stales s.Audit.scan_reversed_edges;
+            s.Audit.scan_stales s.Audit.scan_perturbs
+            s.Audit.scan_reversed_edges;
           Format.printf
             "summary: work %d, edge reversals %d, wall %.3f ms, fingerprint %Lx@."
             s.Audit.scan_summary.Event.work
@@ -759,6 +769,45 @@ module Service_cli = struct
       $ ops_arg $ mix_arg $ pmix_arg $ burst_arg $ skew_arg
       $ stats_every_arg)
 
+  let chaos_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "chaos" ] ~docv:"SPEC"
+          ~doc:
+            "Weave a deterministic fault-injection schedule into the op \
+             stream: $(docv) is COUNT[:SEED[:MAGNITUDE]] faults (corrupted \
+             shard heights, route-bit flips, partitions with later heals, \
+             destination-crash bursts, queue poisoning) spread over the \
+             run.  The woven stream is a pure function of the spec, so \
+             fingerprints stay comparable across engines, dispatchers and \
+             job counts.")
+
+  (* Weave the --chaos schedule into a generated-or-loaded op stream;
+     the spec's op count tracks the woven length so the result saves
+     and validates like any other workload. *)
+  let apply_chaos chaos (spec, ops) =
+    match chaos with
+    | None -> Ok (spec, ops, 0)
+    | Some text -> (
+        match Lr_chaos.Schedule.spec_of_string text with
+        | Error e -> Error e
+        | Ok cspec ->
+            let sched =
+              Lr_chaos.Schedule.generate cspec ~shards:spec.Wl.shards
+                ~nodes:spec.Wl.nodes
+            in
+            let graphs =
+              Array.map
+                (fun (c : Linkrev.Config.t) -> c.Linkrev.Config.initial)
+                (Wl.shard_configs spec)
+            in
+            let woven = Lr_chaos.Schedule.weave sched ~graphs ops in
+            Ok
+              ( { spec with Wl.ops = Array.length woven },
+                woven,
+                Array.length woven - Array.length ops ))
+
   let loadgen_cmd =
     let out_arg =
       Arg.(
@@ -767,15 +816,20 @@ module Service_cli = struct
         & info [ "output"; "o" ] ~docv:"FILE"
             ~doc:"Write the workload to $(docv).")
     in
-    let loadgen spec out =
+    let loadgen spec chaos out =
       match Wl.generate spec with
       | exception Invalid_argument e -> `Error (false, e)
-      | ops ->
-          Wl.save out spec ops;
-          Format.printf "wrote %s: %s@." out (Wl.describe spec);
-          `Ok ()
+      | ops -> (
+          match apply_chaos chaos (spec, ops) with
+          | Error e -> `Error (false, e)
+          | Ok (spec, ops, injected) ->
+              Wl.save out spec ops;
+              Format.printf "wrote %s: %s@." out (Wl.describe spec);
+              if injected > 0 then
+                Format.printf "wove %d chaos ops into the stream@." injected;
+              `Ok ())
     in
-    let term = Term.(ret (const loadgen $ spec_term $ out_arg)) in
+    let term = Term.(ret (const loadgen $ spec_term $ chaos_arg $ out_arg)) in
     Cmd.v
       (Cmd.info "loadgen"
          ~doc:
@@ -905,8 +959,8 @@ module Service_cli = struct
                replayable LRT1 trace in $(docv) (audit with 'linkrev trace \
                audit').")
     in
-    let serve spec workload jobs queue_bound window rule no_validate engine
-        deterministic steal_batch pin_loops packet_queue trace_dir =
+    let serve spec workload chaos jobs queue_bound window rule no_validate
+        engine deterministic steal_batch pin_loops packet_queue trace_dir =
       let loaded =
         match workload with
         | None -> (
@@ -915,9 +969,10 @@ module Service_cli = struct
             | ops -> Ok (spec, ops))
         | Some path -> Wl.load path
       in
+      let loaded = Result.bind loaded (apply_chaos chaos) in
       match loaded with
       | Error e -> `Error (false, e)
-      | Ok (spec, ops) ->
+      | Ok (spec, ops, _injected) ->
           let queue_bound =
             match queue_bound with
             | Some b -> b
@@ -987,11 +1042,23 @@ module Service_cli = struct
                     (Metrics.ring_line snap.Metrics.rings_totals);
                   Format.printf
                     "latency (ms over %d samples): p50 %.3f, p95 %.3f, p99 \
-                     %.3f@."
+                     %.3f, p99.9 %.3f, max %.3f@."
                     snap.Metrics.latency_samples
                     (1000.0 *. snap.Metrics.latency.Lr_analysis.Stats.p50)
                     (1000.0 *. snap.Metrics.latency.Lr_analysis.Stats.p95)
-                    (1000.0 *. snap.Metrics.latency.Lr_analysis.Stats.p99);
+                    (1000.0 *. snap.Metrics.latency.Lr_analysis.Stats.p99)
+                    (1000.0 *. snap.Metrics.latency.Lr_analysis.Stats.p999)
+                    (1000.0 *. snap.Metrics.latency.Lr_analysis.Stats.max);
+                  if snap.Metrics.recovery_samples > 0 then
+                    Format.printf
+                      "recovery (ms over %d heals): p50 %.3f, p95 %.3f, p99 \
+                       %.3f, p99.9 %.3f, max %.3f@."
+                      snap.Metrics.recovery_samples
+                      (1000.0 *. snap.Metrics.recovery.Lr_analysis.Stats.p50)
+                      (1000.0 *. snap.Metrics.recovery.Lr_analysis.Stats.p95)
+                      (1000.0 *. snap.Metrics.recovery.Lr_analysis.Stats.p99)
+                      (1000.0 *. snap.Metrics.recovery.Lr_analysis.Stats.p999)
+                      (1000.0 *. snap.Metrics.recovery.Lr_analysis.Stats.max);
                   Format.printf "throughput: %.0f ops/s (%.3f s wall)@."
                     (float_of_int (Array.length ops) /. Float.max 1e-9 seconds)
                     seconds;
@@ -1013,9 +1080,9 @@ module Service_cli = struct
     let term =
       Term.(
         ret
-          (const serve $ spec_term $ workload_arg $ jobs_arg $ queue_bound_arg
-          $ window_arg $ rule_arg $ no_validate_arg $ engine_arg
-          $ deterministic_arg $ steal_batch_arg $ pin_loops_arg
+          (const serve $ spec_term $ workload_arg $ chaos_arg $ jobs_arg
+          $ queue_bound_arg $ window_arg $ rule_arg $ no_validate_arg
+          $ engine_arg $ deterministic_arg $ steal_batch_arg $ pin_loops_arg
           $ packet_queue_arg $ trace_dir_arg))
     in
     Cmd.v
@@ -1417,11 +1484,156 @@ module Packet_cli = struct
       [ sweep_cmd; void_cmd ]
 end
 
+(* {1 chaos} *)
+
+module Chaos_cli = struct
+  module C = Lr_chaos.Chaos
+
+  let nodes_arg =
+    Arg.(
+      value & opt int 48
+      & info [ "nodes"; "n" ] ~docv:"N"
+          ~doc:"Approximate instance size of each scenario.")
+
+  let cseed_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "seed" ] ~docv:"S"
+          ~doc:"Base seed of the scenario battery (instances and corruptions).")
+
+  let trace_dir_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-dir" ] ~docv:"DIR"
+          ~doc:
+            "Keep each scenario's recovery as a replayable LRT1 maint trace \
+             in $(docv) (chaos_<scenario>.lrt) instead of a deleted temp \
+             file.")
+
+  let no_audit_arg =
+    Arg.(
+      value & flag
+      & info [ "no-audit" ]
+          ~doc:
+            "Skip the per-state acyclicity audit of the recorded recovery \
+             traces.")
+
+  let rule_arg =
+    Arg.(
+      value
+      & opt Service_cli.rule_conv Lr_routing.Maintenance.Partial_reversal
+      & info [ "rule" ] ~docv:"RULE"
+          ~doc:"Maintenance rule: partial (PR) or full (FR).")
+
+  let chaos nodes seed rule trace_dir no_audit =
+    let failures = ref [] in
+    let fail name what = failures := (name ^ ": " ^ what) :: !failures in
+    (match trace_dir with
+    | Some dir when not (Sys.file_exists dir) -> Unix.mkdir dir 0o755
+    | _ -> ());
+    let rows =
+      List.map
+        (fun (s : C.scenario) ->
+          let trace, keep =
+            match trace_dir with
+            | Some dir ->
+                (Filename.concat dir ("chaos_" ^ s.name ^ ".lrt"), true)
+            | None -> (Filename.temp_file "chaos" ".lrt", false)
+          in
+          let d =
+            C.differential ~trace rule s.config ~seed:s.seed
+              ~magnitude:s.magnitude
+          in
+          let audit_cell =
+            if no_audit then "-"
+            else begin
+              (* Audit cost is per checked state; a stride keeps long
+                 recoveries to ~200 materialized states plus the
+                 endpoints the auditor always checks. *)
+              let stride = max 1 (d.C.fast.C.steps / 200) in
+              match Lr_trace.Audit.run ~stride trace with
+              | Ok r when Lr_trace.Audit.clean r ->
+                  Printf.sprintf "clean/%d" r.Lr_trace.Audit.checked_states
+              | Ok _ ->
+                  fail s.name "audit found violations";
+                  "VIOLATED"
+              | Error e ->
+                  fail s.name ("audit error: " ^ e);
+                  "ERROR"
+            end
+          in
+          if not keep then Sys.remove trace;
+          if not d.C.fast.C.destination_oriented then
+            fail s.name "recovery did not converge";
+          if not d.C.agree then
+            fail s.name
+              (Printf.sprintf
+                 "engines diverged (fast %d steps fp %Lx, reference %d \
+                  steps fp %Lx)"
+                 d.C.fast.C.steps d.C.fast.C.fingerprint d.C.ref_steps
+                 d.C.ref_fingerprint);
+          if not d.C.fast.C.within_budget then
+            fail s.name
+              (Printf.sprintf "%d steps exceeded the %d budget"
+                 d.C.fast.C.steps d.C.fast.C.budget);
+          [
+            s.name;
+            string_of_int d.C.fast.C.n;
+            string_of_int s.magnitude;
+            string_of_int d.C.fast.C.perturbed_edges;
+            string_of_int d.C.fast.C.steps;
+            string_of_int d.C.fast.C.rounds;
+            string_of_int d.C.fast.C.budget;
+            (if d.C.agree then "yes" else "NO");
+            Printf.sprintf "%.2f" (float_of_int d.C.fast.C.wall_ns /. 1e6);
+            audit_cell;
+          ])
+        (C.scenarios ~n:nodes ~seed ())
+    in
+    Lr_analysis.Table.print
+      ~title:
+        (Printf.sprintf
+           "chaos battery: corrupt-all recovery, rule %s, fast vs reference"
+           (match rule with
+           | Lr_routing.Maintenance.Partial_reversal -> "partial"
+           | Lr_routing.Maintenance.Full_reversal -> "full"))
+      (Lr_analysis.Table.make
+         ~headers:
+           [ "scenario"; "n"; "mag"; "perturbed"; "steps"; "rounds";
+             "budget"; "agree"; "ms"; "audit" ]
+         rows);
+    match List.rev !failures with
+    | [] ->
+        Format.printf
+          "all scenarios converged within budget, engines agree@.";
+        `Ok ()
+    | fs -> `Error (false, String.concat "; " fs)
+
+  let cmd =
+    let term =
+      Term.(
+        ret
+          (const chaos $ nodes_arg $ cseed_arg $ rule_arg $ trace_dir_arg
+          $ no_audit_arg))
+    in
+    Cmd.v
+      (Cmd.info "chaos"
+         ~doc:
+           "Run the self-stabilization battery: corrupt every height with \
+            an adversarial seeded assignment, recover on both maintenance \
+            engines, and demand convergence within the spread-aware work \
+            budget, byte-identical fast-vs-reference recoveries and a \
+            clean per-state acyclicity audit of the recorded traces.")
+      term
+end
+
 let main_cmd =
   let doc = "link reversal algorithms (Partial Reversal Acyclicity reproduction)" in
   Cmd.group (Cmd.info "linkrev" ~version:"1.0.0" ~doc)
     [ run_cmd; sweep_cmd; check_cmd; game_cmd; stats_cmd; theorems_cmd;
       tora_cmd; generate_cmd; Trace_cli.cmd; Service_cli.serve_cmd;
-      Service_cli.loadgen_cmd; Packet_cli.cmd; Lint_cli.lint_cmd ]
+      Service_cli.loadgen_cmd; Packet_cli.cmd; Chaos_cli.cmd;
+      Lint_cli.lint_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -25,23 +25,35 @@ let percentile p xs =
 
 let median xs = percentile 50.0 xs
 
-type percentiles = { p50 : float; p95 : float; p99 : float }
+type percentiles = {
+  p50 : float;
+  p95 : float;
+  p99 : float;
+  p999 : float;
+  max : float;
+}
 
 let percentiles xs =
   match sorted xs with
-  | [] -> { p50 = 0.0; p95 = 0.0; p99 = 0.0 }
+  | [] -> { p50 = 0.0; p95 = 0.0; p99 = 0.0; p999 = 0.0; max = 0.0 }
   | s ->
       let a = Array.of_list s in
       let n = Array.length a in
       let at p =
         let rank =
           int_of_float (ceil (p /. 100.0 *. float_of_int n)) - 1
-          |> max 0
+          |> Stdlib.max 0
           |> min (n - 1)
         in
         a.(rank)
       in
-      { p50 = at 50.0; p95 = at 95.0; p99 = at 99.0 }
+      {
+        p50 = at 50.0;
+        p95 = at 95.0;
+        p99 = at 99.0;
+        p999 = at 99.9;
+        max = a.(n - 1);
+      }
 let minimum = function [] -> 0.0 | xs -> List.fold_left Float.min infinity xs
 let maximum = function
   | [] -> 0.0

@@ -10,13 +10,20 @@ val median : float list -> float
 val percentile : float -> float list -> float
 (** [percentile p xs] for [p] in [0, 100], nearest-rank. *)
 
-type percentiles = { p50 : float; p95 : float; p99 : float }
+type percentiles = {
+  p50 : float;
+  p95 : float;
+  p99 : float;
+  p999 : float;  (** p99.9 — the tail recovery SLOs are stated over. *)
+  max : float;  (** The single worst sample. *)
+}
 (** The latency summary the serving layer reports against its SLOs. *)
 
 val percentiles : float list -> percentiles
-(** Nearest-rank p50/p95/p99 from one sorted copy of the input (the
-    per-call sort of {!percentile} three times over would be wasteful
-    on large latency sample sets).  All zero on the empty list. *)
+(** Nearest-rank p50/p95/p99/p99.9 plus the maximum, from one sorted
+    copy of the input (the per-call sort of {!percentile} five times
+    over would be wasteful on large latency sample sets).  All zero on
+    the empty list. *)
 
 val minimum : float list -> float
 val maximum : float list -> float

@@ -1,0 +1,124 @@
+(** The self-stabilization harness: corrupt, recover, measure, audit.
+
+    The property under test is the link-reversal self-stabilization
+    theorem: because orientations are {e derived} from heights and any
+    height assignment is a total order, every corrupted state is still
+    acyclic, and the ordinary maintenance engines converge back to a
+    destination-oriented graph from {e arbitrary} adopted heights —
+    within {!Lr_routing.Maintenance.adoption_budget}, the
+    spread-aware generalization of the O(n^2) worst-case work bound of
+    the partial-reversal analysis (Busch et al. / Bernard et al.):
+    [4 n (n + spread) + 1000], reducing to the classic bound when the
+    corrupted heights range over O(n) values.
+
+    {!differential} runs one corruption against {e both} engine tiers
+    from the same stabilized start and demands byte-identical
+    recoveries: same step count, same recovered fingerprint.  The fast
+    engine's recovery can be recorded as an LRT1 [Maint] trace — the
+    corruption itself appears as [Perturb] events (the orientation
+    diff the adopted heights induce), each recovery step as a [Step] —
+    so {!Lr_trace.Replay} re-derives the exact recovery and
+    {!Lr_trace.Audit} checks acyclicity of every intermediate state.
+
+    All measurements are returned, never printed; the [linkrev chaos]
+    command and the D-C1 bench render them. *)
+
+open Lr_routing
+
+type recovery = {
+  n : int;  (** Nodes in the instance. *)
+  steps : int;  (** Reversal steps from adoption to re-stabilization. *)
+  rounds : int;
+      (** Stabilization rounds = max steps taken by any single node. *)
+  perturbed_edges : int;
+      (** Edges the corruption itself flipped (the fault's blast
+          radius, before any recovery work). *)
+  wall_ns : int;  (** Violation-to-recovery wall time. *)
+  fingerprint : int64;  (** Recovered orientation. *)
+  destination_oriented : bool;  (** Must be [true] — convergence. *)
+  budget : int;
+      (** The spread-aware adoption budget
+          ({!Lr_routing.Maintenance.adoption_budget}) for this
+          assignment. *)
+  within_budget : bool;  (** [steps <= budget]. *)
+}
+
+type differential = {
+  fast : recovery;
+  ref_steps : int;
+  ref_wall_ns : int;
+  ref_fingerprint : int64;
+  agree : bool;
+      (** Fast and reference recovered to the same fingerprint in the
+          same number of steps — the cross-engine oracle. *)
+  trace_path : string option;
+}
+
+val hostile : seed:int -> magnitude:int -> int -> int * int
+(** The canonical adversarial height assignment
+    ({!Lr_service.Shard.hostile_height}): a pure function of
+    [(seed, node)], identical across engines and processes. *)
+
+val spread_of : n:int -> (int -> int * int) -> int
+(** Total height range of an assignment over nodes [0..n-1]. *)
+
+val budget_of : n:int -> spread:int -> int
+(** {!Lr_routing.Maintenance.adoption_budget}. *)
+
+val recover_fast :
+  ?trace:string ->
+  Maintenance.rule ->
+  Linkrev.Config.t ->
+  seed:int ->
+  height:(int -> int * int) ->
+  recovery
+(** Stabilize the fast engine on [config], adopt [height] everywhere,
+    and measure the recovery.  With [?trace], record it as an LRT1
+    [Maint] trace: header = pre-corruption orientation, [Perturb]
+    events = the corruption's orientation diff, [Step] events = the
+    recovery ([seed] is stamped into the header).  If adoption raises,
+    the trace is aborted (left truncated) and the exception rethrown. *)
+
+val recover_reference :
+  Maintenance.rule ->
+  Linkrev.Config.t ->
+  height:(int -> int * int) ->
+  int * int * int64
+(** Reference-engine recovery from the same corruption:
+    [(steps, wall_ns, recovered fingerprint)]. *)
+
+val differential :
+  ?trace:string ->
+  Maintenance.rule ->
+  Linkrev.Config.t ->
+  seed:int ->
+  magnitude:int ->
+  differential
+(** Corrupt every node with [hostile ~seed ~magnitude] and recover on
+    both engines. *)
+
+val differential_flip :
+  ?trace:string ->
+  Maintenance.rule ->
+  Linkrev.Config.t ->
+  node:int ->
+  bit:int ->
+  differential
+(** Single-event upset: flip [bit] of [node]'s stabilized [pa] height
+    and recover on both engines.  @raise Invalid_argument when [node]
+    or [bit] (0..61) is out of range. *)
+
+type scenario = {
+  name : string;
+  config : Linkrev.Config.t;
+  seed : int;
+  magnitude : int;
+}
+
+val scenarios : ?n:int -> ?seed:int -> unit -> scenario list
+(** The D-C1 battery: chain, ring, grid, tree, sparse and dense random
+    DAGs of ~[n] nodes, with corruption magnitudes sweeping from
+    degenerate ties (everything in [+-1], maximal id tie-breaking) to
+    widely spread heights.  Recovery work grows linearly with the
+    spread, so magnitudes are capped at 4096 to keep the battery
+    CI-cheap. *)

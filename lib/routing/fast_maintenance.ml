@@ -29,6 +29,11 @@ type t = {
   inq : bool array;
   (* Next-hop cache: nh_unset, nh_none, or the cached hop. *)
   nh : int array;
+  (* Step observer (trace recording): called after every reversal with
+     the stepping node and its flipped neighbours.  The id buffer is
+     reused across steps and must not be retained. *)
+  mutable obs : (int -> int array -> int -> unit) option;
+  obs_buf : int array;
   mutable work : int;
   mutable hits : int;
   mutable misses : int;
@@ -184,6 +189,7 @@ let step t u =
       t.ha.(u) <- !max_a + 1;
       t.hb.(u) <- 0);
   invalidate t u;
+  let flipped = ref 0 in
   for i = 0 to d - 1 do
     let w = G.Dyn.nbr t.adj u i in
     invalidate t w;
@@ -191,15 +197,22 @@ let step t u =
       (* This edge flipped from w -> u to u -> w. *)
       t.in_deg.(u) <- t.in_deg.(u) - 1;
       t.in_deg.(w) <- t.in_deg.(w) + 1;
+      t.obs_buf.(!flipped) <- w;
+      incr flipped;
       push_if_sink t w
     end
   done;
+  (match t.obs with None -> () | Some f -> f u t.obs_buf !flipped);
   push_if_sink t u
 
 (* Identical control to the reference: min-id sink each iteration, same
    budget over the current component size, same failure message. *)
-let stabilize t =
-  let budget = (4 * t.comp_size * t.comp_size) + 1000 in
+let stabilize ?budget t =
+  let budget =
+    match budget with
+    | Some b -> b
+    | None -> (4 * t.comp_size * t.comp_size) + 1000
+  in
   let steps = ref 0 in
   let affected = ref Node.Set.empty in
   let running = ref true in
@@ -361,6 +374,8 @@ let create rule config =
       heap_len = 0;
       inq = Array.make n false;
       nh = Array.make n nh_unset;
+      obs = None;
+      obs_buf = Array.make (max n 1) 0;
       work = 0;
       hits = 0;
       misses = 0;
@@ -385,6 +400,55 @@ let create rule config =
   done;
   ignore (stabilize t);
   t
+
+let set_observer t obs = t.obs <- obs
+
+(* {1 Hostile-state adoption} *)
+
+(* Overwrite every height with an arbitrary (adversarial) value and
+   self-heal: the derived orientation of any height assignment is
+   acyclic, so the ordinary sink worklist converges from it.  Same
+   recipe as [create] — recount in-degrees, re-derive the component,
+   reseed the worklist — plus a full next-hop cache drop, since every
+   cached choice may now be stale. *)
+let adopt_heights t f =
+  for u = 0 to t.n - 1 do
+    let a, b = f u in
+    t.ha.(u) <- a;
+    t.hb.(u) <- b;
+    invalidate t u
+  done;
+  for u = 0 to t.n - 1 do
+    let d = G.Dyn.degree t.adj u in
+    let incoming = ref 0 in
+    for i = 0 to d - 1 do
+      if compare_heights t u (G.Dyn.nbr t.adj u i) < 0 then incr incoming
+    done;
+    t.in_deg.(u) <- !incoming
+  done;
+  ignore (recompute_comp t);
+  for u = 0 to t.n - 1 do
+    push_if_sink t u
+  done;
+  (* Spread-aware budget, same formula as the reference: stabilizing
+     from an arbitrary assignment costs work proportional to the
+     height spread, not just n^2. *)
+  let budget =
+    if t.n = 0 then Maintenance.adoption_budget ~n:0 ~spread:0
+    else begin
+      let amin = ref t.ha.(0) and amax = ref t.ha.(0) in
+      let bmin = ref t.hb.(0) and bmax = ref t.hb.(0) in
+      for u = 1 to t.n - 1 do
+        if t.ha.(u) < !amin then amin := t.ha.(u);
+        if t.ha.(u) > !amax then amax := t.ha.(u);
+        if t.hb.(u) < !bmin then bmin := t.hb.(u);
+        if t.hb.(u) > !bmax then bmax := t.hb.(u)
+      done;
+      Maintenance.adoption_budget ~n:t.n
+        ~spread:(!amax - !amin + (!bmax - !bmin))
+    end
+  in
+  stabilize ~budget t
 
 (* {1 Queries} *)
 

@@ -80,6 +80,23 @@ val add_link : t -> Node.t -> Node.t -> unit
 val fail_node : t -> Node.t -> Maintenance.change_result
 (** @raise Invalid_argument for the destination. *)
 
+val adopt_heights : t -> (Node.t -> int * int) -> Maintenance.change_result
+(** [adopt_heights t f] overwrites every node's [(pa, pb)] height with
+    [f u] — an arbitrary, possibly adversarial assignment — and
+    self-heals through the ordinary sink worklist.  Any height
+    assignment derives an acyclic orientation (heights are a total
+    order), so the engine stabilizes from {e any} adopted state; this
+    is the fault-injection entry point of the chaos harness.  Always
+    returns [Stabilized] (the topology is untouched). *)
+
+val set_observer : t -> (Node.t -> int array -> int -> unit) option -> unit
+(** [set_observer t (Some f)] has the engine call [f u flipped len]
+    after every reversal step: [u] is the node that stepped and
+    [flipped.(0 .. len-1)] the neighbours whose edge to [u] reversed,
+    in adjacency order.  The array is reused across steps — copy, don't
+    retain.  Used by the chaos harness to record LRT1 traces of
+    recoveries; [None] (the default) restores the silent hot path. *)
+
 type cache_stats = { hits : int; misses : int; invalidations : int }
 
 val cache_stats : t -> cache_stats

@@ -30,6 +30,9 @@ let is_destination_oriented t =
   Node.Set.subset comp (Node.Set.add t.destination (Digraph.reaches t.graph t.destination))
 
 let height t u = Node.Map.find u t.heights
+let height_pair t u =
+  let h = height t u in
+  (h.Heights.pa, h.Heights.pb)
 
 let compare_heights t u v =
   Heights.compare_pr_height (height t u) (height t v)
@@ -72,13 +75,16 @@ let dest_component t =
 
 (* Run reversals inside the destination's component until no sink other
    than the destination remains there. *)
-let stabilize t =
+let stabilize ?budget t =
   let comp = dest_component t in
   let affected = ref Node.Set.empty in
   let steps = ref 0 in
   let budget =
-    let n = Node.Set.cardinal comp in
-    (4 * n * n) + 1000
+    match budget with
+    | Some b -> b
+    | None ->
+        let n = Node.Set.cardinal comp in
+        (4 * n * n) + 1000
   in
   (* First (minimum-id) non-destination sink.  [iter] visits the set
      ascending, and raising stops the scan at the first hit — the old
@@ -196,6 +202,53 @@ let add_link t u v =
   (* A new link never creates a sink, but it can give cut-off nodes a
      route again; it may also enable pending reversals elsewhere. *)
   ignore (stabilize t)
+
+(* Overwrite every height with an arbitrary (adversarial) assignment
+   and self-heal.  Heights are a total order, so the re-derived
+   orientation is acyclic whatever [f] returns, and the ordinary
+   stabilization loop converges from it.  Mirror of
+   {!Fast_maintenance.adopt_heights} — the chaos differential oracle
+   depends on both engines adopting identically. *)
+let adoption_budget ~n ~spread = (4 * n * (n + spread)) + 1000
+
+(* Height spread of an assignment: how far the adopted values range on
+   each coordinate.  Work to stabilize from an arbitrary assignment
+   grows with the spread (a node's [pa] climbs by at least one per
+   reversal toward the assignment's ceiling), so the adoption budget
+   scales with it — reducing to the ordinary O(n^2) budget when the
+   spread is O(n). *)
+let spread_of_heights heights =
+  match Node.Map.bindings heights with
+  | [] -> 0
+  | (_, h0) :: _ ->
+      let open Heights in
+      let amin = ref h0.pa and amax = ref h0.pa in
+      let bmin = ref h0.pb and bmax = ref h0.pb in
+      Node.Map.iter
+        (fun _ h ->
+          if h.pa < !amin then amin := h.pa;
+          if h.pa > !amax then amax := h.pa;
+          if h.pb < !bmin then bmin := h.pb;
+          if h.pb > !bmax then bmax := h.pb)
+        heights;
+      !amax - !amin + (!bmax - !bmin)
+
+let adopt_heights t f =
+  t.heights <-
+    Node.Set.fold
+      (fun u m ->
+        let pa, pb = f u in
+        Node.Map.add u { Heights.pa; pb; pid = u } m)
+      (Digraph.nodes t.graph) Node.Map.empty;
+  (* Re-derive every edge's orientation from the adopted heights.
+     Visiting both endpoints sets each edge twice, consistently. *)
+  Node.Set.iter (reorient_at t) (Digraph.nodes t.graph);
+  let budget =
+    adoption_budget
+      ~n:(Node.Set.cardinal (Digraph.nodes t.graph))
+      ~spread:(spread_of_heights t.heights)
+  in
+  stabilize ~budget t
 
 let fail_node t u =
   if Node.equal u t.destination then

@@ -59,3 +59,30 @@ val add_link : t -> Node.t -> Node.t -> unit
 val fail_node : t -> Node.t -> change_result
 (** Remove all links of a node (crash).  The node itself stays in the
     skeleton, isolated.  @raise Invalid_argument for the destination. *)
+
+val adoption_budget : n:int -> spread:int -> int
+(** [4 n (n + spread) + 1000] — the stabilization step budget
+    {!adopt_heights} runs under, where [spread] is the adopted
+    assignment's total height range ([(max pa - min pa) +
+    (max pb - min pb)]).  Work to converge from an arbitrary height
+    assignment grows with the spread (each reversal raises the node's
+    [pa] by at least one toward the assignment's ceiling), so the
+    ordinary [4 n^2 + 1000] repair budget only covers assignments
+    whose spread is O(n); this generalizes it. *)
+
+val adopt_heights : t -> (Node.t -> int * int) -> change_result
+(** [adopt_heights t f] overwrites every node's [(pa, pb)] height with
+    [f u] (the id component stays [u]), re-derives every edge's
+    orientation and self-heals via the ordinary stabilization loop
+    (under {!adoption_budget}).  Any height assignment orients
+    acyclically, so this converges from arbitrary — including
+    adversarial — state; it is the fault-injection entry point of the
+    chaos harness.  Always returns [Stabilized]: the topology is
+    untouched.  Mirrors {!Fast_maintenance.adopt_heights}
+    byte-for-byte. *)
+
+val height_pair : t -> Node.t -> int * int
+(** The node's current [(pa, pb)] height (the third lexicographic
+    component is the id itself) — comparable with
+    {!Fast_maintenance.height} in differential checks.
+    @raise Not_found on unknown nodes. *)

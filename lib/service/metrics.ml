@@ -15,6 +15,7 @@ type counters = {
   mutable packet_reversals : int;
   mutable packet_hops : int;
   mutable packet_queue_peak : int;
+  mutable faults : int;
 }
 
 type totals = {
@@ -34,6 +35,7 @@ type totals = {
   packet_reversals : int;
   packet_hops : int;
   packet_queue_peak : int;
+  faults : int;
   stats_ops : int;
 }
 
@@ -67,6 +69,10 @@ type t = {
   counters : counters array;
   rings : ring_counters array;
   latencies : samples array;
+  (* Wall-clock heal time of each chaos op (Corrupt/Flip), per shard —
+     the recovery SLO's sample set.  Non-deterministic, so excluded
+     from [totals_line] and the fingerprint, like latency. *)
+  recoveries : samples array;
   mutable stats_ops : int;
 }
 
@@ -88,6 +94,7 @@ let fresh_counters () =
     packet_reversals = 0;
     packet_hops = 0;
     packet_queue_peak = 0;
+    faults = 0;
   }
 
 let fresh_ring () =
@@ -105,6 +112,7 @@ let create ~shards =
     counters = Array.init shards (fun _ -> fresh_counters ());
     rings = Array.init shards (fun _ -> fresh_ring ());
     latencies = Array.init shards (fun _ -> { data = Array.make 64 0.0; len = 0 });
+    recoveries = Array.init shards (fun _ -> { data = Array.make 8 0.0; len = 0 });
     stats_ops = 0;
   }
 
@@ -125,8 +133,7 @@ let note_steal_attempt t ~shard =
 let note_stolen t ~shard n =
   ignore (Atomic.fetch_and_add t.rings.(shard).stolen n)
 
-let record_latency t ~shard dt =
-  let b = t.latencies.(shard) in
+let push_sample b dt =
   if b.len = Array.length b.data then begin
     let grown = Array.make (2 * b.len) 0.0 in
     Array.blit b.data 0 grown 0 b.len;
@@ -134,6 +141,9 @@ let record_latency t ~shard dt =
   end;
   b.data.(b.len) <- dt;
   b.len <- b.len + 1
+
+let record_latency t ~shard dt = push_sample t.latencies.(shard) dt
+let record_recovery t ~shard dt = push_sample t.recoveries.(shard) dt
 
 let totals_of_counters ~stats_ops (c : counters) =
   {
@@ -153,6 +163,7 @@ let totals_of_counters ~stats_ops (c : counters) =
     packet_reversals = c.packet_reversals;
     packet_hops = c.packet_hops;
     packet_queue_peak = c.packet_queue_peak;
+    faults = c.faults;
     stats_ops;
   }
 
@@ -178,7 +189,8 @@ let totals t =
       acc.packets_out <- acc.packets_out + c.packets_out;
       acc.packet_reversals <- acc.packet_reversals + c.packet_reversals;
       acc.packet_hops <- acc.packet_hops + c.packet_hops;
-      acc.packet_queue_peak <- max acc.packet_queue_peak c.packet_queue_peak)
+      acc.packet_queue_peak <- max acc.packet_queue_peak c.packet_queue_peak;
+      acc.faults <- acc.faults + c.faults)
     t.counters;
   totals_of_counters ~stats_ops:t.stats_ops acc
 
@@ -226,16 +238,20 @@ type snapshot = {
   rings_totals : ring_totals;
   latency : Lr_analysis.Stats.percentiles;
   latency_samples : int;
+  recovery : Lr_analysis.Stats.percentiles;
+  recovery_samples : int;
 }
 
+let collect buffers =
+  Array.fold_left
+    (fun acc b ->
+      let rec take i acc = if i < 0 then acc else take (i - 1) (b.data.(i) :: acc) in
+      take (b.len - 1) acc)
+    [] buffers
+
 let snapshot t =
-  let all =
-    Array.fold_left
-      (fun acc b ->
-        let rec take i acc = if i < 0 then acc else take (i - 1) (b.data.(i) :: acc) in
-        take (b.len - 1) acc)
-      [] t.latencies
-  in
+  let all = collect t.latencies in
+  let recov = collect t.recoveries in
   {
     snapshot_totals = totals t;
     snapshot_per_shard = per_shard t;
@@ -243,6 +259,8 @@ let snapshot t =
     rings_totals = rings_total t;
     latency = Lr_analysis.Stats.percentiles all;
     latency_samples = List.length all;
+    recovery = Lr_analysis.Stats.percentiles recov;
+    recovery_samples = List.length recov;
   }
 
 let totals_line c =
@@ -250,11 +268,11 @@ let totals_line c =
     "served=%d routes=%d no_routes=%d link_events=%d noops=%d crashes=%d \
      partitions=%d reversal_steps=%d rejected=%d validation_failures=%d \
      packets_in=%d packets_dropped=%d packets_out=%d packet_reversals=%d \
-     packet_hops=%d packet_queue_peak=%d stats_ops=%d"
+     packet_hops=%d packet_queue_peak=%d faults=%d stats_ops=%d"
     c.served c.routes c.no_routes c.link_events c.noops c.crashes c.partitions
     c.reversal_steps c.rejected c.validation_failures c.packets_in
     c.packets_dropped c.packets_out c.packet_reversals c.packet_hops
-    c.packet_queue_peak c.stats_ops
+    c.packet_queue_peak c.faults c.stats_ops
 
 let ring_line r =
   Printf.sprintf

@@ -34,6 +34,9 @@ type counters = {
   mutable packet_hops : int;  (** Transmissions behind the deliveries. *)
   mutable packet_queue_peak : int;
       (** Highest plane occupancy reported by a [Forward] response. *)
+  mutable faults : int;
+      (** Chaos faults healed ([Corrupt]/[Flip] ops that adopted and
+          re-stabilized).  Deterministic: a function of the op stream. *)
 }
 
 (** Immutable aggregate of {!counters}; [stats_ops] counts service-level
@@ -55,6 +58,7 @@ type totals = {
   packet_reversals : int;
   packet_hops : int;
   packet_queue_peak : int;  (** Aggregated with [max], not [+]. *)
+  faults : int;
   stats_ops : int;
 }
 
@@ -106,6 +110,10 @@ val note_stolen : t -> shard:int -> int -> unit
 val record_latency : t -> shard:int -> float -> unit
 (** Append one admission-to-completion latency sample (seconds). *)
 
+val record_recovery : t -> shard:int -> float -> unit
+(** Append one chaos-heal duration sample (seconds, fault adoption to
+    re-stabilization) — the recovery-time SLO's sample set. *)
+
 val totals : t -> totals
 (** Aggregated over shards in index order (deterministic). *)
 
@@ -124,6 +132,9 @@ type snapshot = {
   rings_totals : ring_totals;
   latency : Lr_analysis.Stats.percentiles;  (** Seconds, over all samples. *)
   latency_samples : int;
+  recovery : Lr_analysis.Stats.percentiles;
+      (** Chaos-heal durations, seconds (the recovery SLO). *)
+  recovery_samples : int;
 }
 
 val snapshot : t -> snapshot

@@ -5,6 +5,8 @@ type t =
   | Crash_destination of { shard : int }
   | Inject of { shard : int; src : int; count : int }
   | Forward of { shard : int; slots : int }
+  | Corrupt of { shard : int; seed : int; magnitude : int }
+  | Flip of { shard : int; node : int; bit : int }
   | Stats
 
 let shard_of = function
@@ -13,7 +15,9 @@ let shard_of = function
   | Link_up { shard; _ }
   | Crash_destination { shard }
   | Inject { shard; _ }
-  | Forward { shard; _ } ->
+  | Forward { shard; _ }
+  | Corrupt { shard; _ }
+  | Flip { shard; _ } ->
       Some shard
   | Stats -> None
 
@@ -26,6 +30,7 @@ type response =
   | New_destination of { leader : int; node_steps : int }
   | Injected of { accepted : int; dropped : int }
   | Forwarded of { delivered : int; reversals : int; queued : int; hops : int }
+  | Healed of { node_steps : int }
   | Noop
   | Snapshot of Metrics.totals
   | Rejected of [ `Overloaded ]
@@ -37,6 +42,9 @@ let to_line = function
   | Crash_destination { shard } -> Printf.sprintf "crash %d" shard
   | Inject { shard; src; count } -> Printf.sprintf "inject %d %d %d" shard src count
   | Forward { shard; slots } -> Printf.sprintf "forward %d %d" shard slots
+  | Corrupt { shard; seed; magnitude } ->
+      Printf.sprintf "corrupt %d %d %d" shard seed magnitude
+  | Flip { shard; node; bit } -> Printf.sprintf "flip %d %d %d" shard node bit
   | Stats -> "stats"
 
 let of_line line =
@@ -70,6 +78,15 @@ let of_line line =
       match (int s, int k) with
       | Some shard, Some slots -> Ok (Forward { shard; slots })
       | _ -> Error (Printf.sprintf "bad forward line %S" line))
+  | [ "corrupt"; s; seed; m ] -> (
+      match (int s, int seed, int m) with
+      | Some shard, Some seed, Some magnitude ->
+          Ok (Corrupt { shard; seed; magnitude })
+      | _ -> Error (Printf.sprintf "bad corrupt line %S" line))
+  | [ "flip"; s; u; b ] -> (
+      match (int s, int u, int b) with
+      | Some shard, Some node, Some bit -> Ok (Flip { shard; node; bit })
+      | _ -> Error (Printf.sprintf "bad flip line %S" line))
   | [ "stats" ] -> Ok Stats
   | _ -> Error (Printf.sprintf "unknown op line %S" line)
 
@@ -84,6 +101,7 @@ let response_to_string = function
   | Injected { accepted; dropped } -> Printf.sprintf "injected %d %d" accepted dropped
   | Forwarded { delivered; reversals; queued; hops } ->
       Printf.sprintf "forwarded %d %d %d %d" delivered reversals queued hops
+  | Healed { node_steps } -> Printf.sprintf "healed %d" node_steps
   | Noop -> "noop"
   | Snapshot totals -> "snapshot " ^ Metrics.totals_line totals
   | Rejected `Overloaded -> "rejected overloaded"

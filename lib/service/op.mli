@@ -24,6 +24,15 @@ type t =
       (** Run [slots] synchronous forwarding rounds on the shard's
           plane: backpressure transmissions plus queue-driven partial
           reversals. *)
+  | Corrupt of { shard : int; seed : int; magnitude : int }
+      (** Chaos fault: overwrite every height of the shard's
+          maintenance engine with a hostile pseudo-random assignment
+          derived from [(seed, node)] and bounded by [magnitude], then
+          self-heal ({!Maintenance.adopt_heights}). *)
+  | Flip of { shard : int; node : int; bit : int }
+      (** Chaos fault: flip one bit of [node]'s primary height
+          component (a targeted single-node corruption, e.g. a route
+          bit-flip in flight), then self-heal. *)
   | Stats  (** Snapshot the service-wide counters (a dispatch barrier). *)
 
 val shard_of : t -> int option
@@ -50,6 +59,9 @@ type response =
       (** Forwarding-round outcome: deliveries, queue-driven reversals
           and hop count in these slots, plus the plane's remaining
           occupancy. *)
+  | Healed of { node_steps : int }
+      (** Fault absorbed: the engine adopted the corrupted heights and
+          re-stabilized in [node_steps] reversal steps. *)
   | Noop  (** The op was inapplicable in the current shard state. *)
   | Snapshot of Metrics.totals
   | Rejected of [ `Overloaded ]
@@ -57,7 +69,8 @@ type response =
 
 val to_line : t -> string
 (** Workload-file line: ["route S SRC"], ["down S U V"], ["up S U V"],
-    ["crash S"], ["inject S SRC K"], ["forward S K"], ["stats"]. *)
+    ["crash S"], ["inject S SRC K"], ["forward S K"],
+    ["corrupt S SEED MAG"], ["flip S NODE BIT"], ["stats"]. *)
 
 val of_line : string -> (t, string) result
 (** Inverse of {!to_line}; rejects malformed lines with a message. *)

@@ -95,7 +95,16 @@ let metrics t = Metrics.snapshot t.metrics
    Identical on both paths, so counters — and hence the fingerprint —
    depend only on *which* ops execute, never on the dispatch mode. *)
 let serve_op t ops responses admit_time s idx =
-  let o = Shard.apply ~validate:t.cfg.validate t.shards.(s) ops.(idx) in
+  let op = ops.(idx) in
+  (* Chaos ops are timed around the shard call itself: the heal runs
+     synchronously inside [Shard.apply], so this wall-clock delta is
+     the corruption-to-recovered time the SLO is stated over. *)
+  let chaos_t0 =
+    match op with
+    | Op.Corrupt _ | Op.Flip _ -> Unix.gettimeofday ()
+    | _ -> 0.0
+  in
+  let o = Shard.apply ~validate:t.cfg.validate t.shards.(s) op in
   responses.(idx) <- o.Shard.response;
   let c = Metrics.shard t.metrics s in
   c.Metrics.served <- c.Metrics.served + 1;
@@ -120,6 +129,10 @@ let serve_op t ops responses admit_time s idx =
       c.Metrics.packet_hops <- c.Metrics.packet_hops + hops;
       if queued > c.Metrics.packet_queue_peak then
         c.Metrics.packet_queue_peak <- queued
+  | Op.Healed _ ->
+      c.Metrics.faults <- c.Metrics.faults + 1;
+      Metrics.record_recovery t.metrics ~shard:s
+        (Unix.gettimeofday () -. chaos_t0)
   | Op.Noop -> c.Metrics.noops <- c.Metrics.noops + 1
   | Op.Snapshot _ | Op.Rejected _ ->
       (* shards never produce dispatcher-level responses *)

@@ -301,16 +301,6 @@ let forward t slots =
 let plane_queued t =
   match t.plane with Some p -> Lr_packet.Plane.queued p | None -> 0
 
-let apply ?(validate = true) t op =
-  match op with
-  | Op.Route { src; _ } -> route ~validate t src
-  | Op.Link_down { u; v; _ } -> link_down t u v
-  | Op.Link_up { u; v; _ } -> link_up t u v
-  | Op.Crash_destination _ -> crash_destination t
-  | Op.Inject { src; count; _ } -> inject t src count
-  | Op.Forward { slots; _ } -> forward t slots
-  | Op.Stats -> invalid_arg "Shard.apply: Stats is a dispatcher-level op"
-
 let consistent t =
   match t.m with
   | E_fast f ->
@@ -321,3 +311,67 @@ let consistent t =
   | E_ref m ->
       Digraph.is_acyclic (Maintenance.graph m)
       && Maintenance.is_destination_oriented m
+
+(* {1 Chaos faults} *)
+
+(* The canonical hostile height assignment of a [Corrupt] fault: a pure
+   function of [(seed, node)], so the fast and reference engines of a
+   differential pair adopt byte-identical corrupted states.  Magnitude
+   bounds both components' absolute value. *)
+let hostile_height ~seed ~magnitude u =
+  let st = Random.State.make [| 0x6368616f; seed; u |] in
+  let m = if magnitude < 1 then 1 else magnitude in
+  let pa = Random.State.int st ((2 * m) + 1) - m in
+  let pb = Random.State.int st ((2 * m) + 1) - m in
+  (pa, pb)
+
+let height_pair t u =
+  match t.m with
+  | E_fast f -> Fast_maintenance.height f u
+  | E_ref m -> Maintenance.height_pair m u
+
+let adopt t f =
+  match t.m with
+  | E_fast fm -> Fast_maintenance.adopt_heights fm f
+  | E_ref m -> Maintenance.adopt_heights m f
+
+(* Adopt a corrupted height assignment and report the self-healing
+   work.  Validation re-runs the full consistency check afterwards —
+   recovery, not just quiescence, is what the chaos SLO is stated
+   over. *)
+let heal ~validate t f =
+  let before = total_work t in
+  let result = adopt t f in
+  let work = total_work t - before in
+  match result with
+  | Maintenance.Stabilized { node_steps; _ } ->
+      let bad = validate && not (consistent t) in
+      { response = Op.Healed { node_steps }; work;
+        validation_failures = (if bad then 1 else 0) }
+  | Maintenance.Partitioned _ ->
+      (* adopt_heights never changes the topology. *)
+      assert false
+
+let corrupt ~validate t ~seed ~magnitude =
+  if magnitude < 0 then { response = Op.Noop; work = 0; validation_failures = 0 }
+  else heal ~validate t (hostile_height ~seed ~magnitude)
+
+let flip_bit ~validate t ~node ~bit =
+  if (not (mem_node t node)) || bit < 0 || bit > 61 then
+    { response = Op.Noop; work = 0; validation_failures = 0 }
+  else
+    let pa, pb = height_pair t node in
+    let flipped = (pa lxor (1 lsl bit), pb) in
+    heal ~validate t (fun u -> if u = node then flipped else height_pair t u)
+
+let apply ?(validate = true) t op =
+  match op with
+  | Op.Route { src; _ } -> route ~validate t src
+  | Op.Link_down { u; v; _ } -> link_down t u v
+  | Op.Link_up { u; v; _ } -> link_up t u v
+  | Op.Crash_destination _ -> crash_destination t
+  | Op.Inject { src; count; _ } -> inject t src count
+  | Op.Forward { slots; _ } -> forward t slots
+  | Op.Corrupt { seed; magnitude; _ } -> corrupt ~validate t ~seed ~magnitude
+  | Op.Flip { node; bit; _ } -> flip_bit ~validate t ~node ~bit
+  | Op.Stats -> invalid_arg "Shard.apply: Stats is a dispatcher-level op"

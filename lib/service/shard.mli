@@ -71,7 +71,18 @@ type outcome = {
 val apply : ?validate:bool -> t -> Op.t -> outcome
 (** Execute one op ([Stats] and [Rejected] never reach a shard; [Stats]
     raises [Invalid_argument]).  [validate] (default [true]) controls
-    the in-service route check. *)
+    the in-service route check and the post-heal consistency check of
+    the chaos ops ([Corrupt]/[Flip]). *)
+
+val hostile_height : seed:int -> magnitude:int -> int -> int * int
+(** The canonical hostile height assignment a [Corrupt] fault adopts: a
+    pure function of [(seed, node)] with both components bounded by
+    [magnitude] in absolute value.  Exposed so the chaos harness can
+    drive engines outside the service through the {e same} corruption
+    and compare recoveries byte for byte. *)
+
+val height_pair : t -> Node.t -> int * int
+(** The node's current [(pa, pb)] height on the shard's engine. *)
 
 val plane_queued : t -> int
 (** Packets in flight on the forwarding plane ([0] before the first

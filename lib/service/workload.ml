@@ -151,6 +151,15 @@ let valid_op spec = function
       if shard < 0 || shard >= spec.shards then Error "shard out of range"
       else if slots < 1 then Error "non-positive forward slots"
       else Ok ()
+  | Op.Corrupt { shard; seed = _; magnitude } ->
+      if shard < 0 || shard >= spec.shards then Error "shard out of range"
+      else if magnitude < 0 then Error "negative corrupt magnitude"
+      else Ok ()
+  | Op.Flip { shard; node; bit } ->
+      if shard < 0 || shard >= spec.shards then Error "shard out of range"
+      else if node < 0 || node >= spec.nodes then Error "node out of range"
+      else if bit < 0 || bit > 61 then Error "flip bit out of range"
+      else Ok ()
 
 let load path =
   let ( let* ) = Result.bind in

@@ -9,6 +9,7 @@ type report = {
   steps : int;
   dummies : int;
   stales : int;
+  perturbs : int;
   edge_reversals : int;
   steps_per_node : int array;
   histogram : (int * int) list;
@@ -50,7 +51,15 @@ let checker config header =
         (match inv.I.check state with
         | Ok () -> None
         | Error message -> Some { event; invariant = inv.I.name; message })
-  | Event.Fr ->
+  | Event.Fr | Event.Maint ->
+      (* Maint: heights are not in the trace, so the strongest per-state
+         invariant is the one the paper's abstraction rests on — every
+         intermediate orientation stays acyclic.  The corrupted state
+         itself is acyclic too (heights are a total order, so even
+         adversarial corruption cannot create a cycle), but only as a
+         whole: the run loop treats a burst of consecutive perturb
+         events as one atomic fault injection and never audits the
+         mixed states inside it. *)
       let inv = Linkrev.Invariants.acyclic ~graph_of:Fun.id in
       fun cursor event ->
         (match inv.I.check (Replay.to_digraph cursor) with
@@ -82,16 +91,24 @@ let run ?(stride = 1) path =
                     | Some v -> violations := v :: !violations
                   in
                   check_state (-1);
+                  (* Inside a run of consecutive perturb events the
+                     orientation mixes corrupted and pre-corruption
+                     heights — only the state after the whole burst is
+                     height-derived (hence provably acyclic), so the
+                     burst is audited atomically. *)
+                  let in_burst = ref false in
                   let rec loop i =
                     match Reader.next r with
                     | Error _ as e -> e
                     | Ok (Reader.End summary) -> (
                         (* make sure the final state is always audited,
                            whatever the stride *)
-                        if i mod stride <> 0 then check_state (i - 1);
+                        if !in_burst || i mod stride <> 0 then
+                          check_state (i - 1);
                         let steps, dummies, stales, edge_reversals =
                           Replay.metrics cursor
                         in
+                        let perturbs = Replay.perturbs cursor in
                         let steps_per_node = Replay.steps_per_node cursor in
                         let summary_ok =
                           match Replay.check_summary cursor summary with
@@ -110,6 +127,7 @@ let run ?(stride = 1) path =
                             steps;
                             dummies;
                             stales;
+                            perturbs;
                             edge_reversals;
                             steps_per_node;
                             histogram = histogram_of steps_per_node;
@@ -119,11 +137,19 @@ let run ?(stride = 1) path =
                             bytes = Reader.bytes_read r;
                           })
                     | Ok (Reader.Event e) -> (
+                        let is_perturb =
+                          match e with Event.Perturb _ -> true | _ -> false
+                        in
+                        if !in_burst && not is_perturb then begin
+                          in_burst := false;
+                          check_state (i - 1)
+                        end;
                         match Replay.apply cursor e with
                         | Error m ->
                             Error (Printf.sprintf "event %d: %s" i m)
                         | Ok () ->
-                            if (i + 1) mod stride = 0 then check_state i;
+                            if is_perturb then in_burst := true
+                            else if (i + 1) mod stride = 0 then check_state i;
                             loop (i + 1))
                   in
                   loop 0))
@@ -140,6 +166,7 @@ type scan = {
   scan_steps : int;
   scan_dummies : int;
   scan_stales : int;
+  scan_perturbs : int;
   scan_reversed_edges : int;
   scan_bytes : int;
 }
@@ -154,6 +181,7 @@ let scan path =
           let steps = ref 0
           and dummies = ref 0
           and stales = ref 0
+          and perturbs = ref 0
           and rev = ref 0 in
           let rec loop i =
             match Reader.next r with
@@ -167,6 +195,7 @@ let scan path =
                     scan_steps = !steps;
                     scan_dummies = !dummies;
                     scan_stales = !stales;
+                    scan_perturbs = !perturbs;
                     scan_reversed_edges = !rev;
                     scan_bytes = Reader.bytes_read r;
                   }
@@ -176,7 +205,10 @@ let scan path =
                     incr steps;
                     rev := !rev + Array.length slots
                 | Event.Dummy _ -> incr dummies
-                | Event.Stale _ -> incr stales);
+                | Event.Stale _ -> incr stales
+                | Event.Perturb { slots; _ } ->
+                    incr perturbs;
+                    rev := !rev + Array.length slots);
                 loop (i + 1)
           in
           loop 0)

@@ -5,7 +5,9 @@
     the corresponding {e persistent} state and checks the paper's
     invariants on it — {!Linkrev.Invariants.pr_all} (3.1–3.4 +
     acyclicity) for PR traces, [newpr_all] (4.1, 4.2 + acyclicity) for
-    NewPR, per-state acyclicity for FR.  Violations are collected, not
+    NewPR, per-state acyclicity for FR and Maint (for chaos traces this
+    is the theorem under test: every perturbed and every intermediate
+    recovery state is still acyclic).  Violations are collected, not
     fatal; replay {e precondition} failures (the trace itself is
     inconsistent) abort with [Error].
 
@@ -25,6 +27,7 @@ type report = {
   steps : int;
   dummies : int;
   stales : int;
+  perturbs : int;  (** Fault-injection events (maint traces only). *)
   edge_reversals : int;
   steps_per_node : int array;
   histogram : (int * int) list;
@@ -53,6 +56,7 @@ type scan = {
   scan_steps : int;
   scan_dummies : int;
   scan_stales : int;
+  scan_perturbs : int;
   scan_reversed_edges : int;
   scan_bytes : int;
 }

@@ -1,22 +1,34 @@
 open Lr_graph
 
-type engine = Pr | Fr | New_pr
+type engine = Pr | Fr | New_pr | Maint
 
-let engine_name = function Pr -> "pr" | Fr -> "fr" | New_pr -> "newpr"
+let engine_name = function
+  | Pr -> "pr"
+  | Fr -> "fr"
+  | New_pr -> "newpr"
+  | Maint -> "maint"
 
 let engine_of_string = function
   | "pr" -> Some Pr
   | "fr" -> Some Fr
   | "newpr" -> Some New_pr
+  | "maint" -> Some Maint
   | _ -> None
 
-let engine_tag = function Pr -> 0 | Fr -> 1 | New_pr -> 2
-let engine_of_tag = function 0 -> Some Pr | 1 -> Some Fr | 2 -> Some New_pr | _ -> None
+let engine_tag = function Pr -> 0 | Fr -> 1 | New_pr -> 2 | Maint -> 3
+
+let engine_of_tag = function
+  | 0 -> Some Pr
+  | 1 -> Some Fr
+  | 2 -> Some New_pr
+  | 3 -> Some Maint
+  | _ -> None
 
 type t =
   | Step of { node : int; slots : int array }
   | Dummy of int
   | Stale of int
+  | Perturb of { node : int; slots : int array }
 
 type header = {
   engine : engine;
@@ -69,3 +81,6 @@ let pp ppf = function
         (String.concat "," (List.map string_of_int (Array.to_list slots)))
   | Dummy u -> Format.fprintf ppf "dummy %d" u
   | Stale u -> Format.fprintf ppf "stale %d" u
+  | Perturb { node; slots } ->
+      Format.fprintf ppf "perturb %d -> slots {%s}" node
+        (String.concat "," (List.map string_of_int (Array.to_list slots)))

@@ -12,8 +12,11 @@ open Lr_graph
 (** Which algorithm produced the trace.  [Pr] covers both the fast
     engine's Partial rule and the persistent PR/OneStepPR automata
     (they share list semantics); [Fr] is Full Reversal; [New_pr] is
-    Algorithm 2 with its dummy steps. *)
-type engine = Pr | Fr | New_pr
+    Algorithm 2 with its dummy steps; [Maint] is a maintenance-engine
+    recovery (chaos harness) whose heights are not in the trace, so
+    replay checks sink preconditions and acyclicity rather than exact
+    PR list semantics. *)
+type engine = Pr | Fr | New_pr | Maint
 
 val engine_name : engine -> string
 val engine_of_string : string -> engine option
@@ -34,6 +37,12 @@ type t =
   | Stale of int
       (** A scheduler decision that fired no step: the worklist
           yielded a node that is no longer a sink. *)
+  | Perturb of { node : int; slots : int array }
+      (** External fault injection (chaos harness): the listed incoming
+          edges of [node] were forcibly flipped outward — not a
+          protocol step, so it needs no sink precondition and does not
+          count as work.  Slot encoding as in [Step].  Wire format
+          version 2; absent from version-1 traces. *)
 
 type header = {
   engine : engine;

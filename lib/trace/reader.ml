@@ -72,7 +72,7 @@ let read_header raw =
     raise (Corrupt "bad magic: not an lr_trace file");
   raw.base <- 4;
   let version = varint raw in
-  if version <> Writer.version then
+  if version < Writer.min_version || version > Writer.version then
     raise (Corrupt (Printf.sprintf "unsupported trace version %d" version));
   let engine =
     let tag = byte raw in
@@ -136,6 +136,15 @@ let next t =
       let node = node_id t n "step node" in
       let slots = Array.init k (fun _ -> node_id t n "reversed slot") in
       Event (Event.Step { node; slots })
+    end
+    else if tag = Writer.tag_end && hi <> 0 then begin
+      (* Version-2 perturbation: count field is [k + 1], 0x3f escapes
+         to an explicit varint (see Writer). *)
+      let k = if hi = 0x3f then varint t else hi - 1 in
+      if k > n then corrupt t "perturb flips %d edges (n = %d)" k n;
+      let node = node_id t n "perturb node" in
+      let slots = Array.init k (fun _ -> node_id t n "flipped slot") in
+      Event (Event.Perturb { node; slots })
     end
     else if hi <> 0 then corrupt t "unknown event tag %d" b
     else if tag = Writer.tag_dummy then Event (Event.Dummy (node_id t n "node"))

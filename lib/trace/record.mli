@@ -45,6 +45,11 @@ val rows_of_config : Linkrev.Config.t -> int array array
     format indexes into (row [u], slot [i] = [u]'s [i]-th neighbour in
     ascending id order). *)
 
+val slot_of : int array -> int -> int
+(** [slot_of row w] is the slot index of neighbour [w] in a sorted
+    adjacency row (binary search).  @raise Invalid_argument when [w] is
+    not in the row. *)
+
 val observer :
   writer:Writer.t ->
   rows:int array array ->

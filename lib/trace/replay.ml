@@ -20,6 +20,7 @@ type cursor = {
   mutable steps : int;
   mutable dummies : int;
   mutable stales : int;
+  mutable perturbs : int;
   mutable edge_reversals : int;
 }
 
@@ -64,6 +65,7 @@ let cursor header =
             steps = 0;
             dummies = 0;
             stales = 0;
+            perturbs = 0;
             edge_reversals = 0;
           }
 
@@ -114,6 +116,10 @@ let expected_slots c u =
       if Array.length slots = 0 then
         errf "node %d: parity set is empty — expected a dummy step" u
       else Ok slots
+  | Event.Maint ->
+      (* Unreachable from [apply_step], which validates maint steps by
+         shape (heights are not in the trace). *)
+      errf "node %d: maint traces carry no expected reversal set" u
 
 let sink_precondition c u what =
   if u < 0 || u >= c.core.FG.n then errf "%s at invalid node %d" what u
@@ -124,49 +130,85 @@ let sink_precondition c u what =
       c.in_deg.(u) (degree c u)
   else Ok ()
 
+(* Shape check shared by maint steps and perturbations: slots strictly
+   ascending, in range, and currently incoming at [u]. *)
+let check_flippable c u (recorded : int array) what =
+  let d = degree c u in
+  let res = ref (Ok ()) in
+  Array.iteri
+    (fun i s ->
+      if Result.is_ok !res then
+        if s < 0 || s >= d then
+          res := errf "node %d: %s slot %d out of range (degree %d)" u what s d
+        else if i > 0 && recorded.(i - 1) >= s then
+          res := errf "node %d: %s slots not strictly ascending" u what
+        else if c.out_.(u).(s) then
+          res := errf "node %d: %s slot %d is not incoming" u what s)
+    recorded;
+  !res
+
+let step_epilogue c u =
+  (match c.header.Event.engine with
+  | Event.Pr | Event.Fr | Event.Maint ->
+      let d = degree c u in
+      if c.list_count.(u) > 0 then begin
+        Array.fill c.listed.(u) 0 d false;
+        c.list_count.(u) <- 0
+      end
+  | Event.New_pr -> c.counts.(u) <- c.counts.(u) + 1);
+  c.steps_per_node.(u) <- c.steps_per_node.(u) + 1;
+  c.work <- c.work + 1;
+  c.steps <- c.steps + 1;
+  Ok ()
+
 let apply_step c u (recorded : int array) =
   match sink_precondition c u "step" with
   | Error _ as e -> e
   | Ok () -> (
-      match expected_slots c u with
-      | Error _ as e -> e
-      | Ok slots ->
-          let k = Array.length slots in
-          if Array.length recorded <> k then
-            errf "node %d: step reverses %d edges, engine %s expects %d" u
-              (Array.length recorded)
-              (Event.engine_name c.header.Event.engine)
-              k
-          else begin
-            let mismatch = ref (-1) in
-            for i = 0 to k - 1 do
-              if !mismatch < 0 && slots.(i) <> recorded.(i) then mismatch := i
-            done;
-            if !mismatch >= 0 then
-              errf "node %d: reversed slot #%d is %d, expected %d" u !mismatch
-                recorded.(!mismatch)
-                slots.(!mismatch)
-            else begin
-              Array.iter (fun i -> flip c u i) slots;
-              (* step epilogue per engine *)
-              (match c.header.Event.engine with
-              | Event.Pr | Event.Fr ->
-                  let d = degree c u in
-                  if c.list_count.(u) > 0 then begin
-                    Array.fill c.listed.(u) 0 d false;
-                    c.list_count.(u) <- 0
-                  end
-              | Event.New_pr -> c.counts.(u) <- c.counts.(u) + 1);
-              c.steps_per_node.(u) <- c.steps_per_node.(u) + 1;
-              c.work <- c.work + 1;
-              c.steps <- c.steps + 1;
-              Ok ()
-            end
-          end)
+      match c.header.Event.engine with
+      | Event.Maint -> (
+          (* A maintenance step's reversal set depends on heights the
+             trace does not carry: check the shape — at least one edge,
+             ascending slots, each currently incoming — and leave the
+             per-state acyclicity of the result to the audit layer. *)
+          if Array.length recorded = 0 then
+            errf "node %d: maint step reverses no edges" u
+          else
+            match check_flippable c u recorded "reversed" with
+            | Error _ as e -> e
+            | Ok () ->
+                Array.iter (fun i -> flip c u i) recorded;
+                step_epilogue c u)
+      | Event.Pr | Event.Fr | Event.New_pr -> (
+          match expected_slots c u with
+          | Error _ as e -> e
+          | Ok slots ->
+              let k = Array.length slots in
+              if Array.length recorded <> k then
+                errf "node %d: step reverses %d edges, engine %s expects %d" u
+                  (Array.length recorded)
+                  (Event.engine_name c.header.Event.engine)
+                  k
+              else begin
+                let mismatch = ref (-1) in
+                for i = 0 to k - 1 do
+                  if !mismatch < 0 && slots.(i) <> recorded.(i) then
+                    mismatch := i
+                done;
+                if !mismatch >= 0 then
+                  errf "node %d: reversed slot #%d is %d, expected %d" u
+                    !mismatch
+                    recorded.(!mismatch)
+                    slots.(!mismatch)
+                else begin
+                  Array.iter (fun i -> flip c u i) slots;
+                  step_epilogue c u
+                end
+              end))
 
 let apply_dummy c u =
   match c.header.Event.engine with
-  | Event.Pr | Event.Fr ->
+  | Event.Pr | Event.Fr | Event.Maint ->
       errf "dummy step at node %d in a %s trace (NewPR only)" u
         (Event.engine_name c.header.Event.engine)
   | Event.New_pr -> (
@@ -197,10 +239,28 @@ let apply_stale c u =
     Ok ()
   end
 
+(* An external fault flipped [recorded] incoming edges of [u] outward:
+   no sink precondition (faults strike anywhere), no work counted. *)
+let apply_perturb c u (recorded : int array) =
+  if u < 0 || u >= c.core.FG.n then errf "perturb at invalid node %d" u
+  else if
+    match c.header.Event.engine with Event.Maint -> false | _ -> true
+  then
+    errf "perturb event in a %s trace (maint only)"
+      (Event.engine_name c.header.Event.engine)
+  else
+    match check_flippable c u recorded "flipped" with
+    | Error _ as e -> e
+    | Ok () ->
+        Array.iter (fun i -> flip c u i) recorded;
+        c.perturbs <- c.perturbs + 1;
+        Ok ()
+
 let apply c = function
   | Event.Step { node; slots } -> apply_step c node slots
   | Event.Dummy u -> apply_dummy c u
   | Event.Stale u -> apply_stale c u
+  | Event.Perturb { node; slots } -> apply_perturb c node slots
 
 let check_summary c (s : Event.summary) =
   if c.work <> s.Event.work then
@@ -246,6 +306,7 @@ let counts c =
   !m
 
 let metrics c = (c.steps, c.dummies, c.stales, c.edge_reversals)
+let perturbs c = c.perturbs
 let steps_per_node c = Array.copy c.steps_per_node
 let header_of c = c.header
 
@@ -258,6 +319,7 @@ type report = {
   steps : int;
   dummies : int;
   stales : int;
+  perturbs : int;
   edge_reversals : int;
   steps_per_node : int array;
   bytes : int;
@@ -302,10 +364,11 @@ let file path =
             {
               header = c.header;
               summary;
-              events = c.steps + c.dummies + c.stales;
+              events = c.steps + c.dummies + c.stales + c.perturbs;
               steps = c.steps;
               dummies = c.dummies;
               stales = c.stales;
+              perturbs = c.perturbs;
               edge_reversals = c.edge_reversals;
               steps_per_node = Array.copy c.steps_per_node;
               bytes;
@@ -388,6 +451,11 @@ let replay_automaton (type s) r config ~(initial : s)
               if live_sink (graph_of state) destination u then
                 errf "stale pop at node %d, which is a live sink" u
               else Ok (state, -1)
+          | Event.Perturb { node = u; _ } ->
+              errf
+                "perturb event at node %d: the persistent automata have no \
+                 fault-injection transition"
+                u
         in
         match with_context i res with
         | Error _ as err -> err
@@ -416,6 +484,11 @@ let against_automaton path =
           | Ok config ->
               let run =
                 match header.Event.engine with
+                | Event.Maint ->
+                    Error
+                      "maint traces replay against the maintenance engines, \
+                       not the persistent automata (use Replay.file or \
+                       Audit.run)"
                 | Event.Pr ->
                     replay_automaton r config
                       ~initial:(Linkrev.Pr.initial config)

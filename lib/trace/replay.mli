@@ -50,6 +50,9 @@ val counts : cursor -> int Node.Map.t
 val metrics : cursor -> int * int * int * int
 (** [(steps, dummies, stales, edge_reversals)] so far. *)
 
+val perturbs : cursor -> int
+(** Perturbation events applied so far (maint traces only). *)
+
 val steps_per_node : cursor -> int array
 
 (** {1 Whole-file replay} *)
@@ -61,6 +64,7 @@ type report = {
   steps : int;  (** Step events (for NewPR: non-dummy steps). *)
   dummies : int;
   stales : int;
+  perturbs : int;  (** Fault-injection events (maint traces only). *)
   edge_reversals : int;
   steps_per_node : int array;
   bytes : int;
@@ -77,4 +81,7 @@ type differential = {
 }
 
 val against_automaton : string -> (differential, string) result
-(** Replay [path] on the corresponding persistent automaton. *)
+(** Replay [path] on the corresponding persistent automaton.  [Error]
+    for maint traces: the persistent automata have no fault-injection
+    transition, so chaos recoveries are checked with {!file} and
+    {!Audit.run} instead. *)

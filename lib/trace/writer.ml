@@ -15,7 +15,8 @@ type t = {
 type stats = { events : int; bytes : int }
 
 let magic = "LRT1"
-let version = 1
+let version = 2
+let min_version = 1
 let tag_end = 0
 let tag_step = 1
 let tag_dummy = 2
@@ -100,6 +101,24 @@ let event1 (t : t) tag u =
 
 let dummy t u = event1 t tag_dummy u
 let stale t u = event1 t tag_stale u
+
+(* A perturbation reuses [tag_end]'s tag bits with a non-zero count
+   field: the end record is always written with high bits 0, so
+   [hi = k+1] (escape 0x3f as in steps) is unambiguous.  Version-1
+   readers reject these files by version, never misparse them. *)
+let perturb (t : t) ~node ~slots ~len =
+  t.events <- t.events + 1;
+  ensure t 31;
+  if len + 1 < 0x3f then put_byte t (tag_end lor ((len + 1) lsl 2))
+  else begin
+    put_byte t (tag_end lor (0x3f lsl 2));
+    put_varint t len
+  end;
+  put_varint t node;
+  for i = 0 to len - 1 do
+    ensure t 10;
+    put_varint t (Array.unsafe_get slots i)
+  done
 
 let stats (t : t) = { events = t.events; bytes = t.flushed + t.pos }
 

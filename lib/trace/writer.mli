@@ -16,6 +16,13 @@
     wall_ns final_fingerprint(8 bytes LE)].  A file without an end
     record is a truncated recording and {!Reader} rejects it.
 
+    Version 2 adds the perturbation event on the end-record's tag bits
+    with a {e non-zero} count field: [hi = slot-count + 1] (escape
+    [0x3f] as in steps), then [node slot*].  The end record always has
+    high bits zero, so the two cannot collide; version-1 files never
+    contain perturbations and version-1 readers reject version-2 files
+    up front by version number.  {!Reader} accepts both versions.
+
     The writer buffers 64 KiB and never allocates on the per-event
     path, so recording keeps the engines' step loops allocation-free
     (D-O1 measures the residual overhead). *)
@@ -25,7 +32,12 @@ type t
 type stats = { events : int; bytes : int }
 
 val magic : string
+
 val version : int
+(** The version written to new files. *)
+
+val min_version : int
+(** The oldest version {!Reader} still accepts. *)
 
 val tag_end : int
 val tag_step : int
@@ -42,6 +54,11 @@ val step : t -> node:int -> slots:int array -> len:int -> unit
 
 val dummy : t -> int -> unit
 val stale : t -> int -> unit
+
+val perturb : t -> node:int -> slots:int array -> len:int -> unit
+(** Appends a perturbation event (chaos fault injection): the first
+    [len] entries of [slots] are the ascending adjacency-row indices of
+    the incoming edges of [node] that were forcibly flipped outward. *)
 
 val stats : t -> stats
 (** Events and bytes written so far (buffered bytes included). *)

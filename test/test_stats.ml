@@ -39,17 +39,32 @@ let test_percentiles_record () =
   let q = S.percentiles ys in
   feq "p50 matches percentile" (S.percentile 50.0 ys) q.S.p50;
   feq "p95 matches percentile" (S.percentile 95.0 ys) q.S.p95;
-  feq "p99 matches percentile" (S.percentile 99.0 ys) q.S.p99
+  feq "p99 matches percentile" (S.percentile 99.0 ys) q.S.p99;
+  feq "p999 matches percentile" (S.percentile 99.9 ys) q.S.p999;
+  feq "max matches maximum" (S.maximum ys) q.S.max;
+  (* 1000 distinct samples separate p99.9 from p99; the exact p99.9
+     rank straddles a float ulp (99.9/100 is not representable), so
+     pin the ordering, not the artifact *)
+  let zs = List.init 1000 (fun i -> float_of_int (i + 1)) in
+  let t = S.percentiles zs in
+  feq "p99 on 1..1000" 990.0 t.S.p99;
+  Alcotest.(check bool) "p999 above p99" true (t.S.p999 > t.S.p99);
+  Alcotest.(check bool) "p999 at most max" true (t.S.p999 <= t.S.max);
+  feq "max on 1..1000" 1000.0 t.S.max
 
 let test_percentiles_degenerate () =
   let z = S.percentiles [] in
   feq "empty p50" 0.0 z.S.p50;
   feq "empty p95" 0.0 z.S.p95;
   feq "empty p99" 0.0 z.S.p99;
+  feq "empty p999" 0.0 z.S.p999;
+  feq "empty max" 0.0 z.S.max;
   let s = S.percentiles [ 42.0 ] in
   feq "singleton p50" 42.0 s.S.p50;
   feq "singleton p95" 42.0 s.S.p95;
-  feq "singleton p99" 42.0 s.S.p99
+  feq "singleton p99" 42.0 s.S.p99;
+  feq "singleton p999" 42.0 s.S.p999;
+  feq "singleton max" 42.0 s.S.max
 
 let test_min_max () =
   feq "min" 1.0 (S.minimum [ 3.0; 1.0; 2.0 ]);
