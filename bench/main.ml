@@ -978,8 +978,15 @@ let write_trace_json ~file workloads ~diff_trials ~diff_passed =
   Fun.protect
     ~finally:(fun () -> close_out oc)
     (fun () ->
+      let available_domains = Domain.recommended_domain_count () in
       Printf.fprintf oc
-        "{\n  \"generated_by\": \"bench/main.exe trace\",\n  \"workloads\": [\n";
+        "{\n\
+        \  \"generated_by\": \"bench/main.exe trace\",\n\
+        \  \"available_domains\": %d,\n\
+        \  \"scaling_valid\": %b,\n\
+        \  \"workloads\": [\n"
+        available_domains
+        (available_domains >= 1);
       List.iteri
         (fun i w ->
           Printf.fprintf oc
@@ -1630,16 +1637,38 @@ type storm_result = {
   st_identical : bool;
 }
 
-let write_maintenance_json ~file storms ~big_storm ~route_heavy ~svc_parity =
+(* One rung of the churn-storm ladder: the same op tape replayed on the
+   union-find index and (up to n = 10^4, where it is still affordable)
+   on the eager rescan baseline it replaced. *)
+type rung = {
+  lr_n : int;
+  lr_events : int;
+  lr_create_seconds : float;  (* Uf engine construction *)
+  lr_uf_seconds : float;  (* Uf storm replay *)
+  lr_scan_seconds : float option;  (* Scan storm replay, when run *)
+  lr_identical : bool option;  (* Scan vs Uf, when both ran *)
+  lr_consistent : bool;  (* Uf index cross-check after the storm *)
+  lr_slots : int;
+  lr_rebuilds : int;
+}
+
+let write_maintenance_json ~file storms ~ladder ~route_heavy ~svc_parity =
   let rh_n, rh_queries, rh_ref, rh_fast, rh_agree, (ch, cm, ci) = route_heavy in
   let sp_ops, sp_ref, sp_fast, sp_identical = svc_parity in
-  let bs_n, bs_events, bs_seconds, bs_consistent = big_storm in
   let oc = open_out file in
   Fun.protect
     ~finally:(fun () -> close_out oc)
     (fun () ->
+      (* The honesty header carried by every bench JSON: these sections
+         run sequentially on one domain, so the timings are real wall
+         time whenever at least one domain is ours. *)
+      let available_domains = Domain.recommended_domain_count () in
       Printf.fprintf oc
-        "{\n  \"generated_by\": \"bench/main.exe maintenance\",\n  \"storms\": [\n";
+        "{\n  \"generated_by\": \"bench/main.exe maintenance\",\n\
+        \  \"available_domains\": %d,\n\
+        \  \"scaling_valid\": %b,\n\
+        \  \"storms\": [\n"
+        available_domains (available_domains >= 1);
       List.iteri
         (fun i s ->
           Printf.fprintf oc
@@ -1651,11 +1680,37 @@ let write_maintenance_json ~file storms ~big_storm ~route_heavy ~svc_parity =
             s.st_identical
             (if i = List.length storms - 1 then "" else ","))
         storms;
-      Printf.fprintf oc
-        "  ],\n\
-        \  \"big_storm\": {\"n\": %d, \"events\": %d, \"fast_seconds\": \
-         %.4f, \"consistent\": %b},\n"
-        bs_n bs_events bs_seconds bs_consistent;
+      Printf.fprintf oc "  ],\n  \"ladder\": [\n";
+      List.iteri
+        (fun i r ->
+          let scan_s =
+            match r.lr_scan_seconds with
+            | Some s -> Printf.sprintf "%.4f" s
+            | None -> "null"
+          in
+          let speedup =
+            match r.lr_scan_seconds with
+            | Some s -> Printf.sprintf "%.2f" (s /. Float.max 1e-9 r.lr_uf_seconds)
+            | None -> "null"
+          in
+          let identical =
+            match r.lr_identical with
+            | Some b -> string_of_bool b
+            | None -> "null"
+          in
+          Printf.fprintf oc
+            "    {\"n\": %d, \"events\": %d, \"uf_create_seconds\": %.4f, \
+             \"uf_storm_seconds\": %.4f, \"scan_storm_seconds\": %s, \
+             \"speedup_vs_scan\": %s, \"events_per_s\": %.0f, \
+             \"identical\": %s, \"consistent\": %b, \"slots\": %d, \
+             \"rebuilds\": %d}%s\n"
+            r.lr_n r.lr_events r.lr_create_seconds r.lr_uf_seconds scan_s
+            speedup
+            (float_of_int r.lr_events /. Float.max 1e-9 r.lr_uf_seconds)
+            identical r.lr_consistent r.lr_slots r.lr_rebuilds
+            (if i = List.length ladder - 1 then "" else ","))
+        ladder;
+      Printf.fprintf oc "  ],\n";
       Printf.fprintf oc
         "  \"route_heavy\": {\"n\": %d, \"queries\": %d, \
          \"ref_seconds\": %.4f, \"fast_seconds\": %.4f, \"speedup\": %.2f, \
@@ -1783,39 +1838,235 @@ let maintenance () =
               string_of_bool s.st_identical;
             ])
           storms));
-  (* -- fast-only scale storm ---------------------------------------- *)
-  (* n=4096 is 16x past the differential storms' ceiling: the
-     persistent reference cannot replay a storm that size inside a
-     bench budget, so the big storm runs the fast engine alone — the
-     point is that the flat-array engine holds its throughput and its
-     own invariants (FM.consistent) at a scale the oracle cannot
-     check.  It runs at full size even under --trials smoke (fewer
-     events, same n): CI is exactly where the scale regression would
-     otherwise hide. *)
-  let bs_n = 4096 in
-  let bs_config = random_config ~seed:11 bs_n in
-  let bs_ops =
-    gen_storm ~seed:11 ~events:((if smoke then 2 else 6) * bs_n)
-      M.Partial_reversal bs_config bs_n
+  (* -- churn-storm ladder ------------------------------------------- *)
+  (* Scale rungs for the union-find component index, with the eager
+     rescan baseline it replaced timed on the same tape up to
+     n = 10^4 (past that the Scan column is the regression being
+     fixed, not a budgetable comparison).  The tape is generated from
+     a pure edge-set model — unlike [gen_storm]'s pair toggles, whose
+     removal probability vanishes at scale — so half the events are
+     real link-downs and the membership paths (split checks, absorbs,
+     partition reports) carry the cost.  The ladder runs at full rung
+     sizes even under --trials smoke (fewer events, fewer rungs): CI
+     is exactly where a scale regression would otherwise hide. *)
+  let gen_churn ~seed ~events config n =
+    let rng = rng (seed + 77) in
+    let dest = config.Config.destination in
+    let nbrs = Array.init n (fun _ -> Hashtbl.create 8) in
+    let m0 = List.length (Digraph.directed_edges config.Config.initial) in
+    let edges = Array.make (m0 + events + 1) (0, 0) in
+    let pos = Hashtbl.create (4 * max n 1) in
+    let m = ref 0 in
+    let put u v =
+      let u, v = if u < v then (u, v) else (v, u) in
+      edges.(!m) <- (u, v);
+      Hashtbl.replace pos (u, v) !m;
+      incr m;
+      Hashtbl.replace nbrs.(u) v ();
+      Hashtbl.replace nbrs.(v) u ()
+    in
+    let del u v =
+      let u, v = if u < v then (u, v) else (v, u) in
+      let i = Hashtbl.find pos (u, v) in
+      Hashtbl.remove pos (u, v);
+      decr m;
+      if i < !m then begin
+        edges.(i) <- edges.(!m);
+        Hashtbl.replace pos edges.(i) i
+      end;
+      Hashtbl.remove nbrs.(u) v;
+      Hashtbl.remove nbrs.(v) u
+    in
+    List.iter (fun (u, v) -> put u v) (Digraph.directed_edges config.Config.initial);
+    let ops = ref [] in
+    for k = 1 to events do
+      if k mod 41 = 0 then begin
+        let u = Random.State.int rng n in
+        let victim = if u = dest then (u + 1) mod n else u in
+        Hashtbl.iter (fun w () -> del victim w) (Hashtbl.copy nbrs.(victim));
+        ops := S_fail victim :: !ops
+      end
+      else if k land 1 = 0 && !m > 0 then begin
+        let u, v = edges.(Random.State.int rng !m) in
+        del u v;
+        ops := S_down (u, v) :: !ops
+      end
+      else begin
+        let u = Random.State.int rng n and v = Random.State.int rng n in
+        if u <> v && not (Hashtbl.mem nbrs.(u) v) then begin
+          put u v;
+          ops := S_up (u, v) :: !ops
+        end
+      end
+    done;
+    List.rev !ops
   in
-  let bs_fm, bs_seconds =
-    P.timed (fun () ->
-        let fm = FM.create M.Partial_reversal bs_config in
-        List.iter
-          (function
-            | S_down (u, v) -> ignore (FM.fail_link fm u v)
-            | S_up (u, v) -> FM.add_link fm u v
-            | S_fail u -> ignore (FM.fail_node fm u))
-          bs_ops;
-        fm)
+  let replay ~index rule config ops =
+    let fm = FM.create ~index rule config in
+    let (), seconds =
+      P.timed (fun () ->
+          List.iter
+            (function
+              | S_down (u, v) -> ignore (FM.fail_link fm u v)
+              | S_up (u, v) -> FM.add_link fm u v
+              | S_fail u -> ignore (FM.fail_node fm u))
+            ops)
+    in
+    (fm, seconds)
   in
-  let bs_consistent = FM.consistent bs_fm in
-  Printf.printf
-    "scale storm (fast only): n=%d, %d events in %.3f s (%.0f events/s), \
-     consistent %b\n"
-    bs_n (List.length bs_ops) bs_seconds
-    (float_of_int (List.length bs_ops) /. Float.max 1e-9 bs_seconds)
-    bs_consistent;
+  let rung ~seed ~scan ~events n =
+    let config = random_config ~seed n in
+    let ops = gen_churn ~seed ~events config n in
+    let uf_fm, lr_create_seconds =
+      P.timed (fun () -> FM.create ~index:FM.Uf M.Partial_reversal config)
+    in
+    let (), lr_uf_seconds =
+      P.timed (fun () ->
+          List.iter
+            (function
+              | S_down (u, v) -> ignore (FM.fail_link uf_fm u v)
+              | S_up (u, v) -> FM.add_link uf_fm u v
+              | S_fail u -> ignore (FM.fail_node uf_fm u))
+            ops)
+    in
+    let lr_consistent = FM.consistent uf_fm in
+    let stats = FM.index_stats uf_fm in
+    let lr_scan_seconds, lr_identical =
+      if not scan then (None, None)
+      else begin
+        let scan_fm, seconds = replay ~index:FM.Scan M.Partial_reversal config ops in
+        let routes_agree = ref true in
+        for u = 0 to n - 1 do
+          if FM.route scan_fm u <> FM.route uf_fm u then routes_agree := false
+        done;
+        let identical =
+          FM.total_work scan_fm = FM.total_work uf_fm
+          && FM.component_size scan_fm = FM.component_size uf_fm
+          && Digraph.fingerprint (FM.graph scan_fm)
+             = Digraph.fingerprint (FM.graph uf_fm)
+          && !routes_agree
+        in
+        (Some seconds, Some identical)
+      end
+    in
+    {
+      lr_n = n;
+      lr_events = List.length ops;
+      lr_create_seconds;
+      lr_uf_seconds;
+      lr_scan_seconds;
+      lr_identical;
+      lr_consistent;
+      lr_slots = stats.FM.slots;
+      lr_rebuilds = stats.FM.rebuilds;
+    }
+  in
+  let ladder =
+    if smoke then
+      [
+        rung ~seed:11 ~scan:true ~events:2_000 1_000;
+        rung ~seed:12 ~scan:true ~events:8_192 4_096;
+      ]
+    else
+      [
+        rung ~seed:11 ~scan:true ~events:6_000 1_000;
+        rung ~seed:12 ~scan:true ~events:24_576 4_096;
+        rung ~seed:13 ~scan:true ~events:30_000 10_000;
+        rung ~seed:14 ~scan:false ~events:100_000 100_000;
+      ]
+  in
+  T.print
+    ~title:
+      "churn-storm ladder: union-find index vs eager rescan baseline (same \
+       tape; scan column capped at n=10^4)"
+    (T.make
+       ~headers:
+         [ "n"; "events"; "uf create"; "uf storm"; "scan storm"; "speedup";
+           "identical"; "consistent"; "slots" ]
+       (List.map
+          (fun r ->
+            [
+              string_of_int r.lr_n;
+              string_of_int r.lr_events;
+              Printf.sprintf "%.3f s" r.lr_create_seconds;
+              Printf.sprintf "%.3f s" r.lr_uf_seconds;
+              (match r.lr_scan_seconds with
+              | Some s -> Printf.sprintf "%.3f s" s
+              | None -> "—");
+              (match r.lr_scan_seconds with
+              | Some s ->
+                  Printf.sprintf "%.1fx" (s /. Float.max 1e-9 r.lr_uf_seconds)
+              | None -> "—");
+              (match r.lr_identical with
+              | Some b -> string_of_bool b
+              | None -> "—");
+              string_of_bool r.lr_consistent;
+              string_of_int r.lr_slots;
+            ])
+          ladder));
+  (* -- reference-oracle leg at n=4096 -------------------------------- *)
+  (* The persistent reference cannot replay a full-size rung, but a
+     short removal-heavy tape at the same n keeps the oracle's
+     byte-identity check alive at ladder scale, under both rules. *)
+  let oracle_storms =
+    if smoke then []
+    else
+      List.map
+        (fun rule ->
+          let o_n = 4_096 in
+          let config = random_config ~seed:21 o_n in
+          let ops = gen_churn ~seed:21 ~events:384 config o_n in
+          let fm, fast_seconds = replay ~index:FM.Uf rule config ops in
+          let m, ref_seconds =
+            P.timed (fun () ->
+                let m = M.create rule config in
+                List.iter
+                  (function
+                    | S_down (u, v) -> ignore (M.fail_link m u v)
+                    | S_up (u, v) -> M.add_link m u v
+                    | S_fail u -> ignore (M.fail_node m u))
+                  ops;
+                m)
+          in
+          let routes_agree = ref true in
+          for u = 0 to o_n - 1 do
+            if M.route m u <> FM.route fm u then routes_agree := false
+          done;
+          {
+            st_id =
+              Printf.sprintf "%s oracle n=%d"
+                (match rule with
+                | M.Partial_reversal -> "PR"
+                | M.Full_reversal -> "FR")
+                o_n;
+            st_n = o_n;
+            st_events = List.length ops;
+            st_ref_seconds = ref_seconds;
+            st_fast_seconds = fast_seconds;
+            st_identical =
+              M.total_work m = FM.total_work fm
+              && Digraph.fingerprint (M.graph m)
+                 = Digraph.fingerprint (FM.graph fm)
+              && !routes_agree;
+          })
+        [ M.Partial_reversal; M.Full_reversal ]
+  in
+  let storms = storms @ oracle_storms in
+  if oracle_storms <> [] then
+    T.print
+      ~title:"reference-oracle leg at ladder scale (short removal-heavy tape)"
+      (T.make
+         ~headers:[ "storm"; "events"; "reference"; "fast"; "identical" ]
+         (List.map
+            (fun s ->
+              [
+                s.st_id;
+                string_of_int s.st_events;
+                Printf.sprintf "%.3f s" s.st_ref_seconds;
+                Printf.sprintf "%.3f s" s.st_fast_seconds;
+                string_of_bool s.st_identical;
+              ])
+            oracle_storms));
   (* -- route-heavy workload ---------------------------------------- *)
   let rh_n = if smoke then 64 else 200 in
   let rh_queries = if smoke then 20_000 else 500_000 in
@@ -1883,8 +2134,7 @@ let maintenance () =
     (sp_ref /. Float.max 1e-9 sp_fast)
     (if sp_identical then "identical" else "DIFFER");
   let file = "BENCH_maintenance.json" in
-  write_maintenance_json ~file storms
-    ~big_storm:(bs_n, List.length bs_ops, bs_seconds, bs_consistent)
+  write_maintenance_json ~file storms ~ladder
     ~route_heavy:
       ( rh_n, rh_queries, rh_ref, rh_fast, !rh_agree,
         (cache.FM.hits, cache.FM.misses, cache.FM.invalidations) )
@@ -1893,9 +2143,30 @@ let maintenance () =
   let storm_mismatch = List.exists (fun s -> not s.st_identical) storms in
   if storm_mismatch then
     Printf.printf "FAILURE: fast and reference engines diverged under a repair storm\n";
-  if not bs_consistent then
+  let ladder_inconsistent = List.exists (fun r -> not r.lr_consistent) ladder in
+  if ladder_inconsistent then
     Printf.printf
-      "FAILURE: fast engine inconsistent after the n=%d scale storm\n" bs_n;
+      "FAILURE: union-find engine inconsistent after a ladder storm\n";
+  let ladder_mismatch =
+    List.exists (fun r -> r.lr_identical = Some false) ladder
+  in
+  if ladder_mismatch then
+    Printf.printf
+      "FAILURE: union-find and rescan engines diverged on a ladder rung\n";
+  let speedup_short =
+    (not smoke)
+    && List.exists
+         (fun r ->
+           r.lr_n = 4_096
+           &&
+           match r.lr_scan_seconds with
+           | Some s -> s /. Float.max 1e-9 r.lr_uf_seconds < 5.0
+           | None -> false)
+         ladder
+  in
+  if speedup_short then
+    Printf.printf
+      "FAILURE: union-find index under 5x vs the rescan baseline at n=4096\n";
   if not !rh_agree then
     Printf.printf "FAILURE: fast and reference routes differ on the route-heavy instance\n";
   if not sp_identical then
@@ -1903,8 +2174,8 @@ let maintenance () =
   if fast_vf > 0 || ref_vf > 0 then
     Printf.printf "FAILURE: route validation failures (fast %d, reference %d)\n"
       fast_vf ref_vf;
-  if storm_mismatch || (not bs_consistent) || (not !rh_agree)
-     || (not sp_identical) || fast_vf > 0 || ref_vf > 0
+  if storm_mismatch || ladder_inconsistent || ladder_mismatch || speedup_short
+     || (not !rh_agree) || (not sp_identical) || fast_vf > 0 || ref_vf > 0
   then exit 1
 
 (* ------------------------------------------------------------------ *)
@@ -2022,6 +2293,11 @@ let lint () =
                     ("errors", Lr_lint.Json.Int errors);
                     ("warnings", Lr_lint.Json.Int warnings);
                     ("seconds", Lr_lint.Json.Float seconds);
+                    ( "available_domains",
+                      Lr_lint.Json.Int (Domain.recommended_domain_count ()) );
+                    ( "scaling_valid",
+                      Lr_lint.Json.Bool (Domain.recommended_domain_count () >= 1)
+                    );
                   ])));
       Printf.printf "wrote %s\n" file;
       List.iter

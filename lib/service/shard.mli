@@ -62,6 +62,14 @@ val cache_stats : t -> Fast_maintenance.cache_stats option
 (** Next-hop cache counters of the current maintenance session; [None]
     on the reference engine (which has no cache). *)
 
+val in_dest_component : t -> Node.t -> bool
+(** Membership in the destination's component — O(α) on the fast tier
+    (the union-find seniority index), a component walk on the
+    reference.  False for unknown nodes. *)
+
+val component_size : t -> int
+(** Nodes currently in the destination's component. *)
+
 type outcome = {
   response : Op.response;
   work : int;  (** Reversal steps this op performed. *)

@@ -146,6 +146,168 @@ let test_errors_match_reference () =
     (raises (fun () -> ignore (FM.fail_node sys.f (FM.destination sys.f))));
   agree "after rejected calls" sys
 
+(* {1 Component index} *)
+
+(* Pinned partition→heal cycles against the reference oracle — the
+   lazy-split soft spot: a cut only dirties the detached class, churn
+   inside the lost side piles up pending sinks in its bag, and the
+   heal must re-identify exactly the reattached side and requeue its
+   sinks.  Every phase asserts full byte-identity ([agree] compares
+   work, graph, heights, routes) plus [FM.consistent], under both
+   rules. *)
+let test_partition_heal_pinned () =
+  (* Two branches off the destination with a cross link:
+     0 -> 1 -> 2 -> 3 and 0 -> 4 -> 5 -> 6, plus 3 -> 6. *)
+  let config =
+    Config.make_exn
+      (Digraph.of_directed_edges
+         [ (0, 1); (1, 2); (2, 3); (0, 4); (4, 5); (5, 6); (3, 6) ])
+      ~destination:0
+  in
+  List.iter
+    (fun rule ->
+      let sys = make rule config in
+      check_bool "engine under test is the union-find index" true
+        (FM.index sys.f = FM.Uf);
+      agree "create" sys;
+      (* Phase 1: sever the whole right branch (both entry points). *)
+      check_result "cut 0-4" (M.fail_link sys.m 0 4) (FM.fail_link sys.f 0 4);
+      agree "right branch dangling" sys;
+      check_result "cut 3-6" (M.fail_link sys.m 3 6) (FM.fail_link sys.f 3 6);
+      agree "right branch lost" sys;
+      check_bool "4 detached" false (FM.in_dest_component sys.f 4);
+      check_bool "1 still in" true (FM.in_dest_component sys.f 1);
+      check_int "component shrank to the left branch" 4
+        (FM.component_size sys.f);
+      (* Phase 2: churn inside the lost side — splits and re-adds that
+         only the lazy index sees as dirt, leaving pending sinks in
+         the class bag. *)
+      check_result "cut 5-6" (M.fail_link sys.m 5 6) (FM.fail_link sys.f 5 6);
+      M.add_link sys.m 5 6;
+      FM.add_link sys.f 5 6;
+      check_result "cut 4-5" (M.fail_link sys.m 4 5) (FM.fail_link sys.f 4 5);
+      agree "lost side churned" sys;
+      (* Phase 3: heal deepest-first, so each absorb drags a dirty
+         class back through re-identification. *)
+      M.add_link sys.m 3 6;
+      FM.add_link sys.f 3 6;
+      agree "6 healed" sys;
+      check_bool "6 rejoined" true (FM.in_dest_component sys.f 6);
+      M.add_link sys.m 4 5;
+      FM.add_link sys.f 4 5;
+      agree "4-5 healed" sys;
+      check_int "everyone back" 7 (FM.component_size sys.f);
+      (* Phase 4: a node failure and its aftermath on the healed graph. *)
+      check_result "fail node 5" (M.fail_node sys.m 5) (FM.fail_node sys.f 5);
+      agree "node failure" sys;
+      M.add_link sys.m 5 6;
+      FM.add_link sys.f 5 6;
+      agree "failed node rewired" sys;
+      check_bool "oriented at the end" true
+        (FM.is_destination_oriented sys.f))
+    [ M.Partial_reversal; M.Full_reversal ]
+
+(* The union-find index against the eager rescan baseline it
+   replaced, in lockstep under seeded churn: responses, counters,
+   fingerprints and both engines' own invariants must match at every
+   event. *)
+let test_scan_uf_differential () =
+  List.iter
+    (fun (rule, seed) ->
+      let config = random_config ~extra_edges:2 ~seed 16 in
+      let scan = FM.create ~index:FM.Scan rule config in
+      let uf = FM.create ~index:FM.Uf rule config in
+      let rand = rng (seed + 101) in
+      let both what f =
+        let a = f scan and b = f uf in
+        check_result what a b
+      in
+      let settled what =
+        check_int (what ^ ": total work") (FM.total_work scan)
+          (FM.total_work uf);
+        check_int (what ^ ": component size") (FM.component_size scan)
+          (FM.component_size uf);
+        Alcotest.check digraph_testable (what ^ ": graph") (FM.graph scan)
+          (FM.graph uf);
+        for u = 0 to 15 do
+          Alcotest.check route_testable
+            (Printf.sprintf "%s: route %d" what u)
+            (FM.route scan u) (FM.route uf u);
+          check_bool
+            (Printf.sprintf "%s: membership %d" what u)
+            (FM.in_dest_component scan u)
+            (FM.in_dest_component uf u)
+        done;
+        check_bool (what ^ ": scan consistent") true (FM.consistent scan);
+        check_bool (what ^ ": uf consistent") true (FM.consistent uf)
+      in
+      settled "create";
+      for k = 1 to 240 do
+        let u = Random.State.int rand 16 and v = Random.State.int rand 16 in
+        if u <> v then begin
+          let what = Printf.sprintf "event %d (%d,%d)" k u v in
+          if k mod 23 = 0 then begin
+            let victim = if u = FM.destination scan then v else u in
+            both what (fun f -> FM.fail_node f victim)
+          end
+          else if FM.mem_edge scan u v then
+            both what (fun f -> FM.fail_link f u v)
+          else begin
+            FM.add_link scan u v;
+            FM.add_link uf u v
+          end;
+          settled what
+        end
+      done)
+    [ (M.Partial_reversal, 31); (M.Full_reversal, 32); (M.Partial_reversal, 33) ]
+
+(* Repeated partition→heal cycles leak ghost slots until the arena
+   passes [8n + 64] and compacts; the rebuild must be invisible to
+   semantics. *)
+let test_compaction_rebuilds () =
+  let config =
+    Config.make_exn
+      (Digraph.of_directed_edges
+         [ (0, 1); (1, 2); (2, 3); (3, 4); (4, 5); (5, 6); (6, 7) ])
+      ~destination:0
+  in
+  let sys = make M.Partial_reversal config in
+  for _ = 1 to 48 do
+    check_result "cycle cut" (M.fail_link sys.m 3 4) (FM.fail_link sys.f 3 4);
+    M.add_link sys.m 3 4;
+    FM.add_link sys.f 3 4
+  done;
+  let stats = FM.index_stats sys.f in
+  check_bool "the arena compacted at least once" true (stats.FM.rebuilds >= 1);
+  check_bool "slots back under the compaction bound" true
+    (stats.FM.slots <= (8 * 8) + 64);
+  agree "after compaction churn" sys
+
+(* [in_dest_component] is the serving layer's O(α) No_route honesty
+   check: on a stabilized engine it must answer exactly what the BFS
+   [has_path] answers, through partitions and heals. *)
+let test_membership_answers_reachability () =
+  let config = random_config ~extra_edges:1 ~seed:44 12 in
+  let f = FM.create M.Partial_reversal config in
+  let rand = rng 440 in
+  let sweep what =
+    for u = 0 to 11 do
+      check_bool
+        (Printf.sprintf "%s: membership = reachability for %d" what u)
+        (FM.has_path f u)
+        (FM.in_dest_component f u)
+    done
+  in
+  sweep "create";
+  for k = 1 to 150 do
+    let u = Random.State.int rand 12 and v = Random.State.int rand 12 in
+    if u <> v then begin
+      if FM.mem_edge f u v then ignore (FM.fail_link f u v)
+      else FM.add_link f u v;
+      sweep (Printf.sprintf "event %d" k)
+    end
+  done
+
 (* {1 Next-hop cache} *)
 
 let test_cache_hits_when_quiescent () =
@@ -203,6 +365,17 @@ let () =
             test_reconnection_finds_stale_sinks;
           case "invalid calls rejected like the reference"
             test_errors_match_reference;
+        ];
+      suite "component index"
+        [
+          case "partition→heal cycles byte-identical (pinned)"
+            test_partition_heal_pinned;
+          case "union-find vs rescan baseline in lockstep"
+            test_scan_uf_differential;
+          case "ghost-slot pressure triggers compaction"
+            test_compaction_rebuilds;
+          case "membership answers reachability"
+            test_membership_answers_reachability;
         ];
       suite "route cache"
         [
