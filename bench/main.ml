@@ -103,6 +103,8 @@ let t1_active_trials () =
 
 let t1_run ~jobs =
   let active = t1_active_trials () in
+  (* lr:owner trial: each acyclicity trial owns its generator, executor
+     and certificate state; only the result array slot is shared. *)
   P.map_range ~jobs (Array.length active) (fun i -> t1_trial active.(i))
 
 let t1 () =
@@ -893,6 +895,7 @@ let parallel () =
     let seq_seconds = Array.fold_left ( +. ) 0.0 per_trial_seconds in
     let par_out, par_seconds =
       P.timed (fun () ->
+          (* lr:owner trial: same per-trial ownership as [t1_run]. *)
           P.map_range ~jobs:par_jobs (Array.length active) (fun i ->
               t1_trial active.(i)))
     in
@@ -2255,12 +2258,16 @@ let micro () =
 
 (* ------------------------------------------------------------------ *)
 (* D-L1: the static analyser over the whole library tree — wall clock
-   and a hard failure if the tree stopped linting clean. *)
+   and a hard failure if the tree stopped linting clean.  D-L2: the
+   interprocedural domain-safety pass (call-graph construction plus
+   rules L5-L8), gated at five seconds end to end. *)
 
 let lint () =
   section "D-L1" "lr_lint static analysis of lib/ (typed-tree walk)";
   let module Lint = Lr_lint.Lint in
   let module Diagnostic = Lr_lint.Diagnostic in
+  let module Rule = Lr_lint.Rule in
+  let module Ds = Lr_lint.Domain_safety in
   let root = if Sys.file_exists "_build/default" then "." else "../.." in
   let config = Lint.default_config ~root in
   let result, seconds = P.timed (fun () -> Lint.run config) in
@@ -2283,6 +2290,81 @@ let lint () =
                Printf.sprintf "%.3f s" seconds;
              ];
            ]);
+      let safety_gate = 5.0 in
+      let safety_json =
+        match r.Lint.safety with
+        | None -> Lr_lint.Json.Null
+        | Some s ->
+            let st = s.Lint.stats in
+            let rule_count rule =
+              List.length
+                (List.filter
+                   (fun (d : Diagnostic.t) -> Rule.equal d.Diagnostic.rule rule)
+                   r.Lint.diagnostics)
+            in
+            section "D-L2"
+              "domain-safety analysis (cross-module call graph, L5-L8)";
+            T.print
+              ~title:"interprocedural call graph"
+              (T.make
+                 ~headers:
+                   [ "nodes"; "edges"; "roots"; "crossing"; "resident";
+                     "boundaries"; "suppressed"; "analyse" ]
+                 [
+                   [
+                     string_of_int st.Ds.nodes;
+                     string_of_int st.Ds.edges;
+                     string_of_int st.Ds.roots;
+                     string_of_int st.Ds.crossing;
+                     string_of_int st.Ds.resident;
+                     string_of_int st.Ds.boundaries;
+                     string_of_int st.Ds.owner_suppressed;
+                     Printf.sprintf "%.3f s" s.Lint.analyse_seconds;
+                   ];
+                 ]);
+            T.print
+              ~title:"findings and wall clock per safety rule"
+              (T.make
+                 ~headers:[ "rule"; "findings"; "wall" ]
+                 (List.map
+                    (fun (rule, rule_seconds) ->
+                      [
+                        Rule.id rule;
+                        string_of_int (rule_count rule);
+                        Printf.sprintf "%.6f s" rule_seconds;
+                      ])
+                    s.Lint.timings));
+            let total =
+              List.fold_left
+                (fun acc (_, t) -> acc +. t)
+                s.Lint.analyse_seconds s.Lint.timings
+            in
+            Lr_lint.Json.Obj
+              [
+                ("nodes", Lr_lint.Json.Int st.Ds.nodes);
+                ("edges", Lr_lint.Json.Int st.Ds.edges);
+                ("roots", Lr_lint.Json.Int st.Ds.roots);
+                ("crossing", Lr_lint.Json.Int st.Ds.crossing);
+                ("resident", Lr_lint.Json.Int st.Ds.resident);
+                ("boundaries", Lr_lint.Json.Int st.Ds.boundaries);
+                ("owner_suppressed", Lr_lint.Json.Int st.Ds.owner_suppressed);
+                ("analyse_seconds", Lr_lint.Json.Float s.Lint.analyse_seconds);
+                ( "rules",
+                  Lr_lint.Json.Arr
+                    (List.map
+                       (fun (rule, rule_seconds) ->
+                         Lr_lint.Json.Obj
+                           [
+                             ("rule", Lr_lint.Json.Str (Rule.id rule));
+                             ("findings", Lr_lint.Json.Int (rule_count rule));
+                             ("seconds", Lr_lint.Json.Float rule_seconds);
+                           ])
+                       s.Lint.timings) );
+                ("total_seconds", Lr_lint.Json.Float total);
+                ("gate_seconds", Lr_lint.Json.Float safety_gate);
+                ("within_gate", Lr_lint.Json.Bool (total < safety_gate));
+              ]
+      in
       let file = "BENCH_lint.json" in
       Out_channel.with_open_text file (fun oc ->
           Out_channel.output_string oc
@@ -2293,6 +2375,7 @@ let lint () =
                     ("errors", Lr_lint.Json.Int errors);
                     ("warnings", Lr_lint.Json.Int warnings);
                     ("seconds", Lr_lint.Json.Float seconds);
+                    ("domain_safety", safety_json);
                     ( "available_domains",
                       Lr_lint.Json.Int (Domain.recommended_domain_count ()) );
                     ( "scaling_valid",
@@ -2307,7 +2390,23 @@ let lint () =
       then begin
         Printf.printf "FAILURE: the library tree no longer lints clean\n";
         exit 1
-      end
+      end;
+      (match r.Lint.safety with
+      | None ->
+          Printf.printf "FAILURE: the domain-safety rules did not run\n";
+          exit 1
+      | Some s ->
+          let total =
+            List.fold_left
+              (fun acc (_, t) -> acc +. t)
+              s.Lint.analyse_seconds s.Lint.timings
+          in
+          if total >= safety_gate then begin
+            Printf.printf
+              "FAILURE: domain-safety analysis took %.3f s (gate %.1f s)\n"
+              total safety_gate;
+            exit 1
+          end)
 
 (* ------------------------------------------------------------------ *)
 (* D-B1 (packet): the forwarding layer end to end — throughput vs

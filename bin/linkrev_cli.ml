@@ -228,6 +228,8 @@ let check_cmd =
     (* each instance's checks are independent: fan the instances out
        over the pool, print in deterministic instance order after *)
     let reports =
+      (* lr:owner instance: each model-checked instance explores its own
+         state space; reports meet only in the result array. *)
       Lr_parallel.Pool.map_range ~jobs (Array.length fams) (fun i ->
           Lr_modelcheck.Modelcheck.check_all fams.(i))
     in
@@ -1101,6 +1103,9 @@ module Lint_cli = struct
 
   let parse_rules = function
     | None -> Ok Rule.all
+    | Some s when String.equal (String.lowercase_ascii (String.trim s)) "all"
+      ->
+        Ok Rule.all
     | Some s ->
         let rec go acc = function
           | [] -> Ok (List.rev acc)
@@ -1109,7 +1114,7 @@ module Lint_cli = struct
               | Some r -> go (r :: acc) rest
               | None ->
                   Error
-                    (Printf.sprintf "unknown rule %S (expected l1, l2, l3 or l4)"
+                    (Printf.sprintf "unknown rule %S (expected l1..l8 or all)"
                        id))
         in
         go [] (String.split_on_char ',' s)
@@ -1129,7 +1134,9 @@ module Lint_cli = struct
             ~doc:
               "Comma-separated subset of rules to run (l1 poly-ops, l2 \
                domain-race surface, l3 interface hygiene, l4 forbidden \
-               constructs). Default: all four.")
+               constructs, l5 race candidates, l6 resident-loop blocking, \
+               l7 escaping exceptions, l8 atomic overhead), or $(b,all). \
+               Default: all eight.")
     in
     let json_arg =
       Arg.(
@@ -1183,8 +1190,16 @@ module Lint_cli = struct
               "Source directory to report on, relative to the root \
                (repeatable; default: lib).")
     in
-    let lint rules json output baseline write_baseline allow root build_dir
-        dirs =
+    let allow_strict_arg =
+      Arg.(
+        value & flag
+        & info [ "allow-strict" ]
+            ~doc:
+              "Fail when the allowlist carries entries no finding matched: \
+               dead suppressions hide future regressions.")
+    in
+    let lint rules json output baseline write_baseline allow allow_strict root
+        build_dir dirs =
       let ( let* ) r f = match r with Error e -> `Error (false, e) | Ok v -> f v in
       let* rules = parse_rules rules in
       let* allow = load_allow root allow in
@@ -1213,7 +1228,10 @@ module Lint_cli = struct
                 Result.map (fun b -> Baseline.apply b all) (Baseline.load file)
           in
           let units = report.Lint.units in
-          let doc = Lint.report_json ~units ~suppressed kept in
+          let doc =
+            Lint.report_json ~units ~suppressed ~safety:report.Lint.safety
+              kept
+          in
           Option.iter
             (fun file ->
               Out_channel.with_open_text file (fun oc ->
@@ -1223,25 +1241,100 @@ module Lint_cli = struct
           else (
             List.iter (fun d -> print_endline (Diagnostic.to_human d)) kept;
             print_endline (Lint.summary ~units ~suppressed kept));
-          if List.compare_length_with kept 0 = 0 then `Ok ()
-          else
+          let unused = if allow_strict then Allowlist.unused allow else [] in
+          List.iter
+            (fun e -> Printf.eprintf "unused allowlist entry: %s\n" e)
+            unused;
+          if
+            List.compare_length_with kept 0 = 0
+            && List.compare_length_with unused 0 = 0
+          then `Ok ()
+          else if List.compare_length_with kept 0 > 0 then
             `Error
               ( false,
                 Printf.sprintf "lint failed with %d finding(s)"
                   (List.length kept) )
+          else
+            `Error
+              ( false,
+                Printf.sprintf "lint failed: %d unused allowlist entr%s"
+                  (List.length unused)
+                  (if List.compare_length_with unused 1 = 0 then "y" else "ies")
+              )
     in
     let term =
       Term.(
         ret
           (const lint $ rules_arg $ json_arg $ output_arg $ baseline_arg
-          $ write_baseline_arg $ allow_arg $ root_arg $ build_dir_arg $ dir_arg))
+          $ write_baseline_arg $ allow_arg $ allow_strict_arg $ root_arg
+          $ build_dir_arg $ dir_arg))
     in
     Cmd.v
       (Cmd.info "lint"
          ~doc:
            "Static analysis over the dune-produced typed trees: hot-path \
             purity (l1), domain-race surface (l2), interface hygiene (l3), \
-            forbidden constructs (l4).")
+            forbidden constructs (l4), plus the interprocedural \
+            domain-safety rules over the cross-module call graph: race \
+            candidates (l5), resident-loop blocking (l6), escaping \
+            exceptions (l7), single-context atomics (l8).")
+      term
+
+  let callgraph_cmd =
+    let dot_arg =
+      Arg.(
+        value & opt (some string) None
+        & info [ "dot" ] ~docv:"FILE"
+            ~doc:
+              "Write the domain-safety subgraph (roots, crossing/resident \
+               sets, owner boundaries) as Graphviz DOT to $(docv).")
+    in
+    let root_arg =
+      Arg.(
+        value & opt string "."
+        & info [ "root" ] ~docv:"DIR" ~doc:"Repository root.")
+    in
+    let build_dir_arg =
+      Arg.(
+        value & opt (some string) None
+        & info [ "build-dir" ] ~docv:"DIR"
+            ~doc:"Dune context root (default: ROOT/_build/default).")
+    in
+    let callgraph dot root build_dir =
+      let config =
+        let c = Lint.default_config ~root in
+        {
+          c with
+          Lint.build_dir = Option.value build_dir ~default:c.Lint.build_dir;
+        }
+      in
+      match Lint.callgraph_analysis config with
+      | Error e -> `Error (false, e)
+      | Ok analysis ->
+          let s = Domain_safety.stats analysis in
+          Printf.printf
+            "callgraph: %d node(s), %d edge(s), %d root(s); crossing %d, \
+             resident %d, owner boundaries %d\n"
+            s.Domain_safety.nodes s.Domain_safety.edges s.Domain_safety.roots
+            s.Domain_safety.crossing s.Domain_safety.resident
+            s.Domain_safety.boundaries;
+          Option.iter
+            (fun file ->
+              Out_channel.with_open_text file (fun oc ->
+                  Out_channel.output_string oc
+                    (Domain_safety.to_dot analysis));
+              Printf.printf "wrote %s\n" file)
+            dot;
+          `Ok ()
+    in
+    let term =
+      Term.(ret (const callgraph $ dot_arg $ root_arg $ build_dir_arg)) in
+    Cmd.v
+      (Cmd.info "callgraph"
+         ~doc:
+           "Debug view of the interprocedural call graph behind the \
+            domain-safety lint rules: prints its size and the \
+            crossing/resident set sizes, optionally dumping DOT.")
       term
 end
 
@@ -1775,6 +1868,6 @@ let main_cmd =
     [ run_cmd; sweep_cmd; check_cmd; game_cmd; stats_cmd; theorems_cmd;
       tora_cmd; generate_cmd; Trace_cli.cmd; Service_cli.serve_cmd;
       Service_cli.loadgen_cmd; Packet_cli.cmd; Chaos_cli.cmd;
-      Storm_cli.cmd; Lint_cli.lint_cmd ]
+      Storm_cli.cmd; Lint_cli.lint_cmd; Lint_cli.callgraph_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -58,6 +58,8 @@ let sweep ?seed ?max_steps ?(jobs = 1) algorithm ~family ~sizes () =
     }
   in
   Array.to_list
+    (* lr:owner trial: each parallel trial builds and mutates a private
+       engine instance; nothing outlives its slot in the result array. *)
     (Lr_parallel.Pool.map_range ~jobs (Array.length sizes) (fun i ->
          one sizes.(i)))
 
@@ -89,6 +91,8 @@ let sweep_fast ?max_steps ?(jobs = 1) algorithm ~family ~sizes () =
     }
   in
   Array.to_list
+    (* lr:owner trial: each parallel trial builds and mutates a private
+       engine instance; nothing outlives its slot in the result array. *)
     (Lr_parallel.Pool.map_range ~jobs (Array.length sizes) (fun i ->
          one sizes.(i)))
 

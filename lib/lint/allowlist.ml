@@ -1,4 +1,4 @@
-type entry = { rule : Rule.t option; pattern : string }
+type entry = { rule : Rule.t option; pattern : string; mutable used : bool }
 type t = entry list
 
 let empty = []
@@ -13,8 +13,12 @@ let matches pattern name =
 let mem t ~rule name =
   List.exists
     (fun e ->
-      (match e.rule with None -> true | Some r -> Rule.equal r rule)
-      && matches e.pattern name)
+      let hit =
+        (match e.rule with None -> true | Some r -> Rule.equal r rule)
+        && matches e.pattern name
+      in
+      if hit then e.used <- true;
+      hit)
     t
 
 let parse_line lineno line =
@@ -30,13 +34,13 @@ let parse_line lineno line =
   in
   match words with
   | [] -> Ok None
-  | [ pattern ] -> Ok (Some { rule = None; pattern })
+  | [ pattern ] -> Ok (Some { rule = None; pattern; used = false })
   | [ rule_word; pattern ] -> (
       match Rule.of_string rule_word with
-      | Some r -> Ok (Some { rule = Some r; pattern })
+      | Some r -> Ok (Some { rule = Some r; pattern; used = false })
       | None ->
           Error
-            (Printf.sprintf "line %d: unknown rule %S (expected L1..L4)" lineno
+            (Printf.sprintf "line %d: unknown rule %S (expected L1..L8)" lineno
                rule_word))
   | _ ->
       Error
@@ -64,3 +68,14 @@ let load path =
       | Ok t -> Ok t)
 
 let size t = List.length t
+
+let unused t =
+  List.filter_map
+    (fun e ->
+      if e.used then None
+      else
+        Some
+          (match e.rule with
+          | Some r -> Rule.id r ^ " " ^ e.pattern
+          | None -> e.pattern))
+    t

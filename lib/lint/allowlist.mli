@@ -16,8 +16,15 @@ type t
 val empty : t
 
 val mem : t -> rule:Rule.t -> string -> bool
-(** Is [name] allowlisted for [rule]? *)
+(** Is [name] allowlisted for [rule]?  Matching entries are marked
+    used (see {!unused}). *)
 
 val of_lines : string list -> (t, string) result
 val load : string -> (t, string) result
 val size : t -> int
+
+val unused : t -> string list
+(** Entries never matched by any {!mem} call since loading, rendered
+    back in file syntax ([\[RULE \]pattern]).  A lint run that ends
+    with unused entries is carrying dead suppressions; [--allow-strict]
+    turns that into a failure. *)

@@ -17,7 +17,17 @@ let default_config ~root =
     allow = Allowlist.empty;
   }
 
-type report = { diagnostics : Diagnostic.t list; units : int }
+type safety = {
+  stats : Domain_safety.stats;
+  timings : (Rule.t * float) list;
+  analyse_seconds : float;
+}
+
+type report = {
+  diagnostics : Diagnostic.t list;
+  units : int;
+  safety : safety option;
+}
 
 (* Directories on the request/repair hot path: L1 findings there are
    errors, elsewhere warnings.  Every finding still fails the lint. *)
@@ -162,7 +172,78 @@ let l4_diags config (u : Cmt_unit.t) (facts : Walk.facts) =
              f.Walk.forbid_loc msg))
     facts.Walk.forbiddens
 
+(* --- L5..L8: interprocedural domain safety ------------------------ *)
+
+(* The safety rules report over the library tree AND bin/bench: a race
+   seeded from a CLI driver is just as much a race.  L8 is a smell,
+   not a bug, so it lands as a warning. *)
+let safety_passes =
+  [
+    (Rule.L5, Domain_safety.l5_findings, Diagnostic.Error);
+    (Rule.L6, Domain_safety.l6_findings, Diagnostic.Error);
+    (Rule.L7, Domain_safety.l7_findings, Diagnostic.Error);
+    (Rule.L8, Domain_safety.l8_findings, Diagnostic.Warning);
+  ]
+
+let safety_diags config units =
+  if
+    not
+      (List.exists
+         (fun (r, _, _) -> enabled config r)
+         safety_passes)
+  then (None, [])
+  else
+    let t0 = Unix.gettimeofday () in
+    let graph = Callgraph.build units in
+    let analysis = Domain_safety.analyse ~root:config.root graph in
+    let analyse_seconds = Unix.gettimeofday () -. t0 in
+    let timings = ref [] in
+    let diags = ref [] in
+    List.iter
+      (fun (rule, pass, severity) ->
+        if enabled config rule then (
+          let t0 = Unix.gettimeofday () in
+          let findings = pass analysis in
+          timings := (rule, Unix.gettimeofday () -. t0) :: !timings;
+          List.iter
+            (fun (f : Domain_safety.finding) ->
+              if not (allowed config rule [ f.Domain_safety.node ]) then
+                diags :=
+                  Diagnostic.of_location ~rule ~severity f.Domain_safety.loc
+                    f.Domain_safety.message
+                  :: !diags)
+            findings))
+      safety_passes;
+    ( Some
+        {
+          stats = Domain_safety.stats analysis;
+          timings = List.rev !timings;
+          analyse_seconds;
+        },
+      List.rev !diags )
+
 (* --- driver -------------------------------------------------------- *)
+
+let load_units config =
+  let units, cmi_dirs = Cmt_unit.load_tree config.build_dir in
+  if List.compare_length_with units 0 = 0 then
+    Error
+      (Printf.sprintf "no .cmt files under %s (run 'dune build' first)"
+         config.build_dir)
+  else (
+    init_load_path cmi_dirs;
+    Ok units)
+
+let callgraph_analysis config =
+  Result.map
+    (fun units ->
+      let scanned =
+        List.filter
+          (Cmt_unit.in_dirs (config.dirs @ config.capture_dirs))
+          units
+      in
+      Domain_safety.analyse ~root:config.root (Callgraph.build scanned))
+    (load_units config)
 
 let run config =
   let units, cmi_dirs = Cmt_unit.load_tree config.build_dir in
@@ -207,6 +288,9 @@ let run config =
         all_facts
     in
     let reachable = l2_reachable units (List.sort_uniq String.compare roots) in
+    let safety, sdiags =
+      safety_diags config (report_units @ capture_units)
+    in
     let diags =
       List.concat
         [
@@ -220,12 +304,14 @@ let run config =
           (if enabled config Rule.L4 then
              List.concat_map (fun (u, f) -> l4_diags config u f) report_facts
            else []);
+          sdiags;
         ]
     in
     Ok
       {
         diagnostics = Diagnostic.finalize diags;
         units = List.length report_units;
+        safety;
       })
 
 (* --- rendering ----------------------------------------------------- *)
@@ -247,13 +333,45 @@ let summary ~units ~suppressed diags =
     (count Diagnostic.Warning diags)
     (if suppressed > 0 then Printf.sprintf ", %d baselined" suppressed else "")
 
-let report_json ~units ~suppressed diags =
+let count_rule rule diags =
+  List.length
+    (List.filter (fun (d : Diagnostic.t) -> Rule.equal d.Diagnostic.rule rule)
+       diags)
+
+let safety_json diags s =
   Json.Obj
     [
-      ("version", Json.Int 1);
-      ("units", Json.Int units);
-      ("errors", Json.Int (count Diagnostic.Error diags));
-      ("warnings", Json.Int (count Diagnostic.Warning diags));
-      ("suppressed", Json.Int suppressed);
-      ("findings", Json.Arr (List.map Diagnostic.to_json diags));
+      ("nodes", Json.Int s.stats.Domain_safety.nodes);
+      ("edges", Json.Int s.stats.Domain_safety.edges);
+      ("roots", Json.Int s.stats.Domain_safety.roots);
+      ("crossing", Json.Int s.stats.Domain_safety.crossing);
+      ("resident", Json.Int s.stats.Domain_safety.resident);
+      ("boundaries", Json.Int s.stats.Domain_safety.boundaries);
+      ("owner_suppressed", Json.Int s.stats.Domain_safety.owner_suppressed);
+      ("analyse_seconds", Json.Float s.analyse_seconds);
+      ( "rules",
+        Json.Arr
+          (List.map
+             (fun (r, dt) ->
+               Json.Obj
+                 [
+                   ("rule", Json.Str (Rule.id r));
+                   ("findings", Json.Int (count_rule r diags));
+                   ("seconds", Json.Float dt);
+                 ])
+             s.timings) );
     ]
+
+let report_json ~units ~suppressed ~safety diags =
+  Json.Obj
+    ([
+       ("version", Json.Int 2);
+       ("units", Json.Int units);
+       ("errors", Json.Int (count Diagnostic.Error diags));
+       ("warnings", Json.Int (count Diagnostic.Warning diags));
+       ("suppressed", Json.Int suppressed);
+     ]
+    @ (match safety with
+      | Some s -> [ ("domain_safety", safety_json diags s) ]
+      | None -> [])
+    @ [ ("findings", Json.Arr (List.map Diagnostic.to_json diags)) ])

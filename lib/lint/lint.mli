@@ -1,10 +1,13 @@
 (** The lint driver: loads dune-produced [.cmt] typed trees and checks
-    the four rules ({!Rule.t}) over the configured source dirs.
+    the rules ({!Rule.t}) over the configured source dirs.
 
-    [dirs] (default [lib]) are reported on; [capture_dirs] (default
-    [bin], [bench]) are additionally scanned so Pool-parallel regions
-    launched from executables count as L2 roots without their own
-    findings being reported. *)
+    For the intraprocedural rules (L1–L4), [dirs] (default [lib]) are
+    reported on and [capture_dirs] (default [bin], [bench]) are
+    additionally scanned so Pool-parallel regions launched from
+    executables count as L2 roots without their own findings being
+    reported.  The interprocedural domain-safety rules (L5–L8,
+    {!Domain_safety}) report over [dirs] {e and} [capture_dirs]: a
+    race seeded from a CLI driver is just as much a race. *)
 
 type config = {
   root : string;  (** repo root (where [lib/] lives) *)
@@ -17,12 +20,31 @@ type config = {
 
 val default_config : root:string -> config
 
-type report = { diagnostics : Diagnostic.t list; units : int }
+type safety = {
+  stats : Domain_safety.stats;
+  timings : (Rule.t * float) list;
+      (** wall seconds per enabled safety rule, in L5..L8 order *)
+  analyse_seconds : float;
+      (** call-graph construction + reachability sets *)
+}
+
+type report = {
+  diagnostics : Diagnostic.t list;
+  units : int;
+  safety : safety option;  (** present when any of L5–L8 ran *)
+}
 
 val run : config -> (report, string) result
 (** [Error _] only for environmental failures (no cmts found); findings
     are data, not errors. *)
 
+val callgraph_analysis : config -> (Domain_safety.t, string) result
+(** Build the call graph over [dirs @ capture_dirs] and analyse it,
+    without running any rules — backs [linkrev callgraph --dot]. *)
+
 val count : Diagnostic.severity -> Diagnostic.t list -> int
 val summary : units:int -> suppressed:int -> Diagnostic.t list -> string
-val report_json : units:int -> suppressed:int -> Diagnostic.t list -> Json.t
+
+val report_json :
+  units:int -> suppressed:int -> safety:safety option -> Diagnostic.t list ->
+  Json.t

@@ -1,8 +1,16 @@
-type t = L1 | L2 | L3 | L4
+type t = L1 | L2 | L3 | L4 | L5 | L6 | L7 | L8
 
-let all = [ L1; L2; L3; L4 ]
+let all = [ L1; L2; L3; L4; L5; L6; L7; L8 ]
 
-let id = function L1 -> "L1" | L2 -> "L2" | L3 -> "L3" | L4 -> "L4"
+let id = function
+  | L1 -> "L1"
+  | L2 -> "L2"
+  | L3 -> "L3"
+  | L4 -> "L4"
+  | L5 -> "L5"
+  | L6 -> "L6"
+  | L7 -> "L7"
+  | L8 -> "L8"
 
 let of_string s =
   match String.uppercase_ascii (String.trim s) with
@@ -10,6 +18,10 @@ let of_string s =
   | "L2" -> Some L2
   | "L3" -> Some L3
   | "L4" -> Some L4
+  | "L5" -> Some L5
+  | "L6" -> Some L6
+  | "L7" -> Some L7
+  | "L8" -> Some L8
   | _ -> None
 
 let describe = function
@@ -23,6 +35,18 @@ let describe = function
   | L4 ->
       "forbidden constructs: Obj.magic, printing to stdout, and bare exit \
        inside library code"
+  | L5 ->
+      "race candidates: writes to non-atomic mutable state from functions in \
+       the domain-crossing set without an lr:owner discipline"
+  | L6 ->
+      "resident-loop blocking: Mutex.lock, Condition.wait, sleeps, select \
+       and shared-channel printing reachable from resident loop bodies"
+  | L7 ->
+      "escaping exceptions: raise sites that can escape a resident loop body \
+       with no handler inside the loop (a silently dead domain)"
+  | L8 ->
+      "atomic overhead smell: Atomic.t values only ever accessed from \
+       single-domain code, where plain mutable state would do"
 
 let compare a b = Stdlib.compare (id a) (id b)
 let equal a b = Int.equal 0 (compare a b)

@@ -1,6 +1,6 @@
 (** Lint rule identifiers.
 
-    Four rules, individually toggleable from the CLI:
+    Eight rules, individually toggleable from the CLI:
 
     - {b L1 poly-ops} — applications of the polymorphic comparison and
       hashing primitives at non-immediate types.  A generic structural
@@ -15,9 +15,31 @@
       sealed by a matching [.mli].
     - {b L4 forbidden constructs} — [Obj.magic], printing primitives
       that write to stdout (stdout belongs to the service protocol and
-      the CLI), and bare [exit] inside library code. *)
+      the CLI), and bare [exit] inside library code.
 
-type t = L1 | L2 | L3 | L4
+    The {e domain-safety} rules run over the interprocedural call graph
+    ({!Callgraph}) and its domain-crossing set ({!Domain_safety}):
+
+    - {b L5 race candidates} — writes to non-atomic mutable state
+      (refs, mutable record fields, array/bytes cells, mutable
+      containers) in functions reachable from domain-crossing roots
+      (Pool closures, [Spsc.try_push]/[try_pop] call sites,
+      [Domain.spawn]), unless covered by an [(* lr:owner who: why *)]
+      annotation documenting the single-owner discipline.
+    - {b L6 resident-loop blocking} — blocking or unbounded primitives
+      ([Mutex.lock], [Condition.wait], [Unix.sleep]/[sleepf]/[select],
+      channel reads, printing to the shared std channels) reachable
+      from a resident run-to-completion loop body.
+    - {b L7 escaping exceptions} — raise sites whose exception can
+      propagate out of a [Domain.spawn]/[Pool.Persistent.launch]
+      closure with no handler inside the loop: in free-running
+      dispatch that is a silently dead domain.  Re-raises inside an
+      exception handler count as deliberate propagation.
+    - {b L8 atomic overhead smell} — [Atomic.t] values all of whose
+      access sites sit outside the domain-crossing set; the fences buy
+      nothing a plain [ref] would not. *)
+
+type t = L1 | L2 | L3 | L4 | L5 | L6 | L7 | L8
 
 val all : t list
 val id : t -> string

@@ -42,6 +42,12 @@ type facts = {
   pool_uses : pool_use list;
 }
 
+val flatten_dunder : string -> string
+(** Rewrites dune's [Lib__Module] mangling to dotted [Lib.Module]. *)
+
+val strip_stdlib : string -> string
+(** Drops a leading ["Stdlib."] prefix, if any. *)
+
 type env_resolver = Env.t -> Env.t
 (** Rebuilds a usable typing environment from a cmt summary env
     (e.g. [Envaux.env_of_only_summary]); may be the identity when

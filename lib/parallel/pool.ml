@@ -20,6 +20,8 @@ let map_range ?chunk ~jobs n f =
     let results = Array.make n None in
     let cursor = Atomic.make 0 in
     let failure = Atomic.make None in
+    (* lr:owner worker: [results] slots are claimed disjointly through
+       the atomic cursor, so each index has exactly one writer. *)
     let worker () =
       let continue_ = ref true in
       while !continue_ do
@@ -125,6 +127,9 @@ module Persistent = struct
           continue_ := false
     done
 
+  (* lr:owner parked worker: the lock/wait pair is the parking
+     handshake by design, and [t.finished] is only ever written with
+     [t.lock] held. *)
   let worker t idx =
     let seen = ref 0 in
     let running = ref true in
@@ -197,6 +202,9 @@ module Persistent = struct
       t.total <- n;
       t.chunk <- chunk;
       t.pinned <- false;
+      (* lr:owner steal cursor: workers race on this atomic through the
+         [~cursor] parameter of [steal], which the call-graph analysis
+         cannot alias back to the field. *)
       Atomic.set t.cursor 0;
       Atomic.set t.failure None;
       t.finished <- 0;

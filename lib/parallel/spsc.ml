@@ -71,6 +71,9 @@ let length t =
 let is_empty t = Atomic.get t.tail = Atomic.get t.head
 
 (* Producer side. *)
+(* lr:owner producer: single-producer contract — [producer_head] is the
+   producer's private cache and slot writes happen-before the [tail]
+   release publication. *)
 let try_push t x =
   let tl = Atomic.get t.tail in
   if tl - t.producer_head > t.mask then
@@ -83,6 +86,9 @@ let try_push t x =
   end
 
 (* Consumer side. *)
+(* lr:owner consumer: single-consumer contract — [cached_tail] is the
+   consumer's private cache and the slot is read before the [head]
+   release publication frees it. *)
 let try_pop t =
   let h = Atomic.get t.head in
   if h = t.cached_tail then t.cached_tail <- Atomic.get t.tail;

@@ -94,6 +94,10 @@ let metrics t = Metrics.snapshot t.metrics
    on the windowed path, the token holder on the free-running path).
    Identical on both paths, so counters — and hence the fingerprint —
    depend only on *which* ops execute, never on the dispatch mode. *)
+(* lr:owner shard token holder: ops for one shard are serialized by the
+   per-shard ownership token (windowed round or SPSC pop under
+   [try_drain]), so the shard, its metrics counter and everything the
+   apply path touches have exactly one writer at a time. *)
 let serve_op t ops responses admit_time s idx =
   let op = ops.(idx) in
   (* Chaos ops are timed around the shard call itself: the heal runs
@@ -167,6 +171,8 @@ let run_windowed t ops =
   let queues = Array.make shards [] in
   let depth = Array.make shards 0 in
   let busy = Array.make shards 0 in
+  (* lr:owner dispatcher: the windowed run is single-domain, so queues
+     and depth have one writer — the round loop itself. *)
   let drain s =
     List.iter
       (fun idx -> serve_op t ops responses admit_time s idx)
@@ -261,6 +267,9 @@ let run_free t ops =
      once per drain, not per op: quiesce only ever waits for the count
      to catch up, so coarser publication just stretches the wait by at
      most one batch — and saves a full fence per op on the hot path. *)
+  (* lr:owner shard token holder: only the domain holding [tokens.(s)]
+     runs this, so [last_served] and the serve path are single-writer;
+     [completed] is the one cross-domain hand-off and is Atomic. *)
   let drain_locked s limit =
     let count = ref 0 in
     let continue_ = ref true in
@@ -335,6 +344,9 @@ let run_free t ops =
       (Some r, Some w)
     else (None, None)
   in
+  (* lr:owner resident loop: the select/sleep here is the deliberate
+     interruptible idle backoff — [wake_sleepers] writes the pipe to cut
+     every nap short, so this never blocks shutdown. *)
   let interruptible_sleep seconds =
     match wake_r with
     | None -> Unix.sleepf seconds
@@ -449,6 +461,9 @@ let run_free t ops =
       done
     end
   in
+  (* lr:owner dispatcher: admission state ([admitted], [admit_time],
+     rejection metrics) is written only by the single dispatcher domain;
+     the rings are the sole producer/consumer hand-off. *)
   let dispatch () =
     for i = 0 to n - 1 do
       (match ops.(i) with

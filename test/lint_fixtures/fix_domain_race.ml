@@ -1,0 +1,22 @@
+(* Deliberate domain-safety violations: a seeded race on shared
+   mutable state reached through a helper function (L5) and an Atomic
+   that never crosses a domain boundary (L8); test_lint asserts the
+   exact lines. *)
+
+type tally = { mutable hits : int }
+
+let tally = { hits = 0 }
+let owned = { hits = 0 }
+let lonely = Atomic.make 0
+let record i = tally.hits <- tally.hits + i
+let bump_lonely () = Atomic.incr lonely
+
+(* lr:owner fixture: exactly one writer by construction — this helper
+   must stay quiet while [record] above fires. *)
+let record_owned i = owned.hits <- owned.hits + i
+
+let race n =
+  Lr_parallel.Pool.map_range ~jobs:2 n (fun i ->
+      record i;
+      record_owned i;
+      i)

@@ -1,0 +1,11 @@
+(* Seeded L5/L8 violations; see test_lint.ml. *)
+
+type tally = { mutable hits : int }
+
+val tally : tally
+val owned : tally
+val lonely : int Atomic.t
+val record : int -> unit
+val bump_lonely : unit -> unit
+val record_owned : int -> unit
+val race : int -> int array

@@ -1,0 +1,16 @@
+(* Deliberate resident-loop violations: a loop body that blocks (L6)
+   and raises with no handler (L7), next to a sibling loop that
+   handles the same raise and must stay quiet; test_lint asserts the
+   exact lines. *)
+
+let boom () = failwith "escape hatch"
+let nap () = Unix.sleepf 0.001
+
+let spin pool =
+  Lr_parallel.Pool.Persistent.launch pool 1 (fun _w ->
+      nap ();
+      boom ())
+
+let careful pool =
+  Lr_parallel.Pool.Persistent.launch pool 1 (fun _w ->
+      try boom () with Failure _ -> ())

@@ -1,0 +1,6 @@
+(* Seeded L6/L7 violations; see test_lint.ml. *)
+
+val boom : unit -> unit
+val nap : unit -> unit
+val spin : Lr_parallel.Pool.Persistent.t -> unit
+val careful : Lr_parallel.Pool.Persistent.t -> unit
